@@ -1,0 +1,38 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```sh
+//! cargo bench -p nwo-bench --bench figures            # everything
+//! cargo bench -p nwo-bench --bench figures -- fig10   # one experiment
+//! NWO_SCALE=2 cargo bench -p nwo-bench --bench figures # 4x larger inputs
+//! ```
+
+use nwo_bench::figures::{run_experiment, EXPERIMENTS};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with('-')) // ignore cargo-bench flags like --bench
+        .collect();
+    let selected: Vec<&str> = if args.is_empty() {
+        EXPERIMENTS.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    println!("nwo experiment harness — reproducing Brooks & Martonosi, HPCA 1999");
+    let start = Instant::now();
+    for name in &selected {
+        let t = Instant::now();
+        if !run_experiment(name) {
+            eprintln!("unknown experiment `{name}`; known: {EXPERIMENTS:?}");
+            std::process::exit(2);
+        }
+        println!("[{name} completed in {:.1}s]", t.elapsed().as_secs_f64());
+    }
+    println!();
+    println!(
+        "all {} experiments completed in {:.1}s",
+        selected.len(),
+        start.elapsed().as_secs_f64()
+    );
+}

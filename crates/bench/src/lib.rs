@@ -1,0 +1,137 @@
+#![warn(missing_docs)]
+
+//! Experiment harness: regenerates every table and figure of the
+//! paper's evaluation from the simulator.
+//!
+//! The `figures` bench target (`cargo bench -p nwo-bench --bench figures`)
+//! drives [`figures::run_experiment`]; each experiment prints a
+//! paper-style table to stdout. Individual experiments can be selected
+//! by name:
+//!
+//! ```sh
+//! cargo bench -p nwo-bench --bench figures -- fig10 fig11
+//! ```
+//!
+//! Set `NWO_SCALE=n` to double every benchmark's input size `n` times.
+
+use nwo_core::{GatingConfig, PackConfig};
+use nwo_sim::{SimConfig, SimReport, Simulator};
+use nwo_workloads::{experiment_suite, Benchmark, Suite};
+
+pub mod figures;
+pub mod table;
+
+/// Runs `bench` under `config`, verifying architected output against the
+/// reference implementation.
+///
+/// # Panics
+///
+/// Panics if the simulation fails or the output diverges — a diverging
+/// optimization would invalidate every number it produces.
+pub fn run(bench: &Benchmark, config: SimConfig) -> SimReport {
+    let mut sim = Simulator::new(&bench.program, config);
+    let report = sim
+        .run(u64::MAX)
+        .unwrap_or_else(|e| panic!("{} failed: {e}", bench.name));
+    assert_eq!(
+        report.out_quads, bench.expected,
+        "{} diverged from its reference output",
+        bench.name
+    );
+    report
+}
+
+/// The benchmark suite at the harness scale (`NWO_SCALE` env bump).
+pub fn suite() -> Vec<Benchmark> {
+    let bump = std::env::var("NWO_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    experiment_suite(bump)
+}
+
+/// Geometric-mean speedup in percent over pairs of (baseline, variant)
+/// cycle counts.
+pub fn mean_speedup_percent(pairs: &[(u64, u64)]) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = pairs
+        .iter()
+        .map(|&(base, opt)| (base as f64 / opt as f64).ln())
+        .sum();
+    ((log_sum / pairs.len() as f64).exp() - 1.0) * 100.0
+}
+
+/// Arithmetic mean of a slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Splits a suite's values by membership for per-suite averages.
+pub fn by_suite<T: Copy>(benches: &[Benchmark], values: &[T]) -> (Vec<T>, Vec<T>) {
+    let mut spec = Vec::new();
+    let mut media = Vec::new();
+    for (b, &v) in benches.iter().zip(values) {
+        match b.suite {
+            Suite::SpecInt => spec.push(v),
+            Suite::Media => media.push(v),
+        }
+    }
+    (spec, media)
+}
+
+/// Baseline Table 1 machine.
+pub fn base_config() -> SimConfig {
+    SimConfig::default()
+}
+
+/// Clock-gating machine (Section 4).
+pub fn gating_config() -> SimConfig {
+    SimConfig::default().with_gating(GatingConfig::default())
+}
+
+/// Packing machine (Section 5.2).
+pub fn packing_config() -> SimConfig {
+    SimConfig::default().with_packing(PackConfig::default())
+}
+
+/// Replay-packing machine (Section 5.3).
+pub fn replay_config() -> SimConfig {
+    SimConfig::default().with_packing(PackConfig::with_replay())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_speedup_of_identity_is_zero() {
+        assert!(mean_speedup_percent(&[(100, 100), (50, 50)]).abs() < 1e-12);
+        assert_eq!(mean_speedup_percent(&[]), 0.0);
+    }
+
+    #[test]
+    fn mean_speedup_detects_improvement() {
+        let s = mean_speedup_percent(&[(110, 100)]);
+        assert!((s - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_experiments_are_rejected() {
+        assert!(!crate::figures::run_experiment("not-an-experiment"));
+        assert_eq!(crate::figures::EXPERIMENTS.len(), 20);
+    }
+
+    #[test]
+    fn run_verifies_output() {
+        let suite = experiment_suite(0);
+        let bench = suite.iter().find(|b| b.name == "perl").unwrap();
+        let report = run(bench, base_config());
+        assert!(report.stats.committed > 0);
+    }
+}

@@ -1,0 +1,170 @@
+//! Branch target buffer (Table 1: 2048 entries, 2-way set associative).
+//!
+//! The BTB supplies predicted targets for register-indirect jumps, whose
+//! targets are unknown until execute. Direct branches compute their
+//! targets from the instruction itself.
+
+/// BTB geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BtbConfig {
+    /// Total entries. Must be a multiple of `assoc` and a power of two.
+    pub entries: usize,
+    /// Ways per set.
+    pub assoc: usize,
+}
+
+impl Default for BtbConfig {
+    /// Table 1: 2048 entries, 2-way.
+    fn default() -> Self {
+        BtbConfig {
+            entries: 2048,
+            assoc: 2,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct BtbEntry {
+    valid: bool,
+    tag: u64,
+    target: u64,
+    lru: u64,
+}
+
+/// A set-associative branch target buffer with LRU replacement.
+///
+/// # Example
+///
+/// ```
+/// use nwo_bpred::{Btb, BtbConfig};
+///
+/// let mut btb = Btb::new(BtbConfig::default());
+/// assert_eq!(btb.lookup(0x1000), None);
+/// btb.update(0x1000, 0x2000);
+/// assert_eq!(btb.lookup(0x1000), Some(0x2000));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Btb {
+    sets: Vec<Vec<BtbEntry>>,
+    tick: u64,
+}
+
+impl Btb {
+    /// Builds a BTB for `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent geometry.
+    pub fn new(config: BtbConfig) -> Btb {
+        assert!(config.assoc >= 1, "associativity must be at least 1");
+        assert!(
+            config.entries.is_multiple_of(config.assoc),
+            "entries must be a multiple of associativity"
+        );
+        let num_sets = config.entries / config.assoc;
+        assert!(num_sets.is_power_of_two(), "set count must be a power of two");
+        Btb {
+            sets: vec![vec![BtbEntry::default(); config.assoc]; num_sets],
+            tick: 0,
+        }
+    }
+
+    fn set_and_tag(&self, pc: u64) -> (usize, u64) {
+        let word = pc >> 2;
+        let set = (word as usize) & (self.sets.len() - 1);
+        let tag = word >> self.sets.len().trailing_zeros();
+        (set, tag)
+    }
+
+    /// The predicted target for the control instruction at `pc`.
+    pub fn lookup(&mut self, pc: u64) -> Option<u64> {
+        self.tick += 1;
+        let tick = self.tick;
+        let (set, tag) = self.set_and_tag(pc);
+        let entry = self.sets[set]
+            .iter_mut()
+            .find(|e| e.valid && e.tag == tag)?;
+        entry.lru = tick;
+        Some(entry.target)
+    }
+
+    /// Installs or refreshes the target for `pc`.
+    pub fn update(&mut self, pc: u64, target: u64) {
+        self.tick += 1;
+        let tick = self.tick;
+        let (set, tag) = self.set_and_tag(pc);
+        let set = &mut self.sets[set];
+        if let Some(entry) = set.iter_mut().find(|e| e.valid && e.tag == tag) {
+            entry.target = target;
+            entry.lru = tick;
+            return;
+        }
+        let victim = set
+            .iter_mut()
+            .min_by_key(|e| if e.valid { e.lru + 1 } else { 0 })
+            .expect("assoc >= 1");
+        *victim = BtbEntry {
+            valid: true,
+            tag,
+            target,
+            lru: tick,
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Btb {
+        Btb::new(BtbConfig {
+            entries: 4,
+            assoc: 2,
+        })
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut btb = tiny();
+        assert_eq!(btb.lookup(0x1000), None);
+        btb.update(0x1000, 0xbeef);
+        assert_eq!(btb.lookup(0x1000), Some(0xbeef));
+    }
+
+    #[test]
+    fn update_refreshes_target() {
+        let mut btb = tiny();
+        btb.update(0x1000, 0x1);
+        btb.update(0x1000, 0x2);
+        assert_eq!(btb.lookup(0x1000), Some(0x2));
+    }
+
+    #[test]
+    fn lru_within_set() {
+        let mut btb = tiny(); // 2 sets x 2 ways
+        // PCs mapping to set 0: word addresses with even low bit.
+        btb.update(0x1000, 1); // set 0
+        btb.update(0x1008, 2); // set 0 (word 0x402, low bit 0)
+        btb.lookup(0x1000); // refresh first
+        btb.update(0x1010, 3); // evicts 0x1008
+        assert_eq!(btb.lookup(0x1000), Some(1));
+        assert_eq!(btb.lookup(0x1008), None);
+        assert_eq!(btb.lookup(0x1010), Some(3));
+    }
+
+    #[test]
+    fn different_sets_do_not_conflict() {
+        let mut btb = tiny();
+        btb.update(0x1000, 1); // set 0
+        btb.update(0x1004, 2); // set 1
+        assert_eq!(btb.lookup(0x1000), Some(1));
+        assert_eq!(btb.lookup(0x1004), Some(2));
+    }
+
+    #[test]
+    fn default_is_table1() {
+        let cfg = BtbConfig::default();
+        assert_eq!((cfg.entries, cfg.assoc), (2048, 2));
+        Btb::new(cfg);
+    }
+}

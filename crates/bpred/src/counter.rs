@@ -1,0 +1,119 @@
+//! Saturating counters, the building block of every table-based predictor.
+
+/// An n-bit saturating counter (1 ≤ n ≤ 8).
+///
+/// The prediction is "taken" when the counter is in the upper half of its
+/// range, the classic Smith-counter rule.
+///
+/// # Example
+///
+/// ```
+/// use nwo_bpred::SatCounter;
+///
+/// let mut c = SatCounter::new(2); // starts weakly not-taken (01)
+/// assert!(!c.taken());
+/// c.train(true);
+/// assert!(c.taken());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SatCounter {
+    value: u8,
+    max: u8,
+}
+
+impl SatCounter {
+    /// Creates an `bits`-bit counter initialised to the weakly-not-taken
+    /// value (one below the midpoint).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= bits <= 8`.
+    pub fn new(bits: u32) -> SatCounter {
+        assert!((1..=8).contains(&bits), "counter width out of range");
+        let max = if bits == 8 { u8::MAX } else { (1 << bits) - 1 };
+        SatCounter {
+            value: (max / 2),
+            max,
+        }
+    }
+
+    /// Current raw value.
+    pub fn value(&self) -> u8 {
+        self.value
+    }
+
+    /// The taken/not-taken prediction.
+    #[inline]
+    pub fn taken(&self) -> bool {
+        self.value > self.max / 2
+    }
+
+    /// Strengthens or weakens the counter toward the observed outcome.
+    #[inline]
+    pub fn train(&mut self, taken: bool) {
+        if taken {
+            self.value = self.value.saturating_add(1).min(self.max);
+        } else {
+            self.value = self.value.saturating_sub(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_bit_state_machine() {
+        let mut c = SatCounter::new(2);
+        assert_eq!(c.value(), 1);
+        assert!(!c.taken());
+        c.train(true); // 2: weakly taken
+        assert!(c.taken());
+        c.train(true); // 3: strongly taken
+        c.train(true); // saturates at 3
+        assert_eq!(c.value(), 3);
+        c.train(false); // 2: still taken
+        assert!(c.taken());
+        c.train(false); // 1: not taken
+        assert!(!c.taken());
+        c.train(false);
+        c.train(false); // saturates at 0
+        assert_eq!(c.value(), 0);
+    }
+
+    #[test]
+    fn hysteresis_requires_two_flips() {
+        let mut c = SatCounter::new(2);
+        c.train(true);
+        c.train(true); // strongly taken
+        c.train(false); // one not-taken does not flip the prediction
+        assert!(c.taken());
+    }
+
+    #[test]
+    fn three_bit_counter_range() {
+        let mut c = SatCounter::new(3);
+        assert_eq!(c.value(), 3);
+        assert!(!c.taken());
+        for _ in 0..10 {
+            c.train(true);
+        }
+        assert_eq!(c.value(), 7);
+    }
+
+    #[test]
+    fn one_bit_counter_is_last_outcome() {
+        let mut c = SatCounter::new(1);
+        c.train(true);
+        assert!(c.taken());
+        c.train(false);
+        assert!(!c.taken());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_bits_rejected() {
+        SatCounter::new(0);
+    }
+}

@@ -1,0 +1,585 @@
+//! Direction predictors: static, bimodal, gshare, two-level local, and
+//! the Table 1 combining predictor.
+//!
+//! All predictors are trained at commit time with the architected
+//! history, matching SimpleScalar's `sim-outorder` (`bpred_update` runs
+//! in `ruu_commit`). Wrong-path branches therefore never pollute tables.
+
+use crate::counter::SatCounter;
+
+/// Which direction predictor to instantiate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirKind {
+    /// Always predict not taken.
+    NotTaken,
+    /// Always predict taken.
+    Taken,
+    /// PC-indexed 2-bit counters.
+    Bimodal {
+        /// Table entries (power of two).
+        entries: usize,
+    },
+    /// Global history XOR PC indexing 2-bit counters.
+    GShare {
+        /// Table entries (power of two).
+        entries: usize,
+        /// Global history bits.
+        history_bits: u32,
+    },
+    /// Per-branch history indexing a second-level counter table
+    /// (Table 1: "1K 3-bit local predictor, 10-bit history").
+    Local {
+        /// First-level (history) table entries.
+        l1_entries: usize,
+        /// History bits per entry (also sizes the counter table).
+        history_bits: u32,
+        /// Second-level counter width in bits.
+        counter_bits: u32,
+    },
+    /// The Table 1 combining predictor: a selector chooses between the
+    /// local and global components per branch.
+    Combining,
+}
+
+impl DirKind {
+    /// The exact Table 1 configuration: 4K 2-bit selector with 12-bit
+    /// history; 1K 3-bit local predictor with 10-bit history; 4K 2-bit
+    /// global predictor with 12-bit history.
+    pub fn table1() -> DirKind {
+        DirKind::Combining
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Bimodal {
+    table: Vec<SatCounter>,
+}
+
+impl Bimodal {
+    fn new(entries: usize, bits: u32) -> Self {
+        assert!(entries.is_power_of_two(), "table size must be a power of two");
+        Bimodal {
+            table: vec![SatCounter::new(bits); entries],
+        }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize) & (self.table.len() - 1)
+    }
+
+    fn predict(&self, pc: u64) -> bool {
+        self.table[self.index(pc)].taken()
+    }
+
+    fn update(&mut self, pc: u64, taken: bool) {
+        let idx = self.index(pc);
+        self.table[idx].train(taken);
+    }
+}
+
+#[derive(Debug, Clone)]
+struct GShare {
+    table: Vec<SatCounter>,
+    history: u64,
+    history_mask: u64,
+}
+
+impl GShare {
+    fn new(entries: usize, history_bits: u32, counter_bits: u32) -> Self {
+        assert!(entries.is_power_of_two(), "table size must be a power of two");
+        GShare {
+            table: vec![SatCounter::new(counter_bits); entries],
+            history: 0,
+            history_mask: (1 << history_bits) - 1,
+        }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        (((pc >> 2) ^ self.history) as usize) & (self.table.len() - 1)
+    }
+
+    fn predict(&self, pc: u64) -> bool {
+        self.table[self.index(pc)].taken()
+    }
+
+    fn update(&mut self, pc: u64, taken: bool) {
+        let idx = self.index(pc);
+        self.table[idx].train(taken);
+        self.history = ((self.history << 1) | taken as u64) & self.history_mask;
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Local {
+    histories: Vec<u64>,
+    counters: Vec<SatCounter>,
+    history_bits: u32,
+}
+
+impl Local {
+    fn new(l1_entries: usize, history_bits: u32, counter_bits: u32) -> Self {
+        assert!(l1_entries.is_power_of_two(), "table size must be a power of two");
+        Local {
+            histories: vec![0; l1_entries],
+            counters: vec![SatCounter::new(counter_bits); 1 << history_bits],
+            history_bits,
+        }
+    }
+
+    fn l1_index(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize) & (self.histories.len() - 1)
+    }
+
+    fn predict(&self, pc: u64) -> bool {
+        let hist = self.histories[self.l1_index(pc)];
+        self.counters[hist as usize].taken()
+    }
+
+    fn update(&mut self, pc: u64, taken: bool) {
+        let l1 = self.l1_index(pc);
+        let hist = self.histories[l1];
+        self.counters[hist as usize].train(taken);
+        self.histories[l1] = ((hist << 1) | taken as u64) & ((1 << self.history_bits) - 1);
+    }
+}
+
+/// The Table 1 combining (tournament) predictor.
+#[derive(Debug, Clone)]
+struct Combining {
+    selector: Vec<SatCounter>,
+    local: Local,
+    global: GShare,
+}
+
+impl Combining {
+    fn new() -> Self {
+        Combining {
+            // 4K 2-bit selector, indexed by 12 bits of global history
+            // hashed with the PC.
+            selector: vec![SatCounter::new(2); 4096],
+            // 1K-entry, 10-bit-history, 3-bit local component.
+            local: Local::new(1024, 10, 3),
+            // 4K 2-bit global component over 12 bits of history.
+            global: GShare::new(4096, 12, 2),
+        }
+    }
+
+    fn selector_index(&self, pc: u64) -> usize {
+        (((pc >> 2) ^ self.global.history) as usize) & (self.selector.len() - 1)
+    }
+
+    fn predict(&self, pc: u64) -> bool {
+        // Selector counter high half -> trust the global component.
+        if self.selector[self.selector_index(pc)].taken() {
+            self.global.predict(pc)
+        } else {
+            self.local.predict(pc)
+        }
+    }
+
+    fn update(&mut self, pc: u64, taken: bool) {
+        let local_pred = self.local.predict(pc);
+        let global_pred = self.global.predict(pc);
+        let sel_idx = self.selector_index(pc);
+        // Train the selector toward whichever component was right, but
+        // only when they disagree.
+        if local_pred != global_pred {
+            self.selector[sel_idx].train(global_pred == taken);
+        }
+        self.local.update(pc, taken);
+        self.global.update(pc, taken);
+    }
+}
+
+/// Per-prediction state captured at lookup time: the table indices the
+/// prediction used (so commit-time training hits the same counters even
+/// after speculative history updates) and the pre-lookup history (so a
+/// misprediction can repair the history registers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DirLookup {
+    /// The prediction made.
+    pub taken: bool,
+    payload: LookupPayload,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LookupPayload {
+    Static,
+    Bimodal {
+        idx: usize,
+    },
+    GShare {
+        idx: usize,
+        ghist_before: u64,
+    },
+    Local {
+        l1: usize,
+        hist_before: u64,
+    },
+    Combining {
+        sel_idx: usize,
+        global_idx: usize,
+        local_l1: usize,
+        local_hist_before: u64,
+        ghist_before: u64,
+        local_pred: bool,
+        global_pred: bool,
+    },
+}
+
+#[derive(Debug, Clone)]
+enum Impl {
+    Static(bool),
+    Bimodal(Bimodal),
+    GShare(GShare),
+    Local(Local),
+    Combining(Combining),
+}
+
+/// A trainable direction predictor.
+///
+/// # Example
+///
+/// ```
+/// use nwo_bpred::{DirKind, DirPredictor};
+///
+/// let mut p = DirPredictor::new(DirKind::table1());
+/// // Train until the history registers saturate with the taken pattern.
+/// for _ in 0..64 {
+///     p.update(0x1000, true);
+/// }
+/// assert!(p.predict(0x1000));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DirPredictor {
+    kind: DirKind,
+    imp: Impl,
+}
+
+impl DirPredictor {
+    /// Builds a predictor of the given kind.
+    pub fn new(kind: DirKind) -> DirPredictor {
+        let imp = match kind {
+            DirKind::NotTaken => Impl::Static(false),
+            DirKind::Taken => Impl::Static(true),
+            DirKind::Bimodal { entries } => Impl::Bimodal(Bimodal::new(entries, 2)),
+            DirKind::GShare {
+                entries,
+                history_bits,
+            } => Impl::GShare(GShare::new(entries, history_bits, 2)),
+            DirKind::Local {
+                l1_entries,
+                history_bits,
+                counter_bits,
+            } => Impl::Local(Local::new(l1_entries, history_bits, counter_bits)),
+            DirKind::Combining => Impl::Combining(Combining::new()),
+        };
+        DirPredictor { kind, imp }
+    }
+
+    /// The configuration this predictor was built with.
+    pub fn kind(&self) -> DirKind {
+        self.kind
+    }
+
+    /// Predicts the direction of the conditional branch at `pc`.
+    pub fn predict(&self, pc: u64) -> bool {
+        match &self.imp {
+            Impl::Static(taken) => *taken,
+            Impl::Bimodal(b) => b.predict(pc),
+            Impl::GShare(g) => g.predict(pc),
+            Impl::Local(l) => l.predict(pc),
+            Impl::Combining(c) => c.predict(pc),
+        }
+    }
+
+    /// Trains with a committed branch outcome.
+    pub fn update(&mut self, pc: u64, taken: bool) {
+        match &mut self.imp {
+            Impl::Static(_) => {}
+            Impl::Bimodal(b) => b.update(pc, taken),
+            Impl::GShare(g) => g.update(pc, taken),
+            Impl::Local(l) => l.update(pc, taken),
+            Impl::Combining(c) => c.update(pc, taken),
+        }
+    }
+
+    /// Predicts and, when `speculative_history` is set, immediately
+    /// shifts the history registers with the *predicted* outcome — the
+    /// way deep pipelines keep history fresh across the many in-flight
+    /// branches between fetch and commit. The returned [`DirLookup`]
+    /// captures the table indices used (for [`DirPredictor::commit`])
+    /// and the pre-lookup history (for [`DirPredictor::repair`]).
+    pub fn lookup(&mut self, pc: u64, speculative_history: bool) -> DirLookup {
+        match &mut self.imp {
+            Impl::Static(taken) => DirLookup {
+                taken: *taken,
+                payload: LookupPayload::Static,
+            },
+            Impl::Bimodal(b) => {
+                let idx = b.index(pc);
+                DirLookup {
+                    taken: b.table[idx].taken(),
+                    payload: LookupPayload::Bimodal { idx },
+                }
+            }
+            Impl::GShare(g) => {
+                let idx = g.index(pc);
+                let taken = g.table[idx].taken();
+                let ghist_before = g.history;
+                if speculative_history {
+                    g.history = ((g.history << 1) | taken as u64) & g.history_mask;
+                }
+                DirLookup {
+                    taken,
+                    payload: LookupPayload::GShare { idx, ghist_before },
+                }
+            }
+            Impl::Local(l) => {
+                let l1 = l.l1_index(pc);
+                let hist_before = l.histories[l1];
+                let taken = l.counters[hist_before as usize].taken();
+                if speculative_history {
+                    l.histories[l1] =
+                        ((hist_before << 1) | taken as u64) & ((1 << l.history_bits) - 1);
+                }
+                DirLookup {
+                    taken,
+                    payload: LookupPayload::Local { l1, hist_before },
+                }
+            }
+            Impl::Combining(c) => {
+                let sel_idx = c.selector_index(pc);
+                let global_idx = c.global.index(pc);
+                let local_l1 = c.local.l1_index(pc);
+                let local_hist_before = c.local.histories[local_l1];
+                let ghist_before = c.global.history;
+                let local_pred = c.local.counters[local_hist_before as usize].taken();
+                let global_pred = c.global.table[global_idx].taken();
+                let taken = if c.selector[sel_idx].taken() {
+                    global_pred
+                } else {
+                    local_pred
+                };
+                if speculative_history {
+                    c.global.history =
+                        ((c.global.history << 1) | taken as u64) & c.global.history_mask;
+                    c.local.histories[local_l1] = ((local_hist_before << 1) | taken as u64)
+                        & ((1 << c.local.history_bits) - 1);
+                }
+                DirLookup {
+                    taken,
+                    payload: LookupPayload::Combining {
+                        sel_idx,
+                        global_idx,
+                        local_l1,
+                        local_hist_before,
+                        ghist_before,
+                        local_pred,
+                        global_pred,
+                    },
+                }
+            }
+        }
+    }
+
+    /// Trains the counters a [`lookup`](DirPredictor::lookup) consulted,
+    /// with the architected outcome. With speculative history the
+    /// history registers are *not* shifted here (that happened at
+    /// lookup, or at [`repair`](DirPredictor::repair)); without it, they
+    /// are.
+    pub fn commit(&mut self, lu: &DirLookup, taken: bool, speculative_history: bool) {
+        match (&mut self.imp, lu.payload) {
+            (Impl::Static(_), _) => {}
+            (Impl::Bimodal(b), LookupPayload::Bimodal { idx }) => b.table[idx].train(taken),
+            (Impl::GShare(g), LookupPayload::GShare { idx, .. }) => {
+                g.table[idx].train(taken);
+                if !speculative_history {
+                    g.history = ((g.history << 1) | taken as u64) & g.history_mask;
+                }
+            }
+            (Impl::Local(l), LookupPayload::Local { l1, hist_before }) => {
+                l.counters[hist_before as usize].train(taken);
+                if !speculative_history {
+                    l.histories[l1] =
+                        ((hist_before << 1) | taken as u64) & ((1 << l.history_bits) - 1);
+                }
+            }
+            (
+                Impl::Combining(c),
+                LookupPayload::Combining {
+                    sel_idx,
+                    global_idx,
+                    local_l1,
+                    local_hist_before,
+                    local_pred,
+                    global_pred,
+                    ..
+                },
+            ) => {
+                if local_pred != global_pred {
+                    c.selector[sel_idx].train(global_pred == taken);
+                }
+                c.global.table[global_idx].train(taken);
+                c.local.counters[local_hist_before as usize].train(taken);
+                if !speculative_history {
+                    c.global.history =
+                        ((c.global.history << 1) | taken as u64) & c.global.history_mask;
+                    c.local.histories[local_l1] = ((local_hist_before << 1) | taken as u64)
+                        & ((1 << c.local.history_bits) - 1);
+                }
+            }
+            _ => debug_assert!(false, "lookup payload does not match predictor kind"),
+        }
+    }
+
+    /// Repairs the speculative history after this lookup's branch turned
+    /// out mispredicted: restores the pre-lookup history and shifts in
+    /// the actual outcome. Younger speculative shifts are discarded
+    /// wholesale, which is exactly what restoring the older snapshot
+    /// achieves for the global history.
+    pub fn repair(&mut self, lu: &DirLookup, actual: bool) {
+        match (&mut self.imp, lu.payload) {
+            (Impl::GShare(g), LookupPayload::GShare { ghist_before, .. }) => {
+                g.history = ((ghist_before << 1) | actual as u64) & g.history_mask;
+            }
+            (
+                Impl::Local(l),
+                LookupPayload::Local { l1, hist_before },
+            ) => {
+                l.histories[l1] =
+                    ((hist_before << 1) | actual as u64) & ((1 << l.history_bits) - 1);
+            }
+            (
+                Impl::Combining(c),
+                LookupPayload::Combining {
+                    local_l1,
+                    local_hist_before,
+                    ghist_before,
+                    ..
+                },
+            ) => {
+                c.global.history =
+                    ((ghist_before << 1) | actual as u64) & c.global.history_mask;
+                c.local.histories[local_l1] = ((local_hist_before << 1) | actual as u64)
+                    & ((1 << c.local.history_bits) - 1);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn train(p: &mut DirPredictor, pc: u64, pattern: &[bool], reps: usize) {
+        for _ in 0..reps {
+            for &t in pattern {
+                p.update(pc, t);
+            }
+        }
+    }
+
+    #[test]
+    fn static_predictors() {
+        let t = DirPredictor::new(DirKind::Taken);
+        let n = DirPredictor::new(DirKind::NotTaken);
+        assert!(t.predict(0x4000));
+        assert!(!n.predict(0x4000));
+    }
+
+    #[test]
+    fn bimodal_learns_bias() {
+        let mut p = DirPredictor::new(DirKind::Bimodal { entries: 2048 });
+        train(&mut p, 0x1000, &[true], 4);
+        assert!(p.predict(0x1000));
+        train(&mut p, 0x2000, &[false], 4);
+        assert!(!p.predict(0x2000));
+        // Independent entries.
+        assert!(p.predict(0x1000));
+    }
+
+    #[test]
+    fn gshare_learns_alternating_pattern() {
+        let mut p = DirPredictor::new(DirKind::GShare {
+            entries: 4096,
+            history_bits: 12,
+        });
+        // Alternating T/N is unlearnable by bimodal but trivial for
+        // history-based predictors.
+        let mut correct = 0;
+        let mut next = true;
+        for i in 0..2000 {
+            if i >= 1000 && p.predict(0x1000) == next {
+                correct += 1;
+            }
+            p.update(0x1000, next);
+            next = !next;
+        }
+        assert!(correct > 950, "gshare should learn T/N/T/N, got {correct}/1000");
+    }
+
+    #[test]
+    fn local_learns_short_loop() {
+        let mut p = DirPredictor::new(DirKind::Local {
+            l1_entries: 1024,
+            history_bits: 10,
+            counter_bits: 3,
+        });
+        // A loop branch taken 3 times then not taken, repeatedly.
+        let pattern = [true, true, true, false];
+        let mut correct = 0;
+        let mut total = 0;
+        for rep in 0..600 {
+            for &t in &pattern {
+                if rep >= 300 {
+                    total += 1;
+                    if p.predict(0x1000) == t {
+                        correct += 1;
+                    }
+                }
+                p.update(0x1000, t);
+            }
+        }
+        assert!(
+            correct as f64 / total as f64 > 0.95,
+            "local should learn a 4-iteration loop, got {correct}/{total}"
+        );
+    }
+
+    #[test]
+    fn combining_beats_components_on_mixed_workload() {
+        // Branch A: biased taken. Branch B: depends on global history.
+        let mut comb = DirPredictor::new(DirKind::Combining);
+        let mut correct = 0;
+        let mut total = 0;
+        let mut flip = false;
+        for i in 0..4000 {
+            // Branch A at 0x1000, strongly biased.
+            if i >= 2000 {
+                total += 1;
+                if comb.predict(0x1000) {
+                    correct += 1;
+                }
+            }
+            comb.update(0x1000, true);
+            // Branch B at 0x2000 alternates.
+            flip = !flip;
+            if i >= 2000 {
+                total += 1;
+                if comb.predict(0x2000) == flip {
+                    correct += 1;
+                }
+            }
+            comb.update(0x2000, flip);
+        }
+        let acc = correct as f64 / total as f64;
+        assert!(acc > 0.9, "combining accuracy {acc} too low");
+    }
+
+    #[test]
+    fn table1_kind_is_combining() {
+        assert_eq!(DirKind::table1(), DirKind::Combining);
+    }
+}

@@ -1,0 +1,442 @@
+#![warn(missing_docs)]
+
+//! Branch prediction for the `nwo` simulator: direction predictors
+//! (including the Table 1 combining predictor), a 2-way BTB, and a
+//! checkpointable return-address stack.
+//!
+//! The [`Predictor`] facade bundles the three structures behind the
+//! interface the fetch stage needs: one [`Predictor::predict`] call per
+//! fetched control instruction, one [`Predictor::update`] per committed
+//! one, and RAS checkpoint/restore around speculation.
+//!
+//! # Example
+//!
+//! ```
+//! use nwo_bpred::{ControlInfo, Predictor, PredictorConfig};
+//!
+//! let mut p = Predictor::new(PredictorConfig::default());
+//! let info = ControlInfo {
+//!     is_cond: true,
+//!     is_call: false,
+//!     is_return: false,
+//!     is_indirect: false,
+//!     direct_target: Some(0x2000),
+//!     return_addr: 0x1004,
+//! };
+//! let pred = p.predict(0x1000, &info);
+//! // A cold 2-bit counter predicts not-taken: fall through.
+//! assert!(!pred.taken);
+//! ```
+
+mod btb;
+mod counter;
+mod dir;
+mod ras;
+
+pub use btb::{Btb, BtbConfig};
+pub use counter::SatCounter;
+pub use dir::{DirKind, DirLookup, DirPredictor};
+pub use ras::{Ras, RasCheckpoint};
+
+/// Static properties of a fetched control instruction, extracted at
+/// decode, that the predictor needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ControlInfo {
+    /// Conditional branch (needs a direction prediction).
+    pub is_cond: bool,
+    /// Call (pushes the RAS).
+    pub is_call: bool,
+    /// Return (pops the RAS).
+    pub is_return: bool,
+    /// Register-indirect (needs a BTB target).
+    pub is_indirect: bool,
+    /// PC-relative target, when computable from the instruction.
+    pub direct_target: Option<u64>,
+    /// The address of the next sequential instruction.
+    pub return_addr: u64,
+}
+
+/// The outcome of a prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Prediction {
+    /// Predicted direction (always true for unconditional transfers).
+    pub taken: bool,
+    /// Predicted target when taken; `None` means the predictor has no
+    /// target (BTB miss on an indirect jump) and fetch must stall or
+    /// fall through until the branch resolves.
+    pub target: Option<u64>,
+    /// Direction-lookup state for conditional branches; hand it back to
+    /// [`Predictor::update`] at commit and [`Predictor::repair`] on
+    /// misprediction.
+    pub lookup: Option<DirLookup>,
+}
+
+/// Full predictor configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PredictorConfig {
+    /// Direction-predictor kind.
+    pub dir: DirKind,
+    /// BTB geometry.
+    pub btb: BtbConfig,
+    /// Return-address-stack entries.
+    pub ras_entries: usize,
+    /// Update history registers speculatively at predict time (with
+    /// checkpoint repair on misprediction) instead of at commit. Keeps
+    /// global history fresh across the many in-flight branches of a deep
+    /// window — how the Alpha 21264 and SimpleScalar's `spec_update`
+    /// mode behave. Approximation: history is repaired from the
+    /// checkpoints of *conditional* branches only; a recovery triggered
+    /// by an indirect-jump target mispredict leaves the shifts of its
+    /// squashed younger conditionals in place (real hardware
+    /// checkpoints at every branch).
+    pub speculative_history: bool,
+}
+
+impl Default for PredictorConfig {
+    /// The Table 1 configuration: combining predictor, 2048-entry 2-way
+    /// BTB, 32-entry RAS, commit-time history (SimpleScalar's default).
+    fn default() -> Self {
+        PredictorConfig {
+            dir: DirKind::table1(),
+            btb: BtbConfig::default(),
+            ras_entries: 32,
+            speculative_history: false,
+        }
+    }
+}
+
+/// Counters published by the predictor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PredictorStats {
+    /// Direction lookups performed (conditional branches fetched).
+    pub dir_lookups: u64,
+    /// BTB lookups performed (indirect jumps fetched).
+    pub btb_lookups: u64,
+    /// BTB lookups that found a target.
+    pub btb_hits: u64,
+    /// RAS pops that found an address.
+    pub ras_pops: u64,
+    /// Committed branches used for training.
+    pub updates: u64,
+}
+
+/// Direction predictor + BTB + RAS behind one fetch-stage interface.
+#[derive(Debug, Clone)]
+pub struct Predictor {
+    dir: DirPredictor,
+    btb: Btb,
+    ras: Ras,
+    stats: PredictorStats,
+    speculative_history: bool,
+}
+
+impl Predictor {
+    /// Builds the predictor for `config`.
+    pub fn new(config: PredictorConfig) -> Predictor {
+        Predictor {
+            dir: DirPredictor::new(config.dir),
+            btb: Btb::new(config.btb),
+            ras: Ras::new(config.ras_entries),
+            stats: PredictorStats::default(),
+            speculative_history: config.speculative_history,
+        }
+    }
+
+    /// Accumulated counters.
+    pub fn stats(&self) -> PredictorStats {
+        self.stats
+    }
+
+    /// Predicts direction and target for the control instruction at `pc`,
+    /// speculatively updating the RAS (push on call, pop on return).
+    pub fn predict(&mut self, pc: u64, info: &ControlInfo) -> Prediction {
+        if info.is_call {
+            self.ras.push(info.return_addr);
+        }
+        if info.is_return {
+            let target = self.ras.pop();
+            if target.is_some() {
+                self.stats.ras_pops += 1;
+            }
+            return Prediction {
+                taken: true,
+                target,
+                lookup: None,
+            };
+        }
+        if info.is_indirect {
+            self.stats.btb_lookups += 1;
+            let target = self.btb.lookup(pc);
+            if target.is_some() {
+                self.stats.btb_hits += 1;
+            }
+            return Prediction {
+                taken: true,
+                target,
+                lookup: None,
+            };
+        }
+        if info.is_cond {
+            self.stats.dir_lookups += 1;
+            let lookup = self.dir.lookup(pc, self.speculative_history);
+            return Prediction {
+                taken: lookup.taken,
+                target: if lookup.taken { info.direct_target } else { None },
+                lookup: Some(lookup),
+            };
+        }
+        // Unconditional direct (br/bsr).
+        Prediction {
+            taken: true,
+            target: info.direct_target,
+            lookup: None,
+        }
+    }
+
+    /// Trains with a committed control instruction. `lookup` is the
+    /// state [`Predictor::predict`] returned for this branch (when it
+    /// was fetched through the predictor; warm-up paths pass `None` and
+    /// fall back to commit-time indexing).
+    pub fn update(
+        &mut self,
+        pc: u64,
+        info: &ControlInfo,
+        taken: bool,
+        target: u64,
+        lookup: Option<&DirLookup>,
+    ) {
+        self.stats.updates += 1;
+        if info.is_cond {
+            match lookup {
+                Some(lu) => self.dir.commit(lu, taken, self.speculative_history),
+                None => self.dir.update(pc, taken),
+            }
+        }
+        if info.is_indirect && !info.is_return {
+            self.btb.update(pc, target);
+        }
+    }
+
+    /// Repairs the speculative history after `lookup`'s branch resolved
+    /// mispredicted (no-op when speculative history is off).
+    pub fn repair(&mut self, lookup: &DirLookup, actual: bool) {
+        if self.speculative_history {
+            self.dir.repair(lookup, actual);
+        }
+    }
+
+    /// Takes a RAS checkpoint (at every predicted branch).
+    pub fn ras_checkpoint(&self) -> RasCheckpoint {
+        self.ras.checkpoint()
+    }
+
+    /// Restores the RAS after a misprediction.
+    pub fn ras_restore(&mut self, cp: RasCheckpoint) {
+        self.ras.restore(cp);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cond(target: u64) -> ControlInfo {
+        ControlInfo {
+            is_cond: true,
+            is_call: false,
+            is_return: false,
+            is_indirect: false,
+            direct_target: Some(target),
+            return_addr: 0,
+        }
+    }
+
+    #[test]
+    fn conditional_uses_direction_predictor() {
+        let mut p = Predictor::new(PredictorConfig::default());
+        let info = cond(0x2000);
+        // History-based components need the history register to saturate
+        // before the consulted counter is a trained one.
+        for _ in 0..64 {
+            p.update(0x1000, &info, true, 0x2000, None);
+        }
+        let pred = p.predict(0x1000, &info);
+        assert!(pred.taken);
+        assert_eq!(pred.target, Some(0x2000));
+        assert_eq!(p.stats().dir_lookups, 1);
+        assert_eq!(p.stats().updates, 64);
+    }
+
+    #[test]
+    fn not_taken_prediction_has_no_target() {
+        let mut p = Predictor::new(PredictorConfig::default());
+        let info = cond(0x2000);
+        for _ in 0..8 {
+            p.update(0x1000, &info, false, 0, None);
+        }
+        let pred = p.predict(0x1000, &info);
+        assert!(!pred.taken);
+        assert_eq!(pred.target, None);
+    }
+
+    #[test]
+    fn call_and_return_round_trip_through_ras() {
+        let mut p = Predictor::new(PredictorConfig::default());
+        let call = ControlInfo {
+            is_cond: false,
+            is_call: true,
+            is_return: false,
+            is_indirect: false,
+            direct_target: Some(0x5000),
+            return_addr: 0x1004,
+        };
+        let pred = p.predict(0x1000, &call);
+        assert_eq!(pred.target, Some(0x5000));
+        let ret = ControlInfo {
+            is_cond: false,
+            is_call: false,
+            is_return: true,
+            is_indirect: true,
+            direct_target: None,
+            return_addr: 0x5008,
+        };
+        let pred = p.predict(0x5004, &ret);
+        assert!(pred.taken);
+        assert_eq!(pred.target, Some(0x1004));
+        assert_eq!(p.stats().ras_pops, 1);
+    }
+
+    #[test]
+    fn indirect_jump_uses_btb() {
+        let mut p = Predictor::new(PredictorConfig::default());
+        let jmp = ControlInfo {
+            is_cond: false,
+            is_call: false,
+            is_return: false,
+            is_indirect: true,
+            direct_target: None,
+            return_addr: 0x1004,
+        };
+        assert_eq!(p.predict(0x1000, &jmp).target, None);
+        p.update(0x1000, &jmp, true, 0x7777_0000, None);
+        assert_eq!(p.predict(0x1000, &jmp).target, Some(0x7777_0000));
+        assert_eq!(p.stats().btb_hits, 1);
+        assert_eq!(p.stats().btb_lookups, 2);
+    }
+
+    #[test]
+    fn returns_do_not_pollute_btb() {
+        let mut p = Predictor::new(PredictorConfig::default());
+        let ret = ControlInfo {
+            is_cond: false,
+            is_call: false,
+            is_return: true,
+            is_indirect: true,
+            direct_target: None,
+            return_addr: 0,
+        };
+        p.update(0x1000, &ret, true, 0x9000, None);
+        // A later jmp at the same pc should not see the return target.
+        let jmp = ControlInfo {
+            is_return: false,
+            ..ret
+        };
+        assert_eq!(p.predict(0x1000, &jmp).target, None);
+    }
+
+    #[test]
+    fn ras_checkpoint_repairs_wrong_path() {
+        let mut p = Predictor::new(PredictorConfig::default());
+        let call = ControlInfo {
+            is_cond: false,
+            is_call: true,
+            is_return: false,
+            is_indirect: false,
+            direct_target: Some(0x5000),
+            return_addr: 0x1004,
+        };
+        p.predict(0x1000, &call);
+        let cp = p.ras_checkpoint();
+        // Wrong path fetches another call.
+        p.predict(
+            0x3000,
+            &ControlInfo {
+                return_addr: 0x3004,
+                ..call
+            },
+        );
+        p.ras_restore(cp);
+        let ret = ControlInfo {
+            is_cond: false,
+            is_call: false,
+            is_return: true,
+            is_indirect: true,
+            direct_target: None,
+            return_addr: 0,
+        };
+        assert_eq!(p.predict(0x5004, &ret).target, Some(0x1004));
+    }
+
+    #[test]
+    fn speculative_history_learns_patterns_with_in_flight_branches() {
+        // An alternating branch with several predictions in flight
+        // before each commit: commit-time history goes stale, while
+        // speculative history keeps learning the pattern.
+        let accuracy = |speculative: bool| {
+            let mut p = Predictor::new(PredictorConfig {
+                speculative_history: speculative,
+                ..PredictorConfig::default()
+            });
+            let info = cond(0x9000);
+            let mut correct = 0u32;
+            let mut outcome = false;
+            let mut inflight: Vec<(Prediction, bool)> = Vec::new();
+            for i in 0..4000 {
+                outcome = !outcome;
+                let pred = p.predict(0x9000, &info);
+                if i >= 2000 && pred.taken == outcome {
+                    correct += 1;
+                }
+                inflight.push((pred, outcome));
+                // Commit with a 4-branch delay, like a real window.
+                if inflight.len() > 4 {
+                    let (pred, actual) = inflight.remove(0);
+                    if pred.taken != actual {
+                        if let Some(lu) = &pred.lookup {
+                            p.repair(lu, actual);
+                        }
+                        // A real machine squashes everything younger.
+                        for (q, _) in inflight.drain(..) {
+                            let _ = q;
+                        }
+                    }
+                    p.update(0x9000, &info, actual, 0, pred.lookup.as_ref());
+                }
+            }
+            correct
+        };
+        let spec = accuracy(true);
+        let commit = accuracy(false);
+        assert!(
+            spec > commit,
+            "speculative history must beat stale commit-time history ({spec} vs {commit})"
+        );
+        assert!(spec > 1800, "pattern must be essentially learned ({spec}/2000)");
+    }
+
+    #[test]
+    fn unconditional_direct_branch() {
+        let mut p = Predictor::new(PredictorConfig::default());
+        let br = ControlInfo {
+            is_cond: false,
+            is_call: false,
+            is_return: false,
+            is_indirect: false,
+            direct_target: Some(0x4000),
+            return_addr: 0x1004,
+        };
+        let pred = p.predict(0x1000, &br);
+        assert!(pred.taken);
+        assert_eq!(pred.target, Some(0x4000));
+    }
+}

@@ -1,0 +1,153 @@
+//! Return-address stack (Table 1: 32 entries).
+//!
+//! The RAS is updated speculatively at fetch (calls push, returns pop),
+//! so it must be repairable after a branch misprediction. We use the
+//! classic top-of-stack checkpoint: recovery restores the stack pointer
+//! and the entry it points at, which repairs all single-level damage.
+
+/// A checkpoint of the RAS taken when a branch is fetched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RasCheckpoint {
+    top: usize,
+    top_value: u64,
+}
+
+/// Circular return-address stack.
+///
+/// # Example
+///
+/// ```
+/// use nwo_bpred::Ras;
+///
+/// let mut ras = Ras::new(32);
+/// ras.push(0x1004);
+/// assert_eq!(ras.pop(), Some(0x1004));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ras {
+    entries: Vec<u64>,
+    /// Index of the next free slot; `top - 1` is the top of stack.
+    top: usize,
+    depth: usize,
+}
+
+impl Ras {
+    /// Creates a RAS with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Ras {
+        assert!(capacity > 0, "RAS needs at least one entry");
+        Ras {
+            entries: vec![0; capacity],
+            top: 0,
+            depth: 0,
+        }
+    }
+
+    /// Pushes a return address (a call was fetched).
+    pub fn push(&mut self, addr: u64) {
+        self.entries[self.top] = addr;
+        self.top = (self.top + 1) % self.entries.len();
+        self.depth = (self.depth + 1).min(self.entries.len());
+    }
+
+    /// Pops the predicted return address (a return was fetched).
+    /// Returns `None` when the stack has underflowed.
+    pub fn pop(&mut self) -> Option<u64> {
+        if self.depth == 0 {
+            return None;
+        }
+        self.top = (self.top + self.entries.len() - 1) % self.entries.len();
+        self.depth -= 1;
+        Some(self.entries[self.top])
+    }
+
+    /// Takes a checkpoint for misprediction repair.
+    pub fn checkpoint(&self) -> RasCheckpoint {
+        RasCheckpoint {
+            top: self.top,
+            top_value: self.entries[(self.top + self.entries.len() - 1) % self.entries.len()],
+        }
+    }
+
+    /// Restores a checkpoint taken earlier.
+    pub fn restore(&mut self, cp: RasCheckpoint) {
+        self.top = cp.top;
+        let len = self.entries.len();
+        self.entries[(cp.top + len - 1) % len] = cp.top_value;
+        // Depth is approximate after deep wrap-around damage; clamp to
+        // something sane. A conservative non-zero depth only risks a
+        // mispredicted return target, never a correctness problem.
+        self.depth = self.depth.max(1).min(len);
+    }
+
+    /// Current stack depth (saturates at capacity).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_order() {
+        let mut ras = Ras::new(8);
+        ras.push(1);
+        ras.push(2);
+        ras.push(3);
+        assert_eq!(ras.pop(), Some(3));
+        assert_eq!(ras.pop(), Some(2));
+        assert_eq!(ras.pop(), Some(1));
+        assert_eq!(ras.pop(), None);
+    }
+
+    #[test]
+    fn wraps_around_capacity() {
+        let mut ras = Ras::new(2);
+        ras.push(1);
+        ras.push(2);
+        ras.push(3); // overwrites 1
+        assert_eq!(ras.pop(), Some(3));
+        assert_eq!(ras.pop(), Some(2));
+        // Depth saturated at 2, so the third pop sees stale data or
+        // underflow; capacity-2 stacks lose deep frames by design.
+    }
+
+    #[test]
+    fn checkpoint_restores_after_wrong_path_pop() {
+        let mut ras = Ras::new(8);
+        ras.push(0x100);
+        ras.push(0x200);
+        let cp = ras.checkpoint();
+        // Wrong path: pops the top, pushes garbage.
+        assert_eq!(ras.pop(), Some(0x200));
+        ras.push(0xdead);
+        ras.restore(cp);
+        assert_eq!(ras.pop(), Some(0x200));
+        assert_eq!(ras.pop(), Some(0x100));
+    }
+
+    #[test]
+    fn checkpoint_restores_after_wrong_path_push() {
+        let mut ras = Ras::new(8);
+        ras.push(0x100);
+        let cp = ras.checkpoint();
+        ras.push(0xbad);
+        ras.restore(cp);
+        assert_eq!(ras.pop(), Some(0x100));
+    }
+
+    #[test]
+    fn depth_tracks_saturating() {
+        let mut ras = Ras::new(4);
+        assert_eq!(ras.depth(), 0);
+        for i in 0..6 {
+            ras.push(i);
+        }
+        assert_eq!(ras.depth(), 4);
+    }
+}

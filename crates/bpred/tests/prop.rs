@@ -1,0 +1,103 @@
+//! Property-based tests for the branch-prediction structures.
+
+use nwo_bpred::{Btb, BtbConfig, DirKind, DirPredictor, Ras, SatCounter};
+use proptest::prelude::*;
+
+proptest! {
+    /// Saturating counters stay within range and converge on a constant
+    /// stream.
+    #[test]
+    fn counters_saturate_and_converge(
+        bits in 1u32..=8,
+        flips in prop::collection::vec(any::<bool>(), 0..64),
+        target in any::<bool>(),
+    ) {
+        let mut c = SatCounter::new(bits);
+        for &t in &flips {
+            c.train(t);
+            let max = if bits == 8 { u8::MAX } else { (1 << bits) - 1 };
+            prop_assert!(c.value() <= max);
+        }
+        // Enough consistent training always converges.
+        for _ in 0..(1 << bits) {
+            c.train(target);
+        }
+        prop_assert_eq!(c.taken(), target);
+    }
+
+    /// Every table-based predictor learns a fully-biased branch.
+    #[test]
+    fn predictors_learn_constant_branches(
+        pc in (0u64..1 << 20).prop_map(|p| p * 4),
+        taken in any::<bool>(),
+    ) {
+        for kind in [
+            DirKind::Bimodal { entries: 1024 },
+            DirKind::GShare { entries: 2048, history_bits: 10 },
+            DirKind::Local { l1_entries: 256, history_bits: 8, counter_bits: 3 },
+            DirKind::Combining,
+        ] {
+            let mut p = DirPredictor::new(kind);
+            for _ in 0..64 {
+                p.update(pc, taken);
+            }
+            prop_assert_eq!(p.predict(pc), taken, "{:?}", kind);
+        }
+    }
+
+    /// BTB: the most recent update for a PC is returned (within capacity).
+    #[test]
+    fn btb_returns_latest_target(
+        updates in prop::collection::vec(((0u64..64).prop_map(|p| 0x1000 + p * 4), any::<u64>()), 1..50),
+    ) {
+        // Large enough that 64 distinct PCs never evict.
+        let mut btb = Btb::new(BtbConfig { entries: 256, assoc: 4 });
+        let mut model = std::collections::HashMap::new();
+        for &(pc, target) in &updates {
+            btb.update(pc, target);
+            model.insert(pc, target);
+        }
+        for (&pc, &target) in &model {
+            prop_assert_eq!(btb.lookup(pc), Some(target));
+        }
+    }
+
+    /// RAS: balanced call/return sequences within capacity behave as a
+    /// perfect stack.
+    #[test]
+    fn ras_is_a_stack_within_capacity(
+        depths in prop::collection::vec(1usize..8, 1..10),
+    ) {
+        let mut ras = Ras::new(64);
+        for (round, &depth) in depths.iter().enumerate() {
+            let base = (round as u64 + 1) << 16;
+            for i in 0..depth {
+                ras.push(base + i as u64 * 4);
+            }
+            for i in (0..depth).rev() {
+                prop_assert_eq!(ras.pop(), Some(base + i as u64 * 4));
+            }
+        }
+    }
+
+    /// RAS checkpoint/restore undoes one push or one pop exactly.
+    #[test]
+    fn ras_checkpoint_roundtrip(
+        seed in prop::collection::vec(1u64..1 << 30, 1..16),
+        wrong_push in any::<bool>(),
+    ) {
+        let mut ras = Ras::new(32);
+        for &v in &seed {
+            ras.push(v);
+        }
+        let cp = ras.checkpoint();
+        if wrong_push {
+            ras.push(0xdead_beef);
+        } else {
+            ras.pop();
+        }
+        ras.restore(cp);
+        // The top of the stack must be the last seeded value again.
+        prop_assert_eq!(ras.pop(), seed.last().copied());
+    }
+}

@@ -1,0 +1,284 @@
+//! Subcommand implementations.
+
+use nwo_core::{GatingConfig, PackConfig};
+use nwo_isa::{assemble, Emulator, Program};
+use nwo_sim::{SimConfig, Simulator};
+use nwo_workloads::{benchmark, experiment_scale, BENCHMARK_NAMES};
+use std::path::Path;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+nwo — narrow-width-operand toolchain (Brooks & Martonosi, HPCA 1999)
+
+usage:
+  nwo asm  <file.s> [-o out.nwo]      assemble to an NWO1 image
+  nwo dis  <file.s|file.nwo>          disassemble
+  nwo run  <file.s|file.nwo>          functional emulation
+  nwo sim  <file.s|file.nwo> [flags]  cycle-level out-of-order simulation
+       --gating     operand-based clock gating (Section 4)
+       --packing    operation packing (Section 5.2)
+       --replay     replay packing (Section 5.3)
+       --perfect    perfect branch prediction
+       --wide       8-wide fetch/decode
+       --eight      8-issue / 8-ALU machine
+       --max <N>    stop after N committed instructions
+       --trace <N>  print a pipeline trace of the first N commits
+  nwo dbg  <file.s|file.nwo>          interactive debugger (step/break/dump)
+  nwo bench [name ...] [--scale N]    run benchmark kernels (verified)
+  nwo experiments [name ...]          regenerate the paper's tables/figures
+";
+
+/// Loads a program from assembly source (`.s`) or an NWO1 image.
+fn load_program(path: &str) -> Result<Program, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    if bytes.starts_with(b"NWO1") {
+        return Program::from_bytes(&bytes).map_err(|e| format!("{path}: {e}"));
+    }
+    let source = String::from_utf8(bytes).map_err(|_| {
+        format!("{path}: not UTF-8 assembly and not an NWO1 image")
+    })?;
+    assemble(&source).map_err(|e| format!("{path}: {e}"))
+}
+
+/// `nwo asm <file.s> [-o out.nwo]`
+pub fn asm(args: &[String]) -> Result<(), String> {
+    let mut input = None;
+    let mut output = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-o" => output = Some(it.next().ok_or("-o needs a path")?.clone()),
+            _ if input.is_none() => input = Some(a.clone()),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let input = input.ok_or("asm needs an input file")?;
+    let program = load_program(&input)?;
+    let out_path = output.unwrap_or_else(|| {
+        Path::new(&input)
+            .with_extension("nwo")
+            .to_string_lossy()
+            .into_owned()
+    });
+    std::fs::write(&out_path, program.to_bytes()).map_err(|e| format!("{out_path}: {e}"))?;
+    println!(
+        "{out_path}: {} instructions, {} data bytes, entry {:#x}",
+        program.len(),
+        program.data.len(),
+        program.entry
+    );
+    Ok(())
+}
+
+/// `nwo dis <file>`
+pub fn dis(args: &[String]) -> Result<(), String> {
+    let [input] = args else {
+        return Err("dis needs exactly one input file".to_string());
+    };
+    let program = load_program(input)?;
+    print!("{}", program.disassemble());
+    Ok(())
+}
+
+/// `nwo run <file>`
+pub fn run(args: &[String]) -> Result<(), String> {
+    let [input] = args else {
+        return Err("run needs exactly one input file".to_string());
+    };
+    let program = load_program(input)?;
+    let mut emu = Emulator::new(&program);
+    emu.run(10_000_000_000).map_err(|e| e.to_string())?;
+    if !emu.output().is_empty() {
+        println!("outb: {}", String::from_utf8_lossy(emu.output()));
+    }
+    for (i, q) in emu.outq().iter().enumerate() {
+        println!("outq[{i}]: {q} ({q:#x})");
+    }
+    println!("{} instructions executed", emu.icount());
+    Ok(())
+}
+
+/// `nwo sim <file> [flags]`
+pub fn sim(args: &[String]) -> Result<(), String> {
+    let mut input = None;
+    let mut config = SimConfig::default();
+    let mut max = u64::MAX;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--gating" => config = config.with_gating(GatingConfig::default()),
+            "--packing" => config = config.with_packing(PackConfig::default()),
+            "--replay" => config = config.with_packing(PackConfig::with_replay()),
+            "--perfect" => config = config.with_perfect_prediction(),
+            "--wide" => config = config.with_wide_decode(),
+            "--eight" => config = config.with_eight_issue(),
+            "--max" => {
+                max = it
+                    .next()
+                    .ok_or("--max needs a number")?
+                    .parse()
+                    .map_err(|_| "--max needs a number")?
+            }
+            "--trace" => {
+                config.trace_limit = it
+                    .next()
+                    .ok_or("--trace needs a number")?
+                    .parse()
+                    .map_err(|_| "--trace needs a number")?
+            }
+            _ if input.is_none() && !a.starts_with('-') => input = Some(a.clone()),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let input = input.ok_or("sim needs an input file")?;
+    let program = load_program(&input)?;
+    let trace_limit = config.trace_limit;
+    let mut simulator = Simulator::new(&program, config);
+    let report = simulator.run(max).map_err(|e| e.to_string())?;
+    if trace_limit > 0 {
+        println!(
+            "{:<10} {:<24} {:>6} {:>6} {:>6} {:>6} {:>6}  flags",
+            "pc", "instruction", "F", "D", "I", "X", "C"
+        );
+        for t in simulator.trace() {
+            println!(
+                "{:<#10x} {:<24} {:>6} {:>6} {:>6} {:>6} {:>6}  {}{}",
+                t.pc,
+                t.instr.to_string(),
+                t.fetched_at,
+                t.dispatched_at,
+                t.issued_at,
+                t.completed_at,
+                t.committed_at,
+                if t.packed { "P" } else { "" },
+                if t.replayed { "R" } else { "" },
+            );
+        }
+        println!();
+    }
+    if !report.out_bytes.is_empty() {
+        println!("outb: {}", String::from_utf8_lossy(&report.out_bytes));
+    }
+    for (i, q) in report.out_quads.iter().enumerate() {
+        println!("outq[{i}]: {q} ({q:#x})");
+    }
+    println!();
+    print!("{report}");
+    Ok(())
+}
+
+/// `nwo dbg <file>`
+pub fn dbg(args: &[String]) -> Result<(), String> {
+    let [input] = args else {
+        return Err("dbg needs exactly one input file".to_string());
+    };
+    let program = load_program(input)?;
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    crate::debugger::repl(&program, stdin.lock(), &mut stdout).map_err(|e| e.to_string())
+}
+
+/// `nwo bench [name ...] [--scale N]`
+pub fn bench(args: &[String]) -> Result<(), String> {
+    let mut names: Vec<String> = Vec::new();
+    let mut scale_override = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale_override = Some(
+                    it.next()
+                        .ok_or("--scale needs a number")?
+                        .parse::<u32>()
+                        .map_err(|_| "--scale needs a number")?,
+                )
+            }
+            _ if !a.starts_with('-') => names.push(a.clone()),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    if names.is_empty() {
+        names = BENCHMARK_NAMES.iter().map(|s| s.to_string()).collect();
+    }
+    println!(
+        "{:<11} {:>6} {:>10} {:>9} {:>7} {:>8} {:>9}",
+        "benchmark", "scale", "instrs", "cycles", "ipc", "narrow16", "verified"
+    );
+    for name in &names {
+        let scale = scale_override.unwrap_or_else(|| experiment_scale(name));
+        let bench = benchmark(name, scale)
+            .ok_or_else(|| format!("unknown benchmark `{name}`; known: {BENCHMARK_NAMES:?}"))?;
+        let mut simulator = Simulator::new(&bench.program, SimConfig::default());
+        let report = simulator.run(u64::MAX).map_err(|e| e.to_string())?;
+        let ok = report.out_quads == bench.expected;
+        println!(
+            "{:<11} {:>6} {:>10} {:>9} {:>7.3} {:>7.1}% {:>9}",
+            name,
+            scale,
+            report.stats.committed,
+            report.stats.cycles,
+            report.ipc(),
+            report.stats.breakdown.narrow16_total_fraction() * 100.0,
+            if ok { "ok" } else { "MISMATCH" }
+        );
+        if !ok {
+            return Err(format!("{name} diverged from its reference output"));
+        }
+    }
+    Ok(())
+}
+
+/// `nwo experiments [name ...]`
+pub fn experiments(args: &[String]) -> Result<(), String> {
+    use nwo_bench::figures::{run_experiment, EXPERIMENTS};
+    let selected: Vec<&str> = if args.is_empty() {
+        EXPERIMENTS.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for name in selected {
+        if !run_experiment(name) {
+            return Err(format!("unknown experiment `{name}`; known: {EXPERIMENTS:?}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_program_handles_both_formats() {
+        let dir = std::env::temp_dir().join("nwo-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let asm_path = dir.join("t.s");
+        std::fs::write(&asm_path, "main: li t0, 7\n outq t0\n halt").unwrap();
+        let p1 = load_program(asm_path.to_str().unwrap()).unwrap();
+        let bin_path = dir.join("t.nwo");
+        std::fs::write(&bin_path, p1.to_bytes()).unwrap();
+        let p2 = load_program(bin_path.to_str().unwrap()).unwrap();
+        assert_eq!(p1.text, p2.text);
+        assert_eq!(p1.entry, p2.entry);
+    }
+
+    #[test]
+    fn bad_paths_are_reported() {
+        assert!(load_program("/definitely/not/here.s").is_err());
+    }
+
+    #[test]
+    fn end_to_end_sim_of_a_temp_file() {
+        let dir = std::env::temp_dir().join("nwo-cli-test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("loop.s");
+        std::fs::write(
+            &path,
+            "main: clr t0\nloop: addq t0, 1, t0\n cmplt t0, 100, t1\n bne t1, loop\n outq t0\n halt",
+        )
+        .unwrap();
+        let arg = vec![path.to_string_lossy().into_owned()];
+        run(&arg).unwrap();
+        sim(&arg).unwrap();
+    }
+}

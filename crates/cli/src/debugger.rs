@@ -1,0 +1,239 @@
+//! Interactive debugger for the functional emulator.
+//!
+//! ```text
+//! (nwo-dbg) help
+//! s [n]          step n instructions (default 1)
+//! c              continue to breakpoint / halt
+//! b <addr|label> toggle a breakpoint
+//! r              print non-zero registers
+//! m <addr> [n]   dump n bytes of memory (default 64)
+//! d [addr]       disassemble 8 instructions (default: at pc)
+//! o              show program output so far
+//! q              quit
+//! ```
+
+use nwo_isa::{Emulator, Program, Reg};
+use std::collections::HashSet;
+use std::io::{BufRead, Write};
+
+/// Runs the debugger REPL over arbitrary input/output streams (tests
+/// inject scripted commands; `main` passes stdin/stdout).
+pub fn repl<R: BufRead, W: Write>(
+    program: &Program,
+    input: R,
+    out: &mut W,
+) -> std::io::Result<()> {
+    let mut emu = Emulator::new(program);
+    let mut breakpoints: HashSet<u64> = HashSet::new();
+    writeln!(out, "nwo debugger — {} instructions loaded; `help` for commands", program.len())?;
+    print_location(&emu, program, out)?;
+    write!(out, "(nwo-dbg) ")?;
+    out.flush()?;
+    for line in input.lines() {
+        let line = line?;
+        let mut parts = line.split_whitespace();
+        let cmd = parts.next().unwrap_or("");
+        let args: Vec<&str> = parts.collect();
+        match cmd {
+            "" => {}
+            "help" | "h" => {
+                writeln!(out, "s [n] | c | b <addr|label> | r | m <addr> [n] | d [addr] | o | q")?;
+            }
+            "s" => {
+                let n: u64 = args.first().and_then(|a| a.parse().ok()).unwrap_or(1);
+                for _ in 0..n {
+                    if emu.halted() {
+                        writeln!(out, "machine is halted")?;
+                        break;
+                    }
+                    match emu.step() {
+                        Ok(rec) => {
+                            write!(out, "{:#010x}: {}", rec.pc, rec.instr)?;
+                            if let Some(result) = rec.result {
+                                write!(out, "    -> {result} ({result:#x})")?;
+                            }
+                            writeln!(out)?;
+                        }
+                        Err(e) => {
+                            writeln!(out, "fault: {e}")?;
+                            break;
+                        }
+                    }
+                }
+            }
+            "c" => {
+                let mut steps = 0u64;
+                loop {
+                    if emu.halted() {
+                        writeln!(out, "halted after {steps} instructions")?;
+                        break;
+                    }
+                    if let Err(e) = emu.step() {
+                        writeln!(out, "fault: {e}")?;
+                        break;
+                    }
+                    steps += 1;
+                    if breakpoints.contains(&emu.pc()) {
+                        writeln!(out, "breakpoint at {:#x} after {steps} instructions", emu.pc())?;
+                        break;
+                    }
+                    if steps > 1_000_000_000 {
+                        writeln!(out, "gave up after 1e9 instructions")?;
+                        break;
+                    }
+                }
+                print_location(&emu, program, out)?;
+            }
+            "b" => match args.first().map(|a| resolve_addr(program, a)) {
+                Some(Some(addr)) => {
+                    if breakpoints.remove(&addr) {
+                        writeln!(out, "breakpoint cleared at {addr:#x}")?;
+                    } else {
+                        breakpoints.insert(addr);
+                        writeln!(out, "breakpoint set at {addr:#x}")?;
+                    }
+                }
+                _ => writeln!(out, "usage: b <addr|label>")?,
+            },
+            "r" => {
+                for i in 0..32u8 {
+                    let r = Reg::new(i);
+                    let v = emu.reg(r);
+                    if v != 0 {
+                        writeln!(out, "  {:<5} = {v:#018x} ({v})", r.to_string())?;
+                    }
+                }
+                writeln!(out, "  pc    = {:#x}", emu.pc())?;
+            }
+            "m" => match args.first().map(|a| resolve_addr(program, a)) {
+                Some(Some(addr)) => {
+                    let len: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(64);
+                    for (row, chunk) in emu.mem().read_bytes(addr, len).chunks(16).enumerate() {
+                        write!(out, "{:#012x}: ", addr + row as u64 * 16)?;
+                        for b in chunk {
+                            write!(out, "{b:02x} ")?;
+                        }
+                        writeln!(out)?;
+                    }
+                }
+                _ => writeln!(out, "usage: m <addr|label> [len]")?,
+            },
+            "d" => {
+                let at = args
+                    .first()
+                    .and_then(|a| resolve_addr(program, a))
+                    .unwrap_or_else(|| emu.pc());
+                for i in 0..8u64 {
+                    let addr = at + i * 4;
+                    match program.instr_at(addr) {
+                        Some(instr) => {
+                            let marker = if addr == emu.pc() { "=>" } else { "  " };
+                            writeln!(out, "{marker} {addr:#010x}: {instr}")?;
+                        }
+                        None => break,
+                    }
+                }
+            }
+            "o" => {
+                if !emu.output().is_empty() {
+                    writeln!(out, "outb: {}", String::from_utf8_lossy(emu.output()))?;
+                }
+                for (i, q) in emu.outq().iter().enumerate() {
+                    writeln!(out, "outq[{i}]: {q} ({q:#x})")?;
+                }
+                if emu.output().is_empty() && emu.outq().is_empty() {
+                    writeln!(out, "(no output yet)")?;
+                }
+            }
+            "q" | "quit" | "exit" => break,
+            other => writeln!(out, "unknown command `{other}` (try `help`)")?,
+        }
+        write!(out, "(nwo-dbg) ")?;
+        out.flush()?;
+    }
+    writeln!(out)?;
+    Ok(())
+}
+
+fn print_location<W: Write>(
+    emu: &Emulator,
+    program: &Program,
+    out: &mut W,
+) -> std::io::Result<()> {
+    match program.instr_at(emu.pc()) {
+        Some(instr) => writeln!(out, "=> {:#010x}: {instr}", emu.pc()),
+        None => writeln!(out, "=> {:#010x}: <outside text>", emu.pc()),
+    }
+}
+
+/// Resolves a numeric address or program label.
+fn resolve_addr(program: &Program, text: &str) -> Option<u64> {
+    if let Some(addr) = program.symbol(text) {
+        return Some(addr);
+    }
+    let body = text.strip_prefix("0x").unwrap_or(text);
+    if text.starts_with("0x") {
+        u64::from_str_radix(body, 16).ok()
+    } else {
+        text.parse().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nwo_isa::assemble;
+    use std::io::BufReader;
+
+    fn drive(src: &str, script: &str) -> String {
+        let program = assemble(src).expect("assembles");
+        let mut out = Vec::new();
+        repl(&program, BufReader::new(script.as_bytes()), &mut out).expect("repl runs");
+        String::from_utf8(out).expect("utf8")
+    }
+
+    const PROG: &str = concat!(
+        "main: li t0, 5\n",
+        "loop: addq t0, 1, t0\n",
+        " cmplt t0, 10, t1\n",
+        " bne t1, loop\n",
+        " outq t0\n",
+        " halt"
+    );
+
+    #[test]
+    fn step_shows_results() {
+        let out = drive(PROG, "s 2\nq\n");
+        assert!(out.contains("lda t0, 5(zero)    -> 5"));
+        assert!(out.contains("addq t0, #1, t0    -> 6"));
+    }
+
+    #[test]
+    fn continue_runs_to_halt_and_output_is_visible() {
+        let out = drive(PROG, "c\no\nq\n");
+        assert!(out.contains("halted after"));
+        assert!(out.contains("outq[0]: 10"));
+    }
+
+    #[test]
+    fn breakpoints_by_label() {
+        let out = drive(PROG, "b loop\nc\nr\nq\n");
+        assert!(out.contains("breakpoint set"));
+        assert!(out.contains("breakpoint at"));
+        // After stopping at `loop` the first time, t0 holds 5.
+        assert!(out.contains("t0    = 0x0000000000000005"));
+    }
+
+    #[test]
+    fn memory_dump_and_disassembly() {
+        let out = drive(PROG, "m 0x10000 16\nd main\nq\n");
+        assert!(out.contains("0x0000010000:"));
+        assert!(out.contains("=> 0x00010000: lda t0, 5(zero)"));
+    }
+
+    #[test]
+    fn unknown_commands_are_reported() {
+        let out = drive(PROG, "frobnicate\nq\n");
+        assert!(out.contains("unknown command `frobnicate`"));
+    }
+}

@@ -1,0 +1,48 @@
+//! `nwo` — command-line driver for the narrow-width-operand toolchain.
+//!
+//! ```text
+//! nwo asm  <file.s> [-o out.nwo]        assemble to an NWO1 image
+//! nwo dis  <file.s|file.nwo>            disassemble
+//! nwo run  <file.s|file.nwo>            functional emulation
+//! nwo sim  <file.s|file.nwo> [flags]    cycle-level simulation
+//! nwo dbg  <file.s|file.nwo>            interactive debugger
+//! nwo bench [name ...] [--scale N]      run benchmark kernels, verified
+//! nwo experiments [name ...]            regenerate the paper's figures
+//! ```
+
+mod commands;
+mod debugger;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((cmd, rest)) => (cmd.as_str(), rest),
+        None => {
+            eprint!("{}", commands::USAGE);
+            return ExitCode::from(2);
+        }
+    };
+    let result = match cmd {
+        "asm" => commands::asm(rest),
+        "dis" => commands::dis(rest),
+        "run" => commands::run(rest),
+        "sim" => commands::sim(rest),
+        "dbg" => commands::dbg(rest),
+        "bench" => commands::bench(rest),
+        "experiments" => commands::experiments(rest),
+        "help" | "--help" | "-h" => {
+            print!("{}", commands::USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n\n{}", commands::USAGE)),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("nwo: {message}");
+            ExitCode::from(1)
+        }
+    }
+}

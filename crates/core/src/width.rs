@@ -1,0 +1,217 @@
+//! Significant-width computation: the zero-detect / ones-detect logic at
+//! the heart of both optimizations (paper Section 4.2–4.3).
+//!
+//! A 64-bit two's-complement value is *narrow at n* when its upper
+//! `64 - n` bits are all zeros (zero-detect, non-negative values) or all
+//! ones (ones-detect, negative values). In either case the upper bits
+//! carry no information: the hardware can reconstruct them from the
+//! detect signal, so they need not be latched, computed, or transmitted.
+
+/// True when the upper `64 - n` bits of `v` are all zero.
+///
+/// This is the `zero48` signal of Figure 3 generalised to any `n`.
+#[inline]
+pub fn zero_detect(v: u64, n: u32) -> bool {
+    debug_assert!((1..=64).contains(&n));
+    n >= 64 || v >> n == 0
+}
+
+/// True when the upper `64 - n` bits of `v` are all one.
+///
+/// The ones-detect runs in parallel with the zero-detect to catch
+/// negative two's-complement values (Section 4.3).
+#[inline]
+pub fn ones_detect(v: u64, n: u32) -> bool {
+    debug_assert!((1..=64).contains(&n));
+    n >= 64 || v >> n == u64::MAX >> n
+}
+
+/// True when `v` is narrow at `n` bits: the upper bits are redundant
+/// (all-zero or all-one) and the value is reconstructible from its low
+/// `n` bits plus the detect signal.
+#[inline]
+pub fn is_narrow(v: u64, n: u32) -> bool {
+    zero_detect(v, n) || ones_detect(v, n)
+}
+
+/// The minimal `n` (clamped to at least 1) at which `v` is narrow —
+/// the paper's notion of operand bitwidth ("adding 17, a 5-bit number,
+/// to 2, a 2-bit number").
+///
+/// For non-negative values this is `64 - leading_zeros`; for negative
+/// values `64 - leading_ones` (the sign is carried by the detect signal).
+///
+/// # Example
+///
+/// ```
+/// use nwo_core::width64;
+///
+/// assert_eq!(width64(17), 5);
+/// assert_eq!(width64(2), 2);
+/// assert_eq!(width64(0), 1);
+/// assert_eq!(width64((-1i64) as u64), 1);
+/// assert_eq!(width64((-15i64) as u64), 4);
+/// assert_eq!(width64(0x1_0000_0000), 33); // a heap address
+/// ```
+#[inline]
+pub fn width64(v: u64) -> u32 {
+    let redundant = if (v as i64) < 0 {
+        v.leading_ones()
+    } else {
+        v.leading_zeros()
+    };
+    (64 - redundant).max(1)
+}
+
+/// Per-operand width tag stored in the RUU alongside each source operand
+/// (Section 5.2: "an extra bit for each operand indicating that the size
+/// of the operand is 16-bits or less"; Section 4.3 adds the 33-bit signal
+/// and the negative-number ones-detect).
+///
+/// `known == false` models a machine *without* zero-detect on some
+/// producer (e.g. loads when the cache port lacks detection logic —
+/// the 13.1%/1.5% statistic in Section 4.2): the consumer must then
+/// conservatively assume a full-width operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WidthTag {
+    /// A zero/ones-detect has been performed on this value.
+    pub known: bool,
+    /// Upper 48 bits redundant (`zero48` / `ones48`).
+    pub narrow16: bool,
+    /// Upper 31 bits redundant (the 33-bit signal of Section 4.3,
+    /// motivated by address arithmetic).
+    pub narrow33: bool,
+    /// The value is negative (the detect that fired was the ones-detect).
+    pub negative: bool,
+}
+
+impl WidthTag {
+    /// Tags a value whose detect logic has run.
+    #[inline]
+    pub fn of(v: u64) -> WidthTag {
+        WidthTag {
+            known: true,
+            narrow16: is_narrow(v, 16),
+            narrow33: is_narrow(v, 33),
+            negative: (v as i64) < 0,
+        }
+    }
+
+    /// The conservative tag for a value that bypassed the detect logic.
+    #[inline]
+    pub fn unknown() -> WidthTag {
+        WidthTag {
+            known: false,
+            narrow16: false,
+            narrow33: false,
+            negative: false,
+        }
+    }
+
+    /// True when this operand is known narrow at 16 bits via the
+    /// *zero*-detect specifically (non-negative).
+    #[inline]
+    pub fn narrow16_unsigned(self) -> bool {
+        self.known && self.narrow16 && !self.negative
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_detect_boundaries() {
+        assert!(zero_detect(0, 16));
+        assert!(zero_detect(0xffff, 16));
+        assert!(!zero_detect(0x1_0000, 16));
+        assert!(zero_detect(u64::MAX, 64));
+    }
+
+    #[test]
+    fn ones_detect_boundaries() {
+        let neg1 = u64::MAX;
+        assert!(ones_detect(neg1, 16));
+        let minus_65536 = (-65536i64) as u64;
+        assert!(ones_detect(minus_65536, 16));
+        let minus_65537 = (-65537i64) as u64;
+        assert!(!ones_detect(minus_65537, 16));
+        assert!(!ones_detect(0, 16));
+    }
+
+    #[test]
+    fn paper_example_widths() {
+        // "adding 17, a 5-bit number, to 2, a 2-bit number, the result is
+        // 19, a 5-bit number."
+        assert_eq!(width64(17), 5);
+        assert_eq!(width64(2), 2);
+        assert_eq!(width64(19), 5);
+    }
+
+    #[test]
+    fn width_extremes() {
+        assert_eq!(width64(0), 1);
+        assert_eq!(width64(1), 1);
+        assert_eq!(width64(u64::MAX), 1); // -1: one significant bit
+        // i64::MIN is ones-detected at 63: the low 63 bits (all zero) plus
+        // the ones signal reconstruct it, so its hardware width is 63.
+        assert_eq!(width64(i64::MIN as u64), 63);
+        assert_eq!(width64(i64::MAX as u64), 63);
+    }
+
+    #[test]
+    fn addresses_are_33_bits() {
+        assert_eq!(width64(0x1_0000_0000), 33);
+        assert_eq!(width64(0x1_7fff_ff00), 33);
+    }
+
+    #[test]
+    fn width_consistent_with_is_narrow() {
+        for &v in &[
+            0u64,
+            1,
+            17,
+            0xffff,
+            0x10000,
+            0x1_0000_0000,
+            u64::MAX,
+            (-32768i64) as u64,
+            (-65536i64) as u64,
+            i64::MIN as u64,
+        ] {
+            let w = width64(v);
+            assert!(is_narrow(v, w), "{v:#x} must be narrow at its own width");
+            if w > 1 {
+                assert!(!is_narrow(v, w - 1), "{v:#x} must not be narrow below {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn tags_capture_both_thresholds() {
+        let t = WidthTag::of(100);
+        assert!(t.known && t.narrow16 && t.narrow33 && !t.negative);
+        let t = WidthTag::of(0x10_0000);
+        assert!(!t.narrow16 && t.narrow33);
+        let t = WidthTag::of(0x1_0000_0000);
+        assert!(!t.narrow16 && t.narrow33, "33-bit addresses gate at 33");
+        let t = WidthTag::of(0x2_0000_0000);
+        assert!(!t.narrow33);
+        let t = WidthTag::of((-5i64) as u64);
+        assert!(t.narrow16 && t.negative);
+    }
+
+    #[test]
+    fn unknown_tag_is_conservative() {
+        let t = WidthTag::unknown();
+        assert!(!t.known && !t.narrow16 && !t.narrow33);
+        assert!(!t.narrow16_unsigned());
+    }
+
+    #[test]
+    fn narrow16_unsigned_requires_zero_detect() {
+        assert!(WidthTag::of(5).narrow16_unsigned());
+        assert!(!WidthTag::of((-5i64) as u64).narrow16_unsigned());
+        assert!(!WidthTag::of(0x1_0000).narrow16_unsigned());
+    }
+}

@@ -1,0 +1,171 @@
+//! Property-based tests for the narrow-width decision logic.
+
+use nwo_core::{
+    can_pack, gate_level, is_narrow, replay_candidate, replay_mispredicts, replay_predicted,
+    slot_result, width64, GateLevel, GatingConfig, PackConfig, WideOperand, WidthTag,
+};
+use nwo_isa::{alu_result, Opcode};
+use proptest::prelude::*;
+
+/// Values narrow at 16 bits: the ±2^16 window the detect hardware accepts.
+fn narrow16() -> impl Strategy<Value = u64> {
+    (-65536i64..=65535).prop_map(|v| v as u64)
+}
+
+fn any_value() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        any::<u64>(),
+        narrow16(),
+        (0u64..=4).prop_map(|shift| 1u64 << (60 - shift)),
+        Just(0x1_0000_0000u64),
+    ]
+}
+
+fn packable_op() -> impl Strategy<Value = Opcode> {
+    prop::sample::select(vec![
+        Opcode::Addq,
+        Opcode::Subq,
+        Opcode::Addl,
+        Opcode::Subl,
+        Opcode::Lda,
+        Opcode::Cmpeq,
+        Opcode::Cmplt,
+        Opcode::Cmple,
+        Opcode::Cmpult,
+        Opcode::Cmpule,
+        Opcode::And,
+        Opcode::Bis,
+        Opcode::Xor,
+        Opcode::Bic,
+        Opcode::Ornot,
+        Opcode::Eqv,
+        Opcode::Sextb,
+        Opcode::Sextw,
+        Opcode::Srl,
+        Opcode::Sra,
+    ])
+}
+
+proptest! {
+    /// width64 is the *minimal* narrow width: narrow at w, not at w-1.
+    #[test]
+    fn width_is_minimal(v in any_value()) {
+        let w = width64(v);
+        prop_assert!((1..=64).contains(&w));
+        prop_assert!(is_narrow(v, w));
+        if w > 1 {
+            prop_assert!(!is_narrow(v, w - 1));
+        }
+    }
+
+    /// Narrowness is monotone in the width threshold.
+    #[test]
+    fn narrowness_is_monotone(v in any_value(), n in 1u32..64) {
+        if is_narrow(v, n) {
+            prop_assert!(is_narrow(v, n + 1));
+        }
+    }
+
+    /// The value is reconstructible from its low width64(v) bits plus the
+    /// sign — the guarantee the gating mux relies on.
+    #[test]
+    fn narrow_values_reconstruct(v in any_value()) {
+        let w = width64(v);
+        if w < 64 {
+            let low = v & ((1u64 << w) - 1);
+            let negative = (v as i64) < 0;
+            let rebuilt = if negative { low | (u64::MAX << w) } else { low };
+            prop_assert_eq!(rebuilt, v);
+        }
+    }
+
+    /// WidthTag::of agrees with the raw detect functions.
+    #[test]
+    fn tag_matches_detects(v in any_value()) {
+        let t = WidthTag::of(v);
+        prop_assert_eq!(t.narrow16, is_narrow(v, 16));
+        prop_assert_eq!(t.narrow33, is_narrow(v, 33));
+        prop_assert_eq!(t.negative, (v as i64) < 0);
+        prop_assert!(t.known);
+    }
+
+    /// Gate16 implies both operands really are narrow16 — the gated
+    /// datapath never silently truncates a wide value.
+    #[test]
+    fn gating_is_sound(a in any_value(), b in any_value()) {
+        let cfg = GatingConfig::default();
+        match gate_level(WidthTag::of(a), WidthTag::of(b), &cfg) {
+            GateLevel::Gate16 => {
+                prop_assert!(is_narrow(a, 16) && is_narrow(b, 16));
+            }
+            GateLevel::Gate33 => {
+                prop_assert!(is_narrow(a, 33) && is_narrow(b, 33));
+            }
+            GateLevel::Full => {}
+        }
+    }
+
+    /// Gating is also complete: two narrow16 operands always gate at 16.
+    #[test]
+    fn gating_is_complete(a in narrow16(), b in narrow16()) {
+        let cfg = GatingConfig::default();
+        prop_assert_eq!(
+            gate_level(WidthTag::of(a), WidthTag::of(b), &cfg),
+            GateLevel::Gate16
+        );
+    }
+
+    /// THE exactness theorem for operation packing: whenever the issue
+    /// logic decides to pack, the 16-bit lane produces the full-width
+    /// result bit-for-bit.
+    #[test]
+    fn packing_is_exact(op in packable_op(), a in narrow16(), b in narrow16()) {
+        let cfg = PackConfig::default();
+        if can_pack(op, WidthTag::of(a), WidthTag::of(b), &cfg) {
+            prop_assert_eq!(
+                slot_result(op, a, b),
+                alu_result(op, a, b),
+                "lane mismatch for {} a={:#x} b={:#x}", op, a, b
+            );
+        }
+    }
+
+    /// Replay packing is self-correcting: when the mispredict detector
+    /// stays quiet, the predicted (muxed) result is the true result.
+    #[test]
+    fn replay_prediction_sound(a in any_value(), b in narrow16()) {
+        for op in [Opcode::Addq, Opcode::Subq, Opcode::Lda] {
+            let (ta, tb) = (WidthTag::of(a), WidthTag::of(b));
+            if let Some(wide) = replay_candidate(op, ta, tb) {
+                prop_assert_eq!(wide, WideOperand::A);
+                if !replay_mispredicts(op, a, b, wide) {
+                    prop_assert_eq!(replay_predicted(op, a, b, wide), alu_result(op, a, b));
+                }
+            }
+        }
+    }
+
+    /// A replay candidate never exists when exact packing applies, and
+    /// vice versa: the two mechanisms partition the opportunity space.
+    #[test]
+    fn replay_and_exact_packing_disjoint(a in any_value(), b in any_value()) {
+        let cfg = PackConfig::default();
+        for op in [Opcode::Addq, Opcode::Subq, Opcode::Lda] {
+            let (ta, tb) = (WidthTag::of(a), WidthTag::of(b));
+            if can_pack(op, ta, tb, &cfg) {
+                prop_assert_eq!(replay_candidate(op, ta, tb), None);
+            }
+        }
+    }
+
+    /// can_pack only ever fires for opcodes with a pack kind.
+    #[test]
+    fn can_pack_respects_kind(a in narrow16(), b in narrow16()) {
+        let cfg = PackConfig::default();
+        for &op in Opcode::ALL {
+            if can_pack(op, WidthTag::of(a), WidthTag::of(b), &cfg) {
+                prop_assert!(nwo_core::pack_kind(op).is_some());
+            }
+        }
+    }
+}

@@ -1,0 +1,1215 @@
+//! Two-pass text assembler.
+//!
+//! Supports `.text`/`.data` sections, labels, data directives, the full
+//! opcode set, and the usual convenience pseudo-instructions (`li`, `la`,
+//! `mov`, `clr`, `call`, bare `ret`/`br`). Comments start with `;` or `//`.
+//!
+//! ```
+//! use nwo_isa::assemble;
+//!
+//! let prog = assemble(r#"
+//!     .data
+//! greeting:
+//!     .asciiz "hi"
+//!     .text
+//! main:
+//!     la   a0, greeting     ; expands to ldah/lda off gp
+//!     ldbu t0, 0(a0)
+//!     outb t0
+//!     halt
+//! "#)?;
+//! assert!(prog.symbol("greeting").is_some());
+//! # Ok::<(), nwo_isa::AsmError>(())
+//! ```
+
+use crate::instr::Instr;
+use crate::op::{Format, Opcode};
+use crate::program::{Program, DATA_BASE, TEXT_BASE};
+use crate::reg::Reg;
+use std::collections::HashMap;
+use std::fmt;
+
+/// An assembly error with the 1-based source line it occurred on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number in the source text.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, AsmError> {
+    Err(AsmError {
+        line,
+        message: message.into(),
+    })
+}
+
+/// A text-segment slot awaiting final encoding.
+#[derive(Debug, Clone)]
+enum Slot {
+    Ready(Instr),
+    /// A branch to a label, resolved once label addresses are known.
+    BranchTo { op: Opcode, ra: Reg, target: String },
+    /// High half of a two-instruction `la` expansion.
+    LaHigh { rd: Reg, label: String, offset: i64 },
+    /// Low half of a two-instruction `la` expansion.
+    LaLow { rd: Reg, label: String, offset: i64 },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Section {
+    Text,
+    Data,
+}
+
+/// A pending data patch: write the address of `label` as a quadword at
+/// `offset` in the data image.
+#[derive(Debug, Clone)]
+struct QuadPatch {
+    offset: usize,
+    label: String,
+    line: usize,
+}
+
+#[derive(Default)]
+struct Assembler {
+    slots: Vec<(usize, Slot)>,
+    data: Vec<u8>,
+    symbols: HashMap<String, u64>,
+    /// `.equ` constants; must be defined before use.
+    equates: HashMap<String, i64>,
+    /// Labels waiting for the next emission in their section.
+    pending_labels: Vec<(usize, String)>,
+    section: Option<Section>,
+    patches: Vec<QuadPatch>,
+}
+
+/// Assembles `source` into a [`Program`].
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] identifying the first offending line for any
+/// syntax error, unknown mnemonic/register/label, duplicate label, or
+/// out-of-range literal or displacement.
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    let mut asm = Assembler {
+        section: Some(Section::Text),
+        ..Assembler::default()
+    };
+
+    for (idx, raw_line) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = strip_comment(raw_line).trim();
+        if line.is_empty() {
+            continue;
+        }
+        asm.process_line(line_no, line)?;
+    }
+    if let Some(&(line, ref label)) = asm.pending_labels.first() {
+        // Labels at the very end of a section bind to the current end.
+        let _ = label;
+        asm.flush_labels(line)?;
+    }
+    asm.finish()
+}
+
+fn strip_comment(line: &str) -> &str {
+    // Comments: `;` or `//`, but not inside string/char literals.
+    let bytes = line.as_bytes();
+    let mut in_str = false;
+    let mut in_char = false;
+    let mut escaped = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if escaped {
+            escaped = false;
+        } else if c == '\\' && (in_str || in_char) {
+            escaped = true;
+        } else if c == '"' && !in_char {
+            in_str = !in_str;
+        } else if c == '\'' && !in_str {
+            in_char = !in_char;
+        } else if !in_str && !in_char {
+            if c == ';' {
+                return &line[..i];
+            }
+            if c == '/' && bytes.get(i + 1) == Some(&b'/') {
+                return &line[..i];
+            }
+        }
+        i += 1;
+    }
+    line
+}
+
+impl Assembler {
+    fn process_line(&mut self, line_no: usize, line: &str) -> Result<(), AsmError> {
+        let mut rest = line;
+        // Leading labels (possibly several on one line).
+        while let Some(colon) = find_label_colon(rest) {
+            let name = rest[..colon].trim();
+            if !is_valid_label(name) {
+                return err(line_no, format!("invalid label name `{name}`"));
+            }
+            self.pending_labels.push((line_no, name.to_string()));
+            rest = rest[colon + 1..].trim_start();
+        }
+        let rest = rest.trim();
+        if rest.is_empty() {
+            return Ok(());
+        }
+        if let Some(directive) = rest.strip_prefix('.') {
+            self.process_directive(line_no, directive)
+        } else {
+            self.flush_labels_to_text(line_no)?;
+            self.process_instruction(line_no, rest)
+        }
+    }
+
+    fn flush_labels(&mut self, line_no: usize) -> Result<(), AsmError> {
+        match self.section {
+            Some(Section::Text) | None => self.flush_labels_to_text(line_no),
+            Some(Section::Data) => self.flush_labels_to_data(line_no),
+        }
+    }
+
+    fn flush_labels_to_text(&mut self, _line_no: usize) -> Result<(), AsmError> {
+        let addr = TEXT_BASE + 4 * self.slots.len() as u64;
+        for (line, label) in std::mem::take(&mut self.pending_labels) {
+            if self.symbols.insert(label.clone(), addr).is_some() {
+                return err(line, format!("duplicate label `{label}`"));
+            }
+        }
+        Ok(())
+    }
+
+    fn flush_labels_to_data(&mut self, _line_no: usize) -> Result<(), AsmError> {
+        let addr = DATA_BASE + self.data.len() as u64;
+        for (line, label) in std::mem::take(&mut self.pending_labels) {
+            if self.symbols.insert(label.clone(), addr).is_some() {
+                return err(line, format!("duplicate label `{label}`"));
+            }
+        }
+        Ok(())
+    }
+
+    fn process_directive(&mut self, line_no: usize, directive: &str) -> Result<(), AsmError> {
+        let (name, args) = match directive.find(char::is_whitespace) {
+            Some(pos) => (&directive[..pos], directive[pos..].trim()),
+            None => (directive, ""),
+        };
+        match name {
+            "text" => {
+                self.flush_labels(line_no)?;
+                self.section = Some(Section::Text);
+                Ok(())
+            }
+            "data" => {
+                self.flush_labels(line_no)?;
+                self.section = Some(Section::Data);
+                Ok(())
+            }
+            "equ" => {
+                let (name, value) = args.split_once(',').ok_or_else(|| AsmError {
+                    line: line_no,
+                    message: ".equ expects `NAME, value`".to_string(),
+                })?;
+                let name = name.trim();
+                if !is_valid_label(name) {
+                    return err(line_no, format!("bad .equ name `{name}`"));
+                }
+                let value = self.resolve_int(value).map_err(|_| AsmError {
+                    line: line_no,
+                    message: format!("bad .equ value `{}`", value.trim()),
+                })?;
+                if self.equates.insert(name.to_string(), value).is_some() {
+                    return err(line_no, format!("duplicate .equ `{name}`"));
+                }
+                Ok(())
+            }
+            "quad" | "long" | "word" | "byte" | "ascii" | "asciiz" | "space" | "align" => {
+                if self.section != Some(Section::Data) {
+                    return err(line_no, format!(".{name} is only valid in .data"));
+                }
+                self.flush_labels_to_data(line_no)?;
+                self.process_data_directive(line_no, name, args)
+            }
+            other => err(line_no, format!("unknown directive `.{other}`")),
+        }
+    }
+
+    fn process_data_directive(
+        &mut self,
+        line_no: usize,
+        name: &str,
+        args: &str,
+    ) -> Result<(), AsmError> {
+        match name {
+            "quad" => {
+                for item in split_operands(args) {
+                    let item = item.trim();
+                    if let Ok(v) = self.resolve_int(item) {
+                        self.data.extend_from_slice(&(v as u64).to_le_bytes());
+                    } else if is_valid_label(item) {
+                        self.patches.push(QuadPatch {
+                            offset: self.data.len(),
+                            label: item.to_string(),
+                            line: line_no,
+                        });
+                        self.data.extend_from_slice(&0u64.to_le_bytes());
+                    } else {
+                        return err(line_no, format!("bad .quad operand `{item}`"));
+                    }
+                }
+                Ok(())
+            }
+            "long" => self.emit_ints(line_no, args, 4, i32::MIN as i64, u32::MAX as i64),
+            "word" => self.emit_ints(line_no, args, 2, i16::MIN as i64, u16::MAX as i64),
+            "byte" => self.emit_ints(line_no, args, 1, i8::MIN as i64, u8::MAX as i64),
+            "ascii" | "asciiz" => {
+                let bytes = parse_string(line_no, args)?;
+                self.data.extend_from_slice(&bytes);
+                if name == "asciiz" {
+                    self.data.push(0);
+                }
+                Ok(())
+            }
+            "space" => {
+                let n = self.resolve_int(args)
+                    .map_err(|_| AsmError {
+                        line: line_no,
+                        message: format!("bad .space size `{args}`"),
+                    })?
+                    .max(0) as usize;
+                self.data.resize(self.data.len() + n, 0);
+                Ok(())
+            }
+            "align" => {
+                let n = self.resolve_int(args).unwrap_or(0);
+                if n <= 0 || (n as u64).count_ones() != 1 {
+                    return err(line_no, format!("bad .align `{args}` (power of two required)"));
+                }
+                while !(self.data.len() as u64).is_multiple_of(n as u64) {
+                    self.data.push(0);
+                }
+                Ok(())
+            }
+            _ => unreachable!("checked by caller"),
+        }
+    }
+
+    fn emit_ints(
+        &mut self,
+        line_no: usize,
+        args: &str,
+        bytes: usize,
+        min: i64,
+        max: i64,
+    ) -> Result<(), AsmError> {
+        for item in split_operands(args) {
+            let v = self.resolve_int(item.trim()).map_err(|_| AsmError {
+                line: line_no,
+                message: format!("bad integer `{}`", item.trim()),
+            })?;
+            if v < min || v > max {
+                return err(line_no, format!("value {v} out of range for {bytes}-byte datum"));
+            }
+            self.data
+                .extend_from_slice(&(v as u64).to_le_bytes()[..bytes]);
+        }
+        Ok(())
+    }
+
+    fn emit(&mut self, line_no: usize, slot: Slot) {
+        self.slots.push((line_no, slot));
+    }
+
+    fn process_instruction(&mut self, line_no: usize, text: &str) -> Result<(), AsmError> {
+        if self.section != Some(Section::Text) {
+            return err(line_no, "instructions are only valid in .text");
+        }
+        let (mnemonic, args) = match text.find(char::is_whitespace) {
+            Some(pos) => (&text[..pos], text[pos..].trim()),
+            None => (text, ""),
+        };
+        let ops: Vec<&str> = split_operands(args)
+            .into_iter()
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .collect();
+
+        // Pseudo-instructions first.
+        match mnemonic.to_ascii_lowercase().as_str() {
+            "mov" => {
+                let (rs, rd) = (reg(line_no, &ops, 0)?, reg(line_no, &ops, 1)?);
+                self.emit(line_no, Slot::Ready(Instr::operate(Opcode::Bis, rs, rs, rd)));
+                return Ok(());
+            }
+            "clr" => {
+                let rd = reg(line_no, &ops, 0)?;
+                self.emit(
+                    line_no,
+                    Slot::Ready(Instr::operate(Opcode::Bis, Reg::ZERO, Reg::ZERO, rd)),
+                );
+                return Ok(());
+            }
+            "li" => {
+                let rd = reg(line_no, &ops, 0)?;
+                let imm = int(self, line_no, &ops, 1)?;
+                self.expand_li(line_no, rd, imm)?;
+                return Ok(());
+            }
+            "la" => {
+                let rd = reg(line_no, &ops, 0)?;
+                let expr = operand(line_no, &ops, 1)?;
+                // Accept `label` or `label+offset` / `label-offset`.
+                let (label, offset) = match expr.rfind(['+', '-']).filter(|&p| p > 0) {
+                    Some(pos) if !is_valid_label(expr) => {
+                        let (name, rest) = expr.split_at(pos);
+                        let offset = self.resolve_int(rest).map_err(|_| AsmError {
+                            line: line_no,
+                            message: format!("bad offset in `{expr}`"),
+                        })?;
+                        (name.trim(), offset)
+                    }
+                    _ => (expr, 0),
+                };
+                if !is_valid_label(label) {
+                    return err(line_no, format!("bad label `{label}` for la"));
+                }
+                self.emit(
+                    line_no,
+                    Slot::LaHigh {
+                        rd,
+                        label: label.to_string(),
+                        offset,
+                    },
+                );
+                self.emit(
+                    line_no,
+                    Slot::LaLow {
+                        rd,
+                        label: label.to_string(),
+                        offset,
+                    },
+                );
+                return Ok(());
+            }
+            "call" => {
+                let label = operand(line_no, &ops, 0)?;
+                self.emit(
+                    line_no,
+                    Slot::BranchTo {
+                        op: Opcode::Bsr,
+                        ra: Reg::RA,
+                        target: label.to_string(),
+                    },
+                );
+                return Ok(());
+            }
+            _ => {}
+        }
+
+        let op = Opcode::from_mnemonic(mnemonic)
+            .ok_or_else(|| AsmError {
+                line: line_no,
+                message: format!("unknown mnemonic `{mnemonic}`"),
+            })?;
+        match op.format() {
+            Format::Operate => self.asm_operate(line_no, op, &ops),
+            Format::Memory => self.asm_memory(line_no, op, &ops),
+            Format::Branch => self.asm_branch(line_no, op, &ops),
+            Format::Jump => self.asm_jump(line_no, op, &ops),
+            Format::System => self.asm_system(line_no, op, &ops),
+        }
+    }
+
+    fn expand_li(&mut self, line_no: usize, rd: Reg, imm: i64) -> Result<(), AsmError> {
+        if (-32768..=32767).contains(&imm) {
+            self.emit(
+                line_no,
+                Slot::Ready(Instr::memory(Opcode::Lda, rd, imm as i32, Reg::ZERO)),
+            );
+            return Ok(());
+        }
+        let lo = imm as i16 as i64;
+        let hi = (imm - lo) >> 16;
+        if !(-32768..=32767).contains(&hi) {
+            return err(
+                line_no,
+                format!("li constant {imm} does not fit in 32 bits; build it with shifts"),
+            );
+        }
+        self.emit(
+            line_no,
+            Slot::Ready(Instr::memory(Opcode::Ldah, rd, hi as i32, Reg::ZERO)),
+        );
+        self.emit(
+            line_no,
+            Slot::Ready(Instr::memory(Opcode::Lda, rd, lo as i32, rd)),
+        );
+        Ok(())
+    }
+
+    fn asm_operate(&mut self, line_no: usize, op: Opcode, ops: &[&str]) -> Result<(), AsmError> {
+        // Unary sugar for sextb/sextw: `sextb rb, rc`.
+        if matches!(op, Opcode::Sextb | Opcode::Sextw) && ops.len() == 2 {
+            let rb = reg(line_no, ops, 0)?;
+            let rc = reg(line_no, ops, 1)?;
+            self.emit(line_no, Slot::Ready(Instr::operate(op, Reg::ZERO, rb, rc)));
+            return Ok(());
+        }
+        if ops.len() != 3 {
+            return err(line_no, format!("{op} expects `ra, rb|#lit, rc`"));
+        }
+        let ra = reg(line_no, ops, 0)?;
+        let rc = reg(line_no, ops, 2)?;
+        let b = ops[1];
+        if let Ok(rb) = b.parse::<Reg>() {
+            self.emit(line_no, Slot::Ready(Instr::operate(op, ra, rb, rc)));
+            return Ok(());
+        }
+        let raw = b.strip_prefix('#').unwrap_or(b);
+        let mut imm = self.resolve_int(raw).map_err(|_| AsmError {
+            line: line_no,
+            message: format!("bad operand `{b}` (register or literal expected)"),
+        })?;
+        let mut op = op;
+        // Negative literals on add/sub flip the operation.
+        if imm < 0 {
+            let flipped = match op {
+                Opcode::Addq => Some(Opcode::Subq),
+                Opcode::Subq => Some(Opcode::Addq),
+                Opcode::Addl => Some(Opcode::Subl),
+                Opcode::Subl => Some(Opcode::Addl),
+                _ => None,
+            };
+            if let Some(f) = flipped {
+                op = f;
+                imm = -imm;
+            }
+        }
+        if !(0..=255).contains(&imm) {
+            return err(
+                line_no,
+                format!("literal {imm} out of range 0..=255 (use li into a register)"),
+            );
+        }
+        self.emit(
+            line_no,
+            Slot::Ready(Instr::operate_lit(op, ra, imm as u8, rc)),
+        );
+        Ok(())
+    }
+
+    fn asm_memory(&mut self, line_no: usize, op: Opcode, ops: &[&str]) -> Result<(), AsmError> {
+        if ops.len() != 2 {
+            return err(line_no, format!("{op} expects `ra, disp(rb)`"));
+        }
+        let ra = reg(line_no, ops, 0)?;
+        let (disp, rb) = parse_mem_operand(self, line_no, ops[1])?;
+        if !(-32768..=32767).contains(&disp) {
+            return err(line_no, format!("displacement {disp} out of 16-bit range"));
+        }
+        self.emit(
+            line_no,
+            Slot::Ready(Instr::memory(op, ra, disp as i32, rb)),
+        );
+        Ok(())
+    }
+
+    fn asm_branch(&mut self, line_no: usize, op: Opcode, ops: &[&str]) -> Result<(), AsmError> {
+        // `br target` / `bsr target` sugar.
+        let (ra, target) = match (op, ops.len()) {
+            (Opcode::Br, 1) => (Reg::ZERO, ops[0]),
+            (Opcode::Bsr, 1) => (Reg::RA, ops[0]),
+            (_, 2) => (reg(line_no, ops, 0)?, ops[1]),
+            _ => return err(line_no, format!("{op} expects `ra, target`")),
+        };
+        if is_valid_label(target) {
+            self.emit(
+                line_no,
+                Slot::BranchTo {
+                    op,
+                    ra,
+                    target: target.to_string(),
+                },
+            );
+            Ok(())
+        } else if let Ok(disp) = self.resolve_int(target) {
+            self.emit(
+                line_no,
+                Slot::Ready(Instr::branch(op, ra, disp as i32)),
+            );
+            Ok(())
+        } else {
+            err(line_no, format!("bad branch target `{target}`"))
+        }
+    }
+
+    fn asm_jump(&mut self, line_no: usize, op: Opcode, ops: &[&str]) -> Result<(), AsmError> {
+        let (ra, rb_text) = match (op, ops.len()) {
+            (Opcode::Ret, 0) => {
+                self.emit(
+                    line_no,
+                    Slot::Ready(Instr::jump(Opcode::Ret, Reg::ZERO, Reg::RA)),
+                );
+                return Ok(());
+            }
+            (Opcode::Ret, 1) | (Opcode::Jmp, 1) => (Reg::ZERO, ops[0]),
+            (Opcode::Jsr, 1) => (Reg::RA, ops[0]),
+            (_, 2) => (reg(line_no, ops, 0)?, ops[1]),
+            _ => return err(line_no, format!("{op} expects `ra, (rb)`")),
+        };
+        let inner = rb_text
+            .strip_prefix('(')
+            .and_then(|s| s.strip_suffix(')'))
+            .unwrap_or(rb_text);
+        let rb: Reg = inner.trim().parse().map_err(|_| AsmError {
+            line: line_no,
+            message: format!("bad jump register `{rb_text}`"),
+        })?;
+        self.emit(line_no, Slot::Ready(Instr::jump(op, ra, rb)));
+        Ok(())
+    }
+
+    fn asm_system(&mut self, line_no: usize, op: Opcode, ops: &[&str]) -> Result<(), AsmError> {
+        let ra = match op {
+            Opcode::Outb | Opcode::Outq => reg(line_no, ops, 0)?,
+            _ if !ops.is_empty() => {
+                return err(line_no, format!("{op} takes no operands"));
+            }
+            _ => Reg::ZERO,
+        };
+        self.emit(line_no, Slot::Ready(Instr::system(op, ra)));
+        Ok(())
+    }
+
+    fn finish(mut self) -> Result<Program, AsmError> {
+        // Bind any labels left at the very end of the program.
+        self.flush_labels(0)?;
+
+        // Resolve text fixups.
+        let mut text = Vec::with_capacity(self.slots.len());
+        for (i, (line, slot)) in self.slots.iter().enumerate() {
+            let pc = TEXT_BASE + 4 * i as u64;
+            let instr = match slot {
+                Slot::Ready(instr) => *instr,
+                Slot::BranchTo { op, ra, target } => {
+                    let addr = self.lookup(*line, target)?;
+                    let delta = addr as i64 - (pc as i64 + 4);
+                    if delta % 4 != 0 {
+                        return err(*line, format!("misaligned branch target `{target}`"));
+                    }
+                    let disp = delta / 4;
+                    if !(-(1 << 20)..(1 << 20)).contains(&disp) {
+                        return err(*line, format!("branch target `{target}` out of range"));
+                    }
+                    Instr::branch(*op, *ra, disp as i32)
+                }
+                Slot::LaHigh { rd, label, offset } => {
+                    let (base_reg, off) = self.la_base(*line, label)?;
+                    let off = off + offset;
+                    let lo = off as i16 as i64;
+                    let hi = (off - lo) >> 16;
+                    if !(-32768..=32767).contains(&hi) {
+                        return err(*line, format!("label `{label}` out of la range"));
+                    }
+                    Instr::memory(Opcode::Ldah, *rd, hi as i32, base_reg)
+                }
+                Slot::LaLow { rd, label, offset } => {
+                    let (_, off) = self.la_base(*line, label)?;
+                    let lo = (off + offset) as i16 as i64;
+                    Instr::memory(Opcode::Lda, *rd, lo as i32, *rd)
+                }
+            };
+            text.push(instr.encode());
+        }
+
+        // Patch label-valued quads in the data image.
+        for patch in &self.patches {
+            let addr = self.lookup(patch.line, &patch.label)?;
+            self.data[patch.offset..patch.offset + 8].copy_from_slice(&addr.to_le_bytes());
+        }
+
+        let entry = self.symbols.get("main").copied().unwrap_or(TEXT_BASE);
+        Ok(Program {
+            text,
+            data: self.data,
+            entry,
+            symbols: self.symbols,
+        })
+    }
+
+    /// Parses an integer, resolving `.equ` constants and simple
+    /// `NAME+k` / `NAME-k` expressions over them.
+    fn resolve_int(&self, s: &str) -> Result<i64, ()> {
+        let s = s.trim();
+        if let Ok(v) = parse_int(s) {
+            return Ok(v);
+        }
+        if let Some(&v) = self.equates.get(s) {
+            return Ok(v);
+        }
+        // NAME+k / NAME-k (split at the last +/- not at position 0).
+        if let Some(pos) = s.rfind(['+', '-']).filter(|&p| p > 0) {
+            let (name, rest) = s.split_at(pos);
+            if let Some(&base) = self.equates.get(name.trim()) {
+                let offset = parse_int(rest).map_err(|_| ())?;
+                return Ok(base.wrapping_add(offset));
+            }
+        }
+        Err(())
+    }
+
+    fn lookup(&self, line: usize, label: &str) -> Result<u64, AsmError> {
+        self.symbols.get(label).copied().ok_or_else(|| AsmError {
+            line,
+            message: format!("undefined label `{label}`"),
+        })
+    }
+
+    /// The base register and offset used by `la`: data labels are
+    /// addressed relative to `gp`, text labels as absolute constants.
+    fn la_base(&self, line: usize, label: &str) -> Result<(Reg, i64), AsmError> {
+        let addr = self.lookup(line, label)?;
+        if addr >= DATA_BASE {
+            Ok((Reg::GP, (addr - DATA_BASE) as i64))
+        } else {
+            Ok((Reg::ZERO, addr as i64))
+        }
+    }
+}
+
+fn find_label_colon(s: &str) -> Option<usize> {
+    // A label is an identifier immediately followed by ':' before any
+    // other token.
+    let trimmed = s.trim_start();
+    let offset = s.len() - trimmed.len();
+    let end = trimmed
+        .char_indices()
+        .take_while(|(_, c)| c.is_ascii_alphanumeric() || *c == '_' || *c == '.')
+        .map(|(i, c)| i + c.len_utf8())
+        .last()?;
+    if trimmed[end..].starts_with(':') {
+        Some(offset + end)
+    } else {
+        None
+    }
+}
+
+fn is_valid_label(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+        && s.parse::<Reg>().is_err()
+}
+
+fn split_operands(s: &str) -> Vec<&str> {
+    // Split on top-level commas, respecting string and char literals.
+    let mut out = Vec::new();
+    let bytes = s.as_bytes();
+    let mut start = 0;
+    let mut in_str = false;
+    let mut in_char = false;
+    let mut escaped = false;
+    for (i, &b) in bytes.iter().enumerate() {
+        let c = b as char;
+        if escaped {
+            escaped = false;
+        } else if c == '\\' && (in_str || in_char) {
+            escaped = true;
+        } else if c == '"' && !in_char {
+            in_str = !in_str;
+        } else if c == '\'' && !in_str {
+            in_char = !in_char;
+        } else if c == ',' && !in_str && !in_char {
+            out.push(&s[start..i]);
+            start = i + 1;
+        }
+    }
+    if start < s.len() || !s.is_empty() {
+        out.push(&s[start..]);
+    }
+    out.into_iter().filter(|p| !p.trim().is_empty()).collect()
+}
+
+fn parse_int(s: &str) -> Result<i64, ()> {
+    let s = s.trim();
+    if let Some(ch) = parse_char_literal(s) {
+        return Ok(ch as i64);
+    }
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, s),
+    };
+    let value = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        u64::from_str_radix(&hex.replace('_', ""), 16).map_err(|_| ())?
+    } else {
+        body.replace('_', "").parse::<u64>().map_err(|_| ())?
+    };
+    if neg {
+        if value > (i64::MAX as u64) + 1 {
+            return Err(());
+        }
+        Ok((value as i64).wrapping_neg())
+    } else {
+        i64::try_from(value).or(Ok(value as i64))
+    }
+}
+
+fn parse_char_literal(s: &str) -> Option<u8> {
+    let inner = s.strip_prefix('\'')?.strip_suffix('\'')?;
+    let mut chars = inner.chars();
+    let first = chars.next()?;
+    let value = if first == '\\' {
+        match chars.next()? {
+            'n' => b'\n',
+            't' => b'\t',
+            'r' => b'\r',
+            '0' => 0,
+            '\\' => b'\\',
+            '\'' => b'\'',
+            '"' => b'"',
+            _ => return None,
+        }
+    } else {
+        u8::try_from(first as u32).ok()?
+    };
+    chars.next().is_none().then_some(value)
+}
+
+fn parse_string(line_no: usize, s: &str) -> Result<Vec<u8>, AsmError> {
+    let s = s.trim();
+    let inner = s
+        .strip_prefix('"')
+        .and_then(|x| x.strip_suffix('"'))
+        .ok_or_else(|| AsmError {
+            line: line_no,
+            message: format!("expected quoted string, got `{s}`"),
+        })?;
+    let mut out = Vec::new();
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            let esc = chars.next().ok_or_else(|| AsmError {
+                line: line_no,
+                message: "dangling escape in string".to_string(),
+            })?;
+            out.push(match esc {
+                'n' => b'\n',
+                't' => b'\t',
+                'r' => b'\r',
+                '0' => 0,
+                '\\' => b'\\',
+                '"' => b'"',
+                other => {
+                    return err(line_no, format!("unknown escape `\\{other}`"));
+                }
+            });
+        } else {
+            let mut buf = [0u8; 4];
+            out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+        }
+    }
+    Ok(out)
+}
+
+fn parse_mem_operand(asm: &Assembler, line_no: usize, s: &str) -> Result<(i64, Reg), AsmError> {
+    let s = s.trim();
+    if let Some(open) = s.find('(') {
+        let close = s.rfind(')').ok_or_else(|| AsmError {
+            line: line_no,
+            message: format!("missing `)` in `{s}`"),
+        })?;
+        let disp_text = s[..open].trim();
+        let disp = if disp_text.is_empty() {
+            0
+        } else {
+            asm.resolve_int(disp_text).map_err(|_| AsmError {
+                line: line_no,
+                message: format!("bad displacement `{disp_text}`"),
+            })?
+        };
+        let rb: Reg = s[open + 1..close].trim().parse().map_err(|_| AsmError {
+            line: line_no,
+            message: format!("bad base register in `{s}`"),
+        })?;
+        Ok((disp, rb))
+    } else {
+        let disp = asm.resolve_int(s).map_err(|_| AsmError {
+            line: line_no,
+            message: format!("bad memory operand `{s}`"),
+        })?;
+        Ok((disp, Reg::ZERO))
+    }
+}
+
+fn operand<'a>(line_no: usize, ops: &[&'a str], idx: usize) -> Result<&'a str, AsmError> {
+    ops.get(idx).copied().ok_or_else(|| AsmError {
+        line: line_no,
+        message: format!("missing operand {}", idx + 1),
+    })
+}
+
+fn reg(line_no: usize, ops: &[&str], idx: usize) -> Result<Reg, AsmError> {
+    let text = operand(line_no, ops, idx)?;
+    text.parse().map_err(|_| AsmError {
+        line: line_no,
+        message: format!("bad register `{text}`"),
+    })
+}
+
+fn int(asm: &Assembler, line_no: usize, ops: &[&str], idx: usize) -> Result<i64, AsmError> {
+    let text = operand(line_no, ops, idx)?;
+    asm.resolve_int(text).map_err(|_| AsmError {
+        line: line_no,
+        message: format!("bad integer `{text}`"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::OperandB;
+
+    fn asm(src: &str) -> Program {
+        assemble(src).expect("assembly should succeed")
+    }
+
+    fn first(src: &str) -> Instr {
+        Instr::decode(asm(src).text[0]).unwrap()
+    }
+
+    #[test]
+    fn simple_operate() {
+        let i = first("addq r1, r2, r3");
+        assert_eq!(i.op, Opcode::Addq);
+        assert_eq!(i.ra, Reg::new(1));
+        assert_eq!(i.b, OperandB::Reg(Reg::new(2)));
+        assert_eq!(i.rc, Reg::new(3));
+    }
+
+    #[test]
+    fn literal_operand_with_and_without_hash() {
+        assert_eq!(first("addq r1, #7, r3").b, OperandB::Lit(7));
+        assert_eq!(first("addq r1, 7, r3").b, OperandB::Lit(7));
+        assert_eq!(first("addq r1, 0xff, r3").b, OperandB::Lit(255));
+    }
+
+    #[test]
+    fn negative_literal_flips_add_to_sub() {
+        let i = first("addq r1, -4, r3");
+        assert_eq!(i.op, Opcode::Subq);
+        assert_eq!(i.b, OperandB::Lit(4));
+        let j = first("subq r1, -4, r3");
+        assert_eq!(j.op, Opcode::Addq);
+    }
+
+    #[test]
+    fn oversized_literal_is_an_error() {
+        let e = assemble("and r1, 300, r3").unwrap_err();
+        assert!(e.message.contains("out of range"));
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn memory_operands() {
+        let i = first("ldq r4, -16(sp)");
+        assert_eq!(i.op, Opcode::Ldq);
+        assert_eq!(i.disp, -16);
+        assert_eq!(i.rb(), Reg::SP);
+        assert_eq!(first("ldq r4, (sp)").disp, 0);
+        assert_eq!(first("stb r4, 8(gp)").op, Opcode::Stb);
+    }
+
+    #[test]
+    fn branch_to_label_forward_and_backward() {
+        let p = asm("top: addq r1, 1, r1\n beq r1, top\n bne r1, end\n nop\nend: halt");
+        let beq = Instr::decode(p.text[1]).unwrap();
+        assert_eq!(beq.disp, -2);
+        let bne = Instr::decode(p.text[2]).unwrap();
+        assert_eq!(bne.disp, 1);
+    }
+
+    #[test]
+    fn br_and_call_sugar() {
+        let p = asm("main: br skip\nskip: call f\nf: ret");
+        let br = Instr::decode(p.text[0]).unwrap();
+        assert_eq!((br.op, br.ra), (Opcode::Br, Reg::ZERO));
+        let bsr = Instr::decode(p.text[1]).unwrap();
+        assert_eq!((bsr.op, bsr.ra), (Opcode::Bsr, Reg::RA));
+        let ret = Instr::decode(p.text[2]).unwrap();
+        assert_eq!((ret.op, ret.rb()), (Opcode::Ret, Reg::RA));
+    }
+
+    #[test]
+    fn li_small_is_one_instruction() {
+        let p = asm("li r1, 42");
+        assert_eq!(p.text.len(), 1);
+        let i = Instr::decode(p.text[0]).unwrap();
+        assert_eq!((i.op, i.disp), (Opcode::Lda, 42));
+        assert_eq!(i.rb(), Reg::ZERO);
+    }
+
+    #[test]
+    fn li_large_uses_ldah() {
+        let p = asm("li r1, 0x12345678");
+        assert_eq!(p.text.len(), 2);
+        let hi = Instr::decode(p.text[0]).unwrap();
+        let lo = Instr::decode(p.text[1]).unwrap();
+        assert_eq!(hi.op, Opcode::Ldah);
+        assert_eq!(lo.op, Opcode::Lda);
+        // ldah adds disp<<16; lda adds sign-extended disp.
+        let value = ((hi.disp as i64) << 16) + lo.disp as i64;
+        assert_eq!(value, 0x12345678);
+    }
+
+    #[test]
+    fn li_negative() {
+        let p = asm("li r1, -100000");
+        let hi = Instr::decode(p.text[0]).unwrap();
+        let lo = Instr::decode(p.text[1]).unwrap();
+        assert_eq!(((hi.disp as i64) << 16) + lo.disp as i64, -100000);
+    }
+
+    #[test]
+    fn li_too_large_is_an_error() {
+        assert!(assemble("li r1, 0x1_0000_0000").is_err());
+    }
+
+    #[test]
+    fn la_data_label_is_gp_relative() {
+        let p = asm(".data\nbuf: .space 8\n.text\nmain: la a0, buf\nhalt");
+        assert_eq!(p.symbol("buf"), Some(DATA_BASE));
+        let hi = Instr::decode(p.text[0]).unwrap();
+        assert_eq!(hi.op, Opcode::Ldah);
+        assert_eq!(hi.rb(), Reg::GP);
+        let lo = Instr::decode(p.text[1]).unwrap();
+        assert_eq!(lo.op, Opcode::Lda);
+        assert_eq!(lo.rb(), Reg::new(16));
+        assert_eq!(((hi.disp as i64) << 16) + lo.disp as i64, 0);
+    }
+
+    #[test]
+    fn la_text_label_is_absolute() {
+        let p = asm("main: la t0, main\nhalt");
+        let hi = Instr::decode(p.text[0]).unwrap();
+        assert_eq!(hi.rb(), Reg::ZERO);
+        let lo = Instr::decode(p.text[1]).unwrap();
+        assert_eq!(
+            (((hi.disp as i64) << 16) + lo.disp as i64) as u64,
+            TEXT_BASE
+        );
+    }
+
+    #[test]
+    fn data_directives_lay_out_bytes() {
+        let p = asm(concat!(
+            ".data\n",
+            "a: .quad 1, -1\n",
+            "b: .long 0x11223344\n",
+            "c: .word 7\n",
+            "d: .byte 1, 2, 3\n",
+            "e: .asciiz \"hi\\n\"\n",
+            ".align 8\n",
+            "f:\n",
+            "g: .space 4\n",
+            ".text\nmain: halt"
+        ));
+        assert_eq!(p.symbol("a"), Some(DATA_BASE));
+        assert_eq!(p.symbol("b"), Some(DATA_BASE + 16));
+        assert_eq!(p.symbol("c"), Some(DATA_BASE + 20));
+        assert_eq!(p.symbol("d"), Some(DATA_BASE + 22));
+        assert_eq!(p.symbol("e"), Some(DATA_BASE + 25));
+        assert_eq!(p.data[0..8], 1u64.to_le_bytes());
+        assert_eq!(p.data[8..16], u64::MAX.to_le_bytes());
+        assert_eq!(p.data[25..29], *b"hi\n\0");
+        assert_eq!(p.symbol("f").unwrap() % 8, 0);
+        assert_eq!(p.data.len() as u64, p.symbol("g").unwrap() - DATA_BASE + 4);
+    }
+
+    #[test]
+    fn quad_of_label_patches_address() {
+        let p = asm(".data\ntable: .quad main, other\n.text\nmain: nop\nother: halt");
+        let lo = u64::from_le_bytes(p.data[0..8].try_into().unwrap());
+        let hi = u64::from_le_bytes(p.data[8..16].try_into().unwrap());
+        assert_eq!(lo, p.symbol("main").unwrap());
+        assert_eq!(hi, p.symbol("other").unwrap());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let p = asm("main:\n  ; full comment\n  nop // trailing\n  halt ; done\n");
+        assert_eq!(p.text.len(), 2);
+    }
+
+    #[test]
+    fn semicolon_inside_string_is_not_a_comment() {
+        let p = asm(".data\ns: .asciiz \"a;b\"\n.text\nmain: halt");
+        assert_eq!(p.data, b"a;b\0");
+    }
+
+    #[test]
+    fn char_literals_as_ints() {
+        assert_eq!(first("addq r1, 'A', r2").b, OperandB::Lit(65));
+        assert_eq!(first("addq r1, '\\n', r2").b, OperandB::Lit(10));
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let e = assemble("x: nop\nx: halt").unwrap_err();
+        assert!(e.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn undefined_label_rejected() {
+        let e = assemble("main: br nowhere").unwrap_err();
+        assert!(e.message.contains("undefined"));
+    }
+
+    #[test]
+    fn unknown_mnemonic_rejected() {
+        let e = assemble("main: frobnicate r1, r2, r3").unwrap_err();
+        assert!(e.message.contains("unknown mnemonic"));
+    }
+
+    #[test]
+    fn entry_is_main_or_text_base() {
+        let p = asm("nop\nmain: halt");
+        assert_eq!(p.entry, TEXT_BASE + 4);
+        let q = asm("nop\nhalt");
+        assert_eq!(q.entry, TEXT_BASE);
+    }
+
+    #[test]
+    fn mov_and_clr_pseudos() {
+        let i = first("mov r5, r6");
+        assert_eq!((i.op, i.ra, i.b, i.rc), (
+            Opcode::Bis,
+            Reg::new(5),
+            OperandB::Reg(Reg::new(5)),
+            Reg::new(6)
+        ));
+        let j = first("clr r7");
+        assert_eq!((j.op, j.ra, j.rc), (Opcode::Bis, Reg::ZERO, Reg::new(7)));
+    }
+
+    #[test]
+    fn sext_unary_sugar() {
+        let i = first("sextb r3, r4");
+        assert_eq!((i.op, i.ra, i.b, i.rc), (
+            Opcode::Sextb,
+            Reg::ZERO,
+            OperandB::Reg(Reg::new(3)),
+            Reg::new(4)
+        ));
+    }
+
+    #[test]
+    fn jump_forms() {
+        let i = first("jsr (pv)");
+        assert_eq!((i.op, i.ra, i.rb()), (Opcode::Jsr, Reg::RA, Reg::PV));
+        let j = first("jmp (t0)");
+        assert_eq!((j.op, j.ra, j.rb()), (Opcode::Jmp, Reg::ZERO, Reg::new(1)));
+        let k = first("ret");
+        assert_eq!((k.op, k.rb()), (Opcode::Ret, Reg::RA));
+    }
+
+    #[test]
+    fn multiple_labels_same_address() {
+        let p = asm("a:\nb: halt");
+        assert_eq!(p.symbol("a"), p.symbol("b"));
+    }
+
+    #[test]
+    fn equ_constants_resolve_everywhere() {
+        let p = asm(concat!(
+            ".equ SIZE, 40
+",
+            ".equ DOUBLE, 80
+",
+            ".data
+buf: .space SIZE
+vals: .quad SIZE, DOUBLE
+",
+            ".text
+",
+            "main: li t0, SIZE
+",
+            " addq t0, SIZE, t1
+",
+            " ldq t2, SIZE(gp)
+",
+            " outq t1
+ halt"
+        ));
+        assert_eq!(p.symbol("vals").unwrap() - p.symbol("buf").unwrap(), 40);
+        assert_eq!(p.data[40..48], 40u64.to_le_bytes());
+        let li = Instr::decode(p.text[0]).unwrap();
+        assert_eq!(li.disp, 40);
+        let add = Instr::decode(p.text[1]).unwrap();
+        assert_eq!(add.b, OperandB::Lit(40));
+        let ldq = Instr::decode(p.text[2]).unwrap();
+        assert_eq!(ldq.disp, 40);
+    }
+
+    #[test]
+    fn equ_expressions() {
+        let p = asm(".equ BASE, 100
+main: li t0, BASE+28
+ li t1, BASE-1
+ halt");
+        assert_eq!(Instr::decode(p.text[0]).unwrap().disp, 128);
+        assert_eq!(Instr::decode(p.text[1]).unwrap().disp, 99);
+    }
+
+    #[test]
+    fn equ_errors() {
+        assert!(assemble(".equ X, 1
+.equ X, 2
+main: halt").is_err());
+        assert!(assemble(".equ 9bad, 1
+main: halt").is_err());
+        assert!(assemble("main: li t0, UNDEFINED
+ halt").is_err());
+    }
+
+    #[test]
+    fn la_with_offset() {
+        let p = asm(".data
+buf: .space 64
+.text
+main: la a0, buf+16
+ la a1, buf-0
+ halt");
+        let hi = Instr::decode(p.text[0]).unwrap();
+        let lo = Instr::decode(p.text[1]).unwrap();
+        assert_eq!(((hi.disp as i64) << 16) + lo.disp as i64, 16);
+        let hi2 = Instr::decode(p.text[2]).unwrap();
+        let lo2 = Instr::decode(p.text[3]).unwrap();
+        assert_eq!(((hi2.disp as i64) << 16) + lo2.disp as i64, 0);
+    }
+
+    #[test]
+    fn instructions_in_data_section_rejected() {
+        let e = assemble(".data\naddq r1, r2, r3").unwrap_err();
+        assert!(e.message.contains("only valid in .text"));
+    }
+
+    #[test]
+    fn data_directive_in_text_rejected() {
+        let e = assemble(".quad 1").unwrap_err();
+        assert!(e.message.contains("only valid in .data"));
+    }
+}

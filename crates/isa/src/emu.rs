@@ -1,0 +1,557 @@
+//! Functional (instruction-accurate) emulator.
+//!
+//! The emulator is the reference semantics for the ISA. The cycle-level
+//! simulator in `nwo-sim` drives the same step logic through
+//! [`ExecRecord`]s, and integration tests co-simulate the two to prove the
+//! out-of-order core commits exactly the emulator's instruction stream.
+//!
+//! The emulator is also the fast-forward engine used to warm caches and
+//! branch predictors before detailed simulation, mirroring the paper's
+//! warmup methodology (Section 3.2).
+
+use crate::exec::{access_bytes, alu_result, branch_taken};
+use crate::instr::{Instr, OperandB};
+use crate::op::{Format, Opcode};
+use crate::program::{Program, TEXT_BASE};
+use crate::reg::Reg;
+use nwo_mem::MainMemory;
+use std::fmt;
+
+/// Everything observable about one dynamic instruction execution.
+///
+/// This record carries the operand *values* the paper's hardware would
+/// see — the inputs to the zero/ones-detect logic — plus the result and
+/// control-flow outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecRecord {
+    /// Address of the instruction.
+    pub pc: u64,
+    /// The decoded instruction.
+    pub instr: Instr,
+    /// First source operand value (register `ra` for operate ops, base
+    /// register for memory ops, tested register for branches, target
+    /// register for jumps).
+    pub op_a: u64,
+    /// Second source operand value (register/literal for operate ops,
+    /// scaled displacement for memory ops, zero otherwise).
+    pub op_b: u64,
+    /// Result value written to the destination register, if any.
+    pub result: Option<u64>,
+    /// Destination register, if any.
+    pub dest: Option<Reg>,
+    /// Effective address for loads and stores.
+    pub mem_addr: Option<u64>,
+    /// Value stored (stores only).
+    pub store_value: Option<u64>,
+    /// Branch/jump direction (always true for jumps and `br`/`bsr`).
+    pub taken: bool,
+    /// Address of the next instruction actually executed.
+    pub next_pc: u64,
+}
+
+impl ExecRecord {
+    /// True when this record is a control-transfer instruction.
+    pub fn is_control(&self) -> bool {
+        self.instr.op.is_control()
+    }
+}
+
+/// Reasons the emulator can stop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EmuError {
+    /// PC left the text segment or hit an undecodable word.
+    BadInstruction {
+        /// The faulting PC.
+        pc: u64,
+    },
+    /// `run` hit its step limit before `halt`.
+    StepLimit {
+        /// The limit that was exceeded.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for EmuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmuError::BadInstruction { pc } => {
+                write!(f, "invalid instruction fetch at {pc:#x}")
+            }
+            EmuError::StepLimit { limit } => {
+                write!(f, "step limit of {limit} instructions exceeded before halt")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EmuError {}
+
+/// The functional emulator.
+///
+/// # Example
+///
+/// ```
+/// use nwo_isa::{assemble, Emulator};
+///
+/// let prog = assemble("main: li t0, 40\n addq t0, 2, t0\n outq t0\n halt")?;
+/// let mut emu = Emulator::new(&prog);
+/// emu.run(1000)?;
+/// assert_eq!(emu.outq(), &[42]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Emulator {
+    regs: [u64; 32],
+    pc: u64,
+    mem: MainMemory,
+    halted: bool,
+    icount: u64,
+    out_bytes: Vec<u8>,
+    out_quads: Vec<u64>,
+    /// Decoded text segment for fast stepping.
+    decoded: Vec<Option<Instr>>,
+}
+
+impl Emulator {
+    /// Loads `program` into a fresh machine (registers per the ABI:
+    /// `gp` → data base, `sp` → stack top).
+    pub fn new(program: &Program) -> Self {
+        let mut mem = MainMemory::new();
+        for (i, &word) in program.text.iter().enumerate() {
+            mem.write_u32(TEXT_BASE + 4 * i as u64, word);
+        }
+        mem.write_bytes(crate::program::DATA_BASE, &program.data);
+        let decoded = program
+            .text
+            .iter()
+            .map(|&w| Instr::decode(w).ok())
+            .collect();
+        Emulator {
+            regs: Program::initial_registers(),
+            pc: program.entry,
+            mem,
+            halted: false,
+            icount: 0,
+            out_bytes: Vec::new(),
+            out_quads: Vec::new(),
+            decoded,
+        }
+    }
+
+    /// Current program counter.
+    pub fn pc(&self) -> u64 {
+        self.pc
+    }
+
+    /// Reads a register (reads of `r31` are always zero).
+    pub fn reg(&self, r: Reg) -> u64 {
+        if r.is_zero() {
+            0
+        } else {
+            self.regs[r.index() as usize]
+        }
+    }
+
+    /// Writes a register (writes to `r31` are discarded).
+    pub fn set_reg(&mut self, r: Reg, value: u64) {
+        if !r.is_zero() {
+            self.regs[r.index() as usize] = value;
+        }
+    }
+
+    /// The machine's memory.
+    pub fn mem(&self) -> &MainMemory {
+        &self.mem
+    }
+
+    /// Mutable access to memory (for pre-poking test inputs).
+    pub fn mem_mut(&mut self) -> &mut MainMemory {
+        &mut self.mem
+    }
+
+    /// True once `halt` has executed.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Number of instructions executed so far.
+    pub fn icount(&self) -> u64 {
+        self.icount
+    }
+
+    /// Bytes emitted by `outb`.
+    pub fn output(&self) -> &[u8] {
+        &self.out_bytes
+    }
+
+    /// Quadwords emitted by `outq`.
+    pub fn outq(&self) -> &[u64] {
+        &self.out_quads
+    }
+
+    fn fetch(&self, pc: u64) -> Result<Instr, EmuError> {
+        if pc >= TEXT_BASE && pc.is_multiple_of(4) {
+            let idx = ((pc - TEXT_BASE) / 4) as usize;
+            if let Some(Some(instr)) = self.decoded.get(idx) {
+                return Ok(*instr);
+            }
+        }
+        Err(EmuError::BadInstruction { pc })
+    }
+
+    /// Executes one instruction and returns its record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmuError::BadInstruction`] on an invalid fetch. Stepping
+    /// a halted machine returns the `halt` record again without effect.
+    pub fn step(&mut self) -> Result<ExecRecord, EmuError> {
+        let pc = self.pc;
+        let instr = self.fetch(pc)?;
+        let record = self.execute(pc, instr);
+        self.pc = record.next_pc;
+        self.icount += 1;
+        Ok(record)
+    }
+
+    fn execute(&mut self, pc: u64, instr: Instr) -> ExecRecord {
+        let op = instr.op;
+        let mut record = ExecRecord {
+            pc,
+            instr,
+            op_a: 0,
+            op_b: 0,
+            result: None,
+            dest: None,
+            mem_addr: None,
+            store_value: None,
+            taken: false,
+            next_pc: pc.wrapping_add(4),
+        };
+        match op.format() {
+            Format::Operate => {
+                let a = self.reg(instr.ra);
+                let b = match instr.b {
+                    OperandB::Reg(r) => self.reg(r),
+                    OperandB::Lit(l) => l as u64,
+                };
+                let result = if op.is_cmov() {
+                    // Conditional move: the old destination is the third
+                    // source.
+                    if crate::exec::cmov_taken(op, a) {
+                        b
+                    } else {
+                        self.reg(instr.rc)
+                    }
+                } else {
+                    alu_result(op, a, b)
+                };
+                self.set_reg(instr.rc, result);
+                record.op_a = a;
+                record.op_b = b;
+                record.result = Some(result);
+                record.dest = Some(instr.rc);
+            }
+            Format::Memory => {
+                let base = self.reg(instr.rb());
+                let scaled = match op {
+                    Opcode::Ldah => (instr.disp as i64 as u64) << 16,
+                    _ => instr.disp as i64 as u64,
+                };
+                record.op_a = base;
+                record.op_b = scaled;
+                match op {
+                    Opcode::Lda | Opcode::Ldah => {
+                        let result = alu_result(op, base, scaled);
+                        self.set_reg(instr.ra, result);
+                        record.result = Some(result);
+                        record.dest = Some(instr.ra);
+                    }
+                    _ if op.is_load() => {
+                        let addr = base.wrapping_add(scaled);
+                        let value = self.load(op, addr);
+                        self.set_reg(instr.ra, value);
+                        record.mem_addr = Some(addr);
+                        record.result = Some(value);
+                        record.dest = Some(instr.ra);
+                    }
+                    _ => {
+                        let addr = base.wrapping_add(scaled);
+                        let value = self.reg(instr.ra);
+                        self.store(op, addr, value);
+                        record.mem_addr = Some(addr);
+                        record.store_value = Some(value);
+                    }
+                }
+            }
+            Format::Branch => {
+                let a = self.reg(instr.ra);
+                record.op_a = a;
+                let taken = branch_taken(op, a);
+                record.taken = taken;
+                if matches!(op, Opcode::Br | Opcode::Bsr) {
+                    let link = pc.wrapping_add(4);
+                    self.set_reg(instr.ra, link);
+                    record.result = Some(link);
+                    record.dest = Some(instr.ra);
+                }
+                if taken {
+                    record.next_pc = instr.branch_target(pc);
+                }
+            }
+            Format::Jump => {
+                let target = self.reg(instr.rb()) & !3;
+                record.op_a = self.reg(instr.rb());
+                let link = pc.wrapping_add(4);
+                self.set_reg(instr.ra, link);
+                record.result = Some(link);
+                record.dest = Some(instr.ra);
+                record.taken = true;
+                record.next_pc = target;
+            }
+            Format::System => match op {
+                Opcode::Halt => {
+                    self.halted = true;
+                    record.next_pc = pc;
+                }
+                Opcode::Nop => {}
+                Opcode::Outb => {
+                    let v = self.reg(instr.ra);
+                    record.op_a = v;
+                    self.out_bytes.push(v as u8);
+                }
+                Opcode::Outq => {
+                    let v = self.reg(instr.ra);
+                    record.op_a = v;
+                    self.out_quads.push(v);
+                }
+                _ => unreachable!("system format covers halt/nop/outb/outq"),
+            },
+        }
+        record
+    }
+
+    fn load(&self, op: Opcode, addr: u64) -> u64 {
+        match access_bytes(op) {
+            8 => self.mem.read_u64(addr),
+            4 => self.mem.read_u32(addr) as i32 as i64 as u64,
+            2 => self.mem.read_u16(addr) as u64,
+            _ => self.mem.read_u8(addr) as u64,
+        }
+    }
+
+    fn store(&mut self, op: Opcode, addr: u64, value: u64) {
+        match access_bytes(op) {
+            8 => self.mem.write_u64(addr, value),
+            4 => self.mem.write_u32(addr, value as u32),
+            2 => self.mem.write_u16(addr, value as u16),
+            _ => self.mem.write_u8(addr, value as u8),
+        }
+    }
+
+    /// Runs until `halt`, returning the number of instructions executed.
+    ///
+    /// # Errors
+    ///
+    /// [`EmuError::StepLimit`] if `halt` is not reached within `limit`
+    /// instructions; [`EmuError::BadInstruction`] on an invalid fetch.
+    pub fn run(&mut self, limit: u64) -> Result<u64, EmuError> {
+        let start = self.icount;
+        while !self.halted {
+            if self.icount - start >= limit {
+                return Err(EmuError::StepLimit { limit });
+            }
+            self.step()?;
+        }
+        Ok(self.icount - start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn run(src: &str) -> Emulator {
+        let prog = assemble(src).expect("assembles");
+        let mut emu = Emulator::new(&prog);
+        emu.run(1_000_000).expect("halts");
+        emu
+    }
+
+    #[test]
+    fn arithmetic_and_output() {
+        let emu = run("main: li t0, 40\n addq t0, 2, t0\n outq t0\n halt");
+        assert_eq!(emu.outq(), &[42]);
+        assert!(emu.halted());
+    }
+
+    #[test]
+    fn loop_sums_one_to_ten() {
+        let emu = run(concat!(
+            "main: clr t0\n",
+            " li t1, 10\n",
+            "loop: addq t0, t1, t0\n",
+            " subq t1, 1, t1\n",
+            " bgt t1, loop\n",
+            " outq t0\n",
+            " halt"
+        ));
+        assert_eq!(emu.outq(), &[55]);
+    }
+
+    #[test]
+    fn loads_and_stores_round_trip_through_data() {
+        let emu = run(concat!(
+            ".data\n",
+            "src: .quad 0x1122334455667788\n",
+            "dst: .space 8\n",
+            ".text\n",
+            "main: la t0, src\n",
+            " la t1, dst\n",
+            " ldq t2, 0(t0)\n",
+            " stq t2, 0(t1)\n",
+            " ldbu t3, 0(t1)\n",
+            " outq t3\n",
+            " ldwu t3, 0(t1)\n",
+            " outq t3\n",
+            " ldl t3, 4(t1)\n",
+            " outq t3\n",
+            " halt"
+        ));
+        assert_eq!(emu.outq(), &[0x88, 0x7788, 0x11223344]);
+    }
+
+    #[test]
+    fn ldl_sign_extends() {
+        let emu = run(concat!(
+            ".data\nv: .long 0x80000000\n.text\n",
+            "main: la t0, v\n ldl t1, 0(t0)\n outq t1\n halt"
+        ));
+        assert_eq!(emu.outq(), &[0xffff_ffff_8000_0000]);
+    }
+
+    #[test]
+    fn call_and_return() {
+        let emu = run(concat!(
+            "main: li a0, 5\n",
+            " call double\n",
+            " outq v0\n",
+            " halt\n",
+            "double: addq a0, a0, v0\n",
+            " ret"
+        ));
+        assert_eq!(emu.outq(), &[10]);
+    }
+
+    #[test]
+    fn jump_table_dispatch() {
+        let emu = run(concat!(
+            ".data\n",
+            "table: .quad case0, case1\n",
+            ".text\n",
+            "main: la t0, table\n",
+            " li t1, 1\n",
+            " sll t1, 3, t2\n",
+            " addq t0, t2, t2\n",
+            " ldq pv, 0(t2)\n",
+            " jmp (pv)\n",
+            "case0: li v0, 100\n br done\n",
+            "case1: li v0, 200\n br done\n",
+            "done: outq v0\n halt"
+        ));
+        assert_eq!(emu.outq(), &[200]);
+    }
+
+    #[test]
+    fn stack_push_pop() {
+        let emu = run(concat!(
+            "main: li t0, 77\n",
+            " subq sp, 8, sp\n",
+            " stq t0, 0(sp)\n",
+            " clr t0\n",
+            " ldq t0, 0(sp)\n",
+            " addq sp, 8, sp\n",
+            " outq t0\n halt"
+        ));
+        assert_eq!(emu.outq(), &[77]);
+    }
+
+    #[test]
+    fn outb_collects_bytes() {
+        let emu = run("main: li t0, 'H'\n outb t0\n li t0, 'i'\n outb t0\n halt");
+        assert_eq!(emu.output(), b"Hi");
+    }
+
+    #[test]
+    fn zero_register_is_immutable() {
+        let emu = run("main: li t0, 9\n addq t0, 1, zero\n outq zero\n halt");
+        assert_eq!(emu.outq(), &[0]);
+    }
+
+    #[test]
+    fn step_limit_detected() {
+        let prog = assemble("main: br main").unwrap();
+        let mut emu = Emulator::new(&prog);
+        assert_eq!(emu.run(100), Err(EmuError::StepLimit { limit: 100 }));
+    }
+
+    #[test]
+    fn bad_fetch_detected() {
+        let prog = assemble("main: nop").unwrap(); // falls off the end
+        let mut emu = Emulator::new(&prog);
+        emu.step().unwrap();
+        assert!(matches!(emu.step(), Err(EmuError::BadInstruction { .. })));
+    }
+
+    #[test]
+    fn records_capture_operands() {
+        let prog = assemble("main: li t0, 17\n addq t0, 2, t1\n halt").unwrap();
+        let mut emu = Emulator::new(&prog);
+        emu.step().unwrap();
+        let rec = emu.step().unwrap();
+        assert_eq!(rec.op_a, 17);
+        assert_eq!(rec.op_b, 2);
+        assert_eq!(rec.result, Some(19));
+        assert_eq!(rec.dest, Some(Reg::new(2)));
+    }
+
+    #[test]
+    fn branch_record_taken_flag() {
+        let prog = assemble("main: clr t0\n beq t0, main\n halt").unwrap();
+        let mut emu = Emulator::new(&prog);
+        emu.step().unwrap();
+        let rec = emu.step().unwrap();
+        assert!(rec.taken);
+        assert_eq!(rec.next_pc, prog.entry);
+    }
+
+    #[test]
+    fn conditional_moves() {
+        let emu = run(concat!(
+            "main: li t0, 5\n li t1, 9\n li t2, 100\n",
+            " cmoveq zero, t1, t0\n", // condition true: t0 = 9
+            " outq t0\n",
+            " cmovne zero, t2, t0\n", // condition false: t0 unchanged
+            " outq t0\n",
+            " li t3, -1\n",
+            " cmovlt t3, t2, t0\n", // negative: t0 = 100
+            " outq t0\n",
+            " cmovge t3, t1, t0\n", // not >= 0: unchanged
+            " outq t0\n halt"
+        ));
+        assert_eq!(emu.outq(), &[9, 9, 100, 100]);
+    }
+
+    #[test]
+    fn halt_freezes_machine() {
+        let prog = assemble("main: halt").unwrap();
+        let mut emu = Emulator::new(&prog);
+        emu.run(10).unwrap();
+        let pc = emu.pc();
+        assert!(emu.halted());
+        // Stepping a halted machine stays put.
+        emu.step().unwrap();
+        assert_eq!(emu.pc(), pc);
+    }
+}

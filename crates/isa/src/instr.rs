@@ -1,0 +1,381 @@
+//! Decoded instruction representation, binary encoding and decoding.
+//!
+//! Instructions are 32 bits. Bit layout by format (bit 31 on the left):
+//!
+//! ```text
+//! Operate  | op:6 | ra:5 | rb:5 or lit:8 | pad | L:1 (bit 12) | pad | rc:5 |
+//! Memory   | op:6 | ra:5 | rb:5 | disp16                                  |
+//! Branch   | op:6 | ra:5 | disp21                                         |
+//! Jump     | op:6 | ra:5 | rb:5 | 0:16                                    |
+//! System   | op:6 | ra:5 | 0:21                                           |
+//! ```
+//!
+//! When the operate literal flag `L` (bit 12) is set, bits `[20:13]` hold an
+//! unsigned 8-bit literal used in place of `rb` — the Alpha operate-format
+//! literal.
+
+use crate::op::{Format, Opcode};
+use crate::reg::Reg;
+use std::fmt;
+
+/// The second source of an operate-format instruction: a register or an
+/// 8-bit unsigned literal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OperandB {
+    /// Register operand.
+    Reg(Reg),
+    /// Unsigned 8-bit literal operand.
+    Lit(u8),
+}
+
+impl fmt::Display for OperandB {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OperandB::Reg(r) => write!(f, "{r}"),
+            OperandB::Lit(l) => write!(f, "#{l}"),
+        }
+    }
+}
+
+/// A decoded instruction.
+///
+/// Field meaning depends on [`Opcode::format`]:
+///
+/// * **Operate** — sources `ra` and `b`; destination `rc`.
+/// * **Memory** — base `rb`, displacement `disp`; `ra` is the destination
+///   (loads, `lda`, `ldah`) or the stored value (stores).
+/// * **Branch** — `ra` is tested (conditional) or receives the return
+///   address (`br`/`bsr`); `disp` is a signed word displacement from the
+///   instruction after the branch.
+/// * **Jump** — target in `rb`; `ra` receives the return address.
+/// * **System** — `ra` is the output source for `outb`/`outq`.
+///
+/// # Example
+///
+/// ```
+/// use nwo_isa::{Instr, Opcode, Reg};
+///
+/// let add = Instr::operate(Opcode::Addq, Reg::new(1), Reg::new(2), Reg::new(3));
+/// let word = add.encode();
+/// assert_eq!(Instr::decode(word)?, add);
+/// assert_eq!(add.to_string(), "addq t0, t1, t2");
+/// # Ok::<(), nwo_isa::DecodeError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Instr {
+    /// The operation.
+    pub op: Opcode,
+    /// First register field.
+    pub ra: Reg,
+    /// Second source (operate format only).
+    pub b: OperandB,
+    /// Destination register (operate format) / base register (memory,
+    /// jump formats).
+    pub rc: Reg,
+    /// Signed displacement: 16-bit for memory format, 21-bit word
+    /// displacement for branch format.
+    pub disp: i32,
+}
+
+/// Error produced when decoding an invalid instruction word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The offending instruction word.
+    pub word: u32,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid instruction word {:#010x}", self.word)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl Instr {
+    /// Builds an operate-format instruction with a register second source.
+    pub fn operate(op: Opcode, ra: Reg, rb: Reg, rc: Reg) -> Instr {
+        debug_assert_eq!(op.format(), Format::Operate);
+        Instr {
+            op,
+            ra,
+            b: OperandB::Reg(rb),
+            rc,
+            disp: 0,
+        }
+    }
+
+    /// Builds an operate-format instruction with a literal second source.
+    pub fn operate_lit(op: Opcode, ra: Reg, lit: u8, rc: Reg) -> Instr {
+        debug_assert_eq!(op.format(), Format::Operate);
+        Instr {
+            op,
+            ra,
+            b: OperandB::Lit(lit),
+            rc,
+            disp: 0,
+        }
+    }
+
+    /// Builds a memory-format instruction `op ra, disp(rb)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `disp` does not fit in 16 signed bits.
+    pub fn memory(op: Opcode, ra: Reg, disp: i32, rb: Reg) -> Instr {
+        debug_assert_eq!(op.format(), Format::Memory);
+        assert!(
+            (-32768..=32767).contains(&disp),
+            "memory displacement {disp} out of 16-bit range"
+        );
+        Instr {
+            op,
+            ra,
+            b: OperandB::Reg(rb),
+            rc: rb,
+            disp,
+        }
+    }
+
+    /// Builds a branch-format instruction with a word displacement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `disp` does not fit in 21 signed bits.
+    pub fn branch(op: Opcode, ra: Reg, disp: i32) -> Instr {
+        debug_assert_eq!(op.format(), Format::Branch);
+        assert!(
+            (-(1 << 20)..(1 << 20)).contains(&disp),
+            "branch displacement {disp} out of 21-bit range"
+        );
+        Instr {
+            op,
+            ra,
+            b: OperandB::Lit(0),
+            rc: Reg::ZERO,
+            disp,
+        }
+    }
+
+    /// Builds a jump-format instruction `op ra, (rb)`.
+    pub fn jump(op: Opcode, ra: Reg, rb: Reg) -> Instr {
+        debug_assert_eq!(op.format(), Format::Jump);
+        Instr {
+            op,
+            ra,
+            b: OperandB::Reg(rb),
+            rc: rb,
+            disp: 0,
+        }
+    }
+
+    /// Builds a system-format instruction.
+    pub fn system(op: Opcode, ra: Reg) -> Instr {
+        debug_assert_eq!(op.format(), Format::System);
+        Instr {
+            op,
+            ra,
+            b: OperandB::Lit(0),
+            rc: Reg::ZERO,
+            disp: 0,
+        }
+    }
+
+    /// The base register of a memory or jump format instruction.
+    pub fn rb(&self) -> Reg {
+        match self.b {
+            OperandB::Reg(r) => r,
+            OperandB::Lit(_) => Reg::ZERO,
+        }
+    }
+
+    /// The branch target given this instruction's address.
+    ///
+    /// Valid only for branch-format instructions; the displacement is in
+    /// words relative to the next instruction, as on Alpha.
+    pub fn branch_target(&self, pc: u64) -> u64 {
+        debug_assert_eq!(self.op.format(), Format::Branch);
+        pc.wrapping_add(4).wrapping_add((self.disp as i64 as u64) << 2)
+    }
+
+    /// Encodes to a 32-bit instruction word.
+    pub fn encode(&self) -> u32 {
+        let op = (self.op.code() as u32) << 26;
+        let ra = (self.ra.index() as u32) << 21;
+        match self.op.format() {
+            Format::Operate => {
+                let rc = self.rc.index() as u32;
+                match self.b {
+                    OperandB::Reg(rb) => op | ra | ((rb.index() as u32) << 16) | rc,
+                    OperandB::Lit(lit) => op | ra | ((lit as u32) << 13) | (1 << 12) | rc,
+                }
+            }
+            Format::Memory => {
+                let rb = (self.rb().index() as u32) << 16;
+                op | ra | rb | (self.disp as u32 & 0xffff)
+            }
+            Format::Branch => op | ra | (self.disp as u32 & 0x1f_ffff),
+            Format::Jump => op | ra | ((self.rb().index() as u32) << 16),
+            Format::System => op | ra,
+        }
+    }
+
+    /// Decodes a 32-bit instruction word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] if the opcode field is unassigned.
+    pub fn decode(word: u32) -> Result<Instr, DecodeError> {
+        let op = Opcode::from_code((word >> 26) as u8).ok_or(DecodeError { word })?;
+        let ra = Reg::new(((word >> 21) & 0x1f) as u8);
+        let instr = match op.format() {
+            Format::Operate => {
+                let rc = Reg::new((word & 0x1f) as u8);
+                if word & (1 << 12) != 0 {
+                    let lit = ((word >> 13) & 0xff) as u8;
+                    Instr::operate_lit(op, ra, lit, rc)
+                } else {
+                    let rb = Reg::new(((word >> 16) & 0x1f) as u8);
+                    Instr::operate(op, ra, rb, rc)
+                }
+            }
+            Format::Memory => {
+                let rb = Reg::new(((word >> 16) & 0x1f) as u8);
+                let disp = (word & 0xffff) as u16 as i16 as i32;
+                Instr::memory(op, ra, disp, rb)
+            }
+            Format::Branch => {
+                // Sign-extend the 21-bit displacement.
+                let raw = word & 0x1f_ffff;
+                let disp = ((raw << 11) as i32) >> 11;
+                Instr::branch(op, ra, disp)
+            }
+            Format::Jump => {
+                let rb = Reg::new(((word >> 16) & 0x1f) as u8);
+                Instr::jump(op, ra, rb)
+            }
+            Format::System => Instr::system(op, ra),
+        };
+        Ok(instr)
+    }
+}
+
+impl fmt::Display for Instr {
+    /// Disassembles in the assembler's input syntax.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.op.format() {
+            Format::Operate => write!(f, "{} {}, {}, {}", self.op, self.ra, self.b, self.rc),
+            Format::Memory => write!(f, "{} {}, {}({})", self.op, self.ra, self.disp, self.rb()),
+            Format::Branch => write!(f, "{} {}, {:+}", self.op, self.ra, self.disp),
+            Format::Jump => write!(f, "{} {}, ({})", self.op, self.ra, self.rb()),
+            Format::System => match self.op {
+                Opcode::Outb | Opcode::Outq => write!(f, "{} {}", self.op, self.ra),
+                _ => write!(f, "{}", self.op),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i)
+    }
+
+    #[test]
+    fn operate_reg_round_trip() {
+        let i = Instr::operate(Opcode::Addq, r(1), r(2), r(3));
+        assert_eq!(Instr::decode(i.encode()).unwrap(), i);
+    }
+
+    #[test]
+    fn operate_lit_round_trip() {
+        let i = Instr::operate_lit(Opcode::Subq, r(5), 255, r(7));
+        let d = Instr::decode(i.encode()).unwrap();
+        assert_eq!(d, i);
+        assert_eq!(d.b, OperandB::Lit(255));
+    }
+
+    #[test]
+    fn memory_negative_disp_round_trip() {
+        let i = Instr::memory(Opcode::Ldq, r(4), -32768, r(30));
+        assert_eq!(Instr::decode(i.encode()).unwrap(), i);
+        let j = Instr::memory(Opcode::Stb, r(4), 32767, r(30));
+        assert_eq!(Instr::decode(j.encode()).unwrap(), j);
+    }
+
+    #[test]
+    fn branch_disp_round_trip() {
+        for disp in [-(1 << 20), -1, 0, 1, (1 << 20) - 1] {
+            let i = Instr::branch(Opcode::Beq, r(9), disp);
+            assert_eq!(Instr::decode(i.encode()).unwrap(), i, "disp {disp}");
+        }
+    }
+
+    #[test]
+    fn jump_round_trip() {
+        let i = Instr::jump(Opcode::Ret, Reg::ZERO, Reg::RA);
+        assert_eq!(Instr::decode(i.encode()).unwrap(), i);
+    }
+
+    #[test]
+    fn system_round_trip() {
+        for op in [Opcode::Halt, Opcode::Nop, Opcode::Outb, Opcode::Outq] {
+            let i = Instr::system(op, r(0));
+            assert_eq!(Instr::decode(i.encode()).unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn every_opcode_round_trips() {
+        for &op in Opcode::ALL {
+            let i = match op.format() {
+                Format::Operate => Instr::operate(op, r(1), r(2), r(3)),
+                Format::Memory => Instr::memory(op, r(1), 100, r(2)),
+                Format::Branch => Instr::branch(op, r(1), -5),
+                Format::Jump => Instr::jump(op, r(26), r(27)),
+                Format::System => Instr::system(op, r(0)),
+            };
+            assert_eq!(Instr::decode(i.encode()).unwrap(), i, "opcode {op}");
+        }
+    }
+
+    #[test]
+    fn invalid_opcode_rejected() {
+        let word = 0x3fu32 << 26;
+        assert!(Instr::decode(word).is_err());
+    }
+
+    #[test]
+    fn branch_target_computation() {
+        let i = Instr::branch(Opcode::Br, Reg::ZERO, 3);
+        assert_eq!(i.branch_target(0x1000), 0x1000 + 4 + 12);
+        let j = Instr::branch(Opcode::Beq, r(1), -1);
+        assert_eq!(j.branch_target(0x1000), 0x1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of 16-bit range")]
+    fn oversized_memory_disp_panics() {
+        Instr::memory(Opcode::Ldq, r(1), 40000, r(2));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(
+            Instr::operate_lit(Opcode::Addq, r(1), 5, r(1)).to_string(),
+            "addq t0, #5, t0"
+        );
+        assert_eq!(
+            Instr::memory(Opcode::Ldq, r(0), -8, Reg::SP).to_string(),
+            "ldq v0, -8(sp)"
+        );
+        assert_eq!(
+            Instr::jump(Opcode::Ret, Reg::ZERO, Reg::RA).to_string(),
+            "ret zero, (ra)"
+        );
+        assert_eq!(Instr::system(Opcode::Halt, Reg::ZERO).to_string(), "halt");
+    }
+}

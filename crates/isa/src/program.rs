@@ -1,0 +1,224 @@
+//! Executable program images.
+//!
+//! A [`Program`] is the output of the assembler and the input to both the
+//! functional emulator and the cycle-level simulator. The memory layout
+//! deliberately reproduces the property the paper highlights in Figure 1:
+//! heap and stack live above 4 GB, so data addresses are **33-bit**
+//! quantities while small integer data stays narrow.
+
+use crate::instr::Instr;
+use crate::reg::Reg;
+use std::collections::HashMap;
+
+/// Base address of the text (code) segment.
+pub const TEXT_BASE: u64 = 0x1_0000;
+/// Base address of the data segment. Bit 32 is set so that global-data
+/// addresses require 33 bits, reproducing the address-width peak of
+/// Figure 1 in the paper.
+pub const DATA_BASE: u64 = 0x1_0000_0000;
+/// Initial stack pointer (stack grows down). Also a 33-bit address.
+pub const STACK_TOP: u64 = 0x1_7fff_ff00;
+
+/// An assembled program image.
+///
+/// # Example
+///
+/// ```
+/// use nwo_isa::assemble;
+///
+/// let prog = assemble("main: halt")?;
+/// assert_eq!(prog.entry, nwo_isa::TEXT_BASE);
+/// assert_eq!(prog.text.len(), 1);
+/// # Ok::<(), nwo_isa::AsmError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    /// Encoded instruction words, loaded starting at [`TEXT_BASE`].
+    pub text: Vec<u32>,
+    /// Initialised data bytes, loaded starting at [`DATA_BASE`].
+    pub data: Vec<u8>,
+    /// Entry point (the `main` label when present, else [`TEXT_BASE`]).
+    pub entry: u64,
+    /// Label → address map for both segments.
+    pub symbols: HashMap<String, u64>,
+}
+
+impl Program {
+    /// Decodes the instruction at byte address `addr`, if it lies in text.
+    pub fn instr_at(&self, addr: u64) -> Option<Instr> {
+        if addr < TEXT_BASE || !addr.is_multiple_of(4) {
+            return None;
+        }
+        let idx = ((addr - TEXT_BASE) / 4) as usize;
+        self.text.get(idx).and_then(|&w| Instr::decode(w).ok())
+    }
+
+    /// Address of a label.
+    pub fn symbol(&self, name: &str) -> Option<u64> {
+        self.symbols.get(name).copied()
+    }
+
+    /// Number of instructions in the text segment.
+    pub fn len(&self) -> usize {
+        self.text.len()
+    }
+
+    /// True when the text segment is empty.
+    pub fn is_empty(&self) -> bool {
+        self.text.is_empty()
+    }
+
+    /// Disassembles the whole text segment, one instruction per line.
+    pub fn disassemble(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for (i, &word) in self.text.iter().enumerate() {
+            let addr = TEXT_BASE + 4 * i as u64;
+            match Instr::decode(word) {
+                Ok(instr) => {
+                    let _ = writeln!(out, "{addr:#010x}: {instr}");
+                }
+                Err(_) => {
+                    let _ = writeln!(out, "{addr:#010x}: .word {word:#010x}");
+                }
+            }
+        }
+        out
+    }
+
+    /// Serialises the image to the `NWO1` container format: a 20-byte
+    /// header (magic, entry, text words, data bytes) followed by the two
+    /// segments. Symbols are not stored.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(20 + self.text.len() * 4 + self.data.len());
+        out.extend_from_slice(b"NWO1");
+        out.extend_from_slice(&self.entry.to_le_bytes());
+        out.extend_from_slice(&(self.text.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.data.len() as u32).to_le_bytes());
+        for &w in &self.text {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out.extend_from_slice(&self.data);
+        out
+    }
+
+    /// Deserialises an `NWO1` container produced by [`Program::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive message on a bad magic number or truncated
+    /// input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Program, String> {
+        if bytes.len() < 20 || &bytes[0..4] != b"NWO1" {
+            return Err("not an NWO1 program image".to_string());
+        }
+        let entry = u64::from_le_bytes(bytes[4..12].try_into().expect("sized"));
+        let text_words = u32::from_le_bytes(bytes[12..16].try_into().expect("sized")) as usize;
+        let data_len = u32::from_le_bytes(bytes[16..20].try_into().expect("sized")) as usize;
+        let need = 20 + text_words * 4 + data_len;
+        if bytes.len() < need {
+            return Err(format!(
+                "truncated NWO1 image: {} bytes, need {need}",
+                bytes.len()
+            ));
+        }
+        let text = bytes[20..20 + text_words * 4]
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("sized")))
+            .collect();
+        let data = bytes[20 + text_words * 4..need].to_vec();
+        Ok(Program {
+            text,
+            data,
+            entry,
+            symbols: HashMap::new(),
+        })
+    }
+
+    /// The architectural register state at program start: `gp` points at
+    /// the data segment, `sp` at the stack top, everything else is zero.
+    pub fn initial_registers() -> [u64; 32] {
+        let mut regs = [0u64; 32];
+        regs[Reg::GP.index() as usize] = DATA_BASE;
+        regs[Reg::SP.index() as usize] = STACK_TOP;
+        regs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Opcode;
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)] // documents the layout contract
+    fn layout_constants_have_33_bit_data_addresses() {
+        assert!(DATA_BASE >> 32 == 1, "data base must set bit 32");
+        assert!(STACK_TOP >> 32 == 1, "stack must set bit 32");
+        assert!(TEXT_BASE < (1 << 31), "text must be reachable by li");
+    }
+
+    #[test]
+    fn initial_registers_convention() {
+        let regs = Program::initial_registers();
+        assert_eq!(regs[Reg::GP.index() as usize], DATA_BASE);
+        assert_eq!(regs[Reg::SP.index() as usize], STACK_TOP);
+        assert_eq!(regs[0], 0);
+        assert_eq!(regs[31], 0);
+    }
+
+    #[test]
+    fn instr_at_bounds() {
+        let prog = Program {
+            text: vec![Instr::system(Opcode::Halt, Reg::ZERO).encode()],
+            ..Program::default()
+        };
+        assert_eq!(prog.instr_at(TEXT_BASE).unwrap().op, Opcode::Halt);
+        assert!(prog.instr_at(TEXT_BASE + 4).is_none());
+        assert!(prog.instr_at(TEXT_BASE + 1).is_none());
+        assert!(prog.instr_at(0).is_none());
+        assert_eq!(prog.len(), 1);
+        assert!(!prog.is_empty());
+    }
+
+    #[test]
+    fn nwo1_container_round_trips() {
+        let prog = Program {
+            text: vec![
+                Instr::operate_lit(Opcode::Addq, Reg::new(1), 2, Reg::new(1)).encode(),
+                Instr::system(Opcode::Halt, Reg::ZERO).encode(),
+            ],
+            data: vec![1, 2, 3, 4, 5],
+            entry: TEXT_BASE + 4,
+            symbols: HashMap::new(),
+        };
+        let bytes = prog.to_bytes();
+        let back = Program::from_bytes(&bytes).expect("round trips");
+        assert_eq!(back.text, prog.text);
+        assert_eq!(back.data, prog.data);
+        assert_eq!(back.entry, prog.entry);
+    }
+
+    #[test]
+    fn nwo1_rejects_garbage() {
+        assert!(Program::from_bytes(b"ELF!").is_err());
+        assert!(Program::from_bytes(&[]).is_err());
+        let mut bytes = Program::default().to_bytes();
+        bytes[15] = 0xff; // claim a huge text segment
+        assert!(Program::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn disassemble_formats_lines() {
+        let prog = Program {
+            text: vec![
+                Instr::operate_lit(Opcode::Addq, Reg::new(1), 2, Reg::new(1)).encode(),
+                Instr::system(Opcode::Halt, Reg::ZERO).encode(),
+            ],
+            ..Program::default()
+        };
+        let dis = prog.disassemble();
+        assert!(dis.contains("addq t0, #2, t0"));
+        assert!(dis.contains("halt"));
+    }
+}

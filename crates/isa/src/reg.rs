@@ -1,0 +1,176 @@
+//! Integer register file names.
+//!
+//! The ISA follows Alpha conventions: 32 general-purpose 64-bit integer
+//! registers, with `r31` hard-wired to zero. Software-convention aliases
+//! (`t0`, `sp`, `gp`, …) match the Alpha calling standard so the workload
+//! assembly reads like real Alpha code.
+
+use std::fmt;
+
+/// An integer register index in `0..=31`.
+///
+/// `Reg::ZERO` (`r31`) reads as zero and discards writes.
+///
+/// # Example
+///
+/// ```
+/// use nwo_isa::Reg;
+///
+/// let sp = Reg::SP;
+/// assert_eq!(sp.index(), 30);
+/// assert_eq!("t3".parse::<Reg>()?, Reg::new(4));
+/// assert_eq!(Reg::new(31), Reg::ZERO);
+/// # Ok::<(), nwo_isa::ParseRegError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Return-value register (`r0`).
+    pub const V0: Reg = Reg(0);
+    /// First argument register (`r16`).
+    pub const A0: Reg = Reg(16);
+    /// Return-address register (`r26`).
+    pub const RA: Reg = Reg(26);
+    /// Procedure value register (`r27`).
+    pub const PV: Reg = Reg(27);
+    /// Assembler temporary (`r28`).
+    pub const AT: Reg = Reg(28);
+    /// Global pointer (`r29`) — initialised to the data-segment base.
+    pub const GP: Reg = Reg(29);
+    /// Stack pointer (`r30`).
+    pub const SP: Reg = Reg(30);
+    /// Hard-wired zero register (`r31`).
+    pub const ZERO: Reg = Reg(31);
+
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > 31`.
+    pub const fn new(index: u8) -> Reg {
+        assert!(index < 32, "register index out of range");
+        Reg(index)
+    }
+
+    /// The register's index in `0..=31`.
+    pub const fn index(self) -> u8 {
+        self.0
+    }
+
+    /// True for the hard-wired zero register `r31`.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 31
+    }
+
+    /// The canonical software-convention name (`v0`, `t0`, `sp`, …).
+    pub fn name(self) -> &'static str {
+        const NAMES: [&str; 32] = [
+            "v0", "t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7", "s0", "s1", "s2", "s3", "s4",
+            "s5", "fp", "a0", "a1", "a2", "a3", "a4", "a5", "t8", "t9", "t10", "t11", "ra", "pv",
+            "at", "gp", "sp", "zero",
+        ];
+        NAMES[self.0 as usize]
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// Error returned when parsing an unknown register name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRegError {
+    name: String,
+}
+
+impl fmt::Display for ParseRegError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown register `{}`", self.name)
+    }
+}
+
+impl std::error::Error for ParseRegError {}
+
+impl std::str::FromStr for Reg {
+    type Err = ParseRegError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lower = s.to_ascii_lowercase();
+        // Numeric form: r0..r31.
+        if let Some(num) = lower.strip_prefix('r') {
+            if let Ok(n) = num.parse::<u8>() {
+                if n < 32 {
+                    return Ok(Reg(n));
+                }
+            }
+        }
+        // Alias form.
+        for i in 0..32u8 {
+            if Reg(i).name() == lower {
+                return Ok(Reg(i));
+            }
+        }
+        Err(ParseRegError {
+            name: s.to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_names_parse() {
+        for i in 0..32u8 {
+            let r: Reg = format!("r{i}").parse().unwrap();
+            assert_eq!(r.index(), i);
+        }
+    }
+
+    #[test]
+    fn alias_names_round_trip() {
+        for i in 0..32u8 {
+            let r = Reg::new(i);
+            let parsed: Reg = r.name().parse().unwrap();
+            assert_eq!(parsed, r);
+        }
+    }
+
+    #[test]
+    fn well_known_aliases() {
+        assert_eq!("sp".parse::<Reg>().unwrap(), Reg::new(30));
+        assert_eq!("gp".parse::<Reg>().unwrap(), Reg::new(29));
+        assert_eq!("ra".parse::<Reg>().unwrap(), Reg::new(26));
+        assert_eq!("zero".parse::<Reg>().unwrap(), Reg::ZERO);
+        assert_eq!("a0".parse::<Reg>().unwrap(), Reg::new(16));
+    }
+
+    #[test]
+    fn bad_names_rejected() {
+        assert!("r32".parse::<Reg>().is_err());
+        assert!("x5".parse::<Reg>().is_err());
+        assert!("".parse::<Reg>().is_err());
+    }
+
+    #[test]
+    fn zero_register() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::SP.is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_rejects_large_index() {
+        Reg::new(32);
+    }
+
+    #[test]
+    fn case_insensitive_parse() {
+        assert_eq!("SP".parse::<Reg>().unwrap(), Reg::SP);
+        assert_eq!("R7".parse::<Reg>().unwrap(), Reg::new(7));
+    }
+}

@@ -1,0 +1,193 @@
+//! Sparse, byte-addressable main memory.
+//!
+//! Backed by a page map so simulated programs can scatter text, data and
+//! stack segments across a 64-bit address space without allocating it all.
+//! All multi-byte accesses are little-endian and may straddle page
+//! boundaries.
+
+use std::collections::HashMap;
+
+/// Size of a backing page in bytes. This is an allocation granule, not an
+/// architectural page size (the TLB model has its own page size).
+const PAGE_SIZE: u64 = 4096;
+
+/// Sparse 64-bit byte-addressable memory.
+///
+/// Reads from never-written locations return zero, which matches the
+/// zero-initialised BSS behaviour real loaders provide.
+///
+/// # Example
+///
+/// ```
+/// use nwo_mem::MainMemory;
+///
+/// let mut mem = MainMemory::new();
+/// mem.write_u32(0xfff_fffe, 0x1234_5678); // straddles a page boundary
+/// assert_eq!(mem.read_u32(0xfff_fffe), 0x1234_5678);
+/// assert_eq!(mem.read_u8(0xfff_ffff), 0x56);
+/// ```
+#[derive(Clone, Default)]
+pub struct MainMemory {
+    pages: HashMap<u64, Box<[u8]>>,
+}
+
+impl std::fmt::Debug for MainMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MainMemory")
+            .field("pages", &self.pages.len())
+            .field("bytes", &(self.pages.len() as u64 * PAGE_SIZE))
+            .finish()
+    }
+}
+
+impl MainMemory {
+    /// Creates an empty memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of backing pages currently allocated.
+    pub fn allocated_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        match self.pages.get(&(addr / PAGE_SIZE)) {
+            Some(page) => page[(addr % PAGE_SIZE) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte, allocating the backing page on demand.
+    pub fn write_u8(&mut self, addr: u64, value: u8) {
+        let page = self
+            .pages
+            .entry(addr / PAGE_SIZE)
+            .or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice());
+        page[(addr % PAGE_SIZE) as usize] = value;
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn read_u16(&self, addr: u64) -> u16 {
+        u16::from_le_bytes([self.read_u8(addr), self.read_u8(addr.wrapping_add(1))])
+    }
+
+    /// Writes a little-endian `u16`.
+    pub fn write_u16(&mut self, addr: u64, value: u16) {
+        for (i, b) in value.to_le_bytes().iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u64), *b);
+        }
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn read_u32(&self, addr: u64) -> u32 {
+        let mut bytes = [0u8; 4];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = self.read_u8(addr.wrapping_add(i as u64));
+        }
+        u32::from_le_bytes(bytes)
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn write_u32(&mut self, addr: u64, value: u32) {
+        for (i, b) in value.to_le_bytes().iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u64), *b);
+        }
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        let mut bytes = [0u8; 8];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = self.read_u8(addr.wrapping_add(i as u64));
+        }
+        u64::from_le_bytes(bytes)
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn write_u64(&mut self, addr: u64, value: u64) {
+        for (i, b) in value.to_le_bytes().iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u64), *b);
+        }
+    }
+
+    /// Copies `bytes` into memory starting at `addr`.
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        for (i, b) in bytes.iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u64), *b);
+        }
+    }
+
+    /// Reads `len` bytes starting at `addr`.
+    pub fn read_bytes(&self, addr: u64, len: usize) -> Vec<u8> {
+        (0..len)
+            .map(|i| self.read_u8(addr.wrapping_add(i as u64)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_memory_reads_zero() {
+        let mem = MainMemory::new();
+        assert_eq!(mem.read_u8(0), 0);
+        assert_eq!(mem.read_u64(u64::MAX - 8), 0);
+        assert_eq!(mem.allocated_pages(), 0);
+    }
+
+    #[test]
+    fn byte_round_trip() {
+        let mut mem = MainMemory::new();
+        mem.write_u8(12345, 0xab);
+        assert_eq!(mem.read_u8(12345), 0xab);
+        assert_eq!(mem.read_u8(12346), 0);
+        assert_eq!(mem.allocated_pages(), 1);
+    }
+
+    #[test]
+    fn u64_round_trip_is_little_endian() {
+        let mut mem = MainMemory::new();
+        mem.write_u64(0x100, 0x0102_0304_0506_0708);
+        assert_eq!(mem.read_u8(0x100), 0x08);
+        assert_eq!(mem.read_u8(0x107), 0x01);
+        assert_eq!(mem.read_u64(0x100), 0x0102_0304_0506_0708);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut mem = MainMemory::new();
+        let addr = PAGE_SIZE - 3;
+        mem.write_u64(addr, u64::MAX);
+        assert_eq!(mem.read_u64(addr), u64::MAX);
+        assert_eq!(mem.allocated_pages(), 2);
+    }
+
+    #[test]
+    fn write_and_read_bytes() {
+        let mut mem = MainMemory::new();
+        mem.write_bytes(64, b"hello world");
+        assert_eq!(mem.read_bytes(64, 11), b"hello world");
+        assert_eq!(mem.read_u8(64 + 11), 0);
+    }
+
+    #[test]
+    fn u16_and_u32_round_trip() {
+        let mut mem = MainMemory::new();
+        mem.write_u16(2, 0xbeef);
+        mem.write_u32(8, 0xdead_beef);
+        assert_eq!(mem.read_u16(2), 0xbeef);
+        assert_eq!(mem.read_u32(8), 0xdead_beef);
+    }
+
+    #[test]
+    fn overwrite_takes_effect() {
+        let mut mem = MainMemory::new();
+        mem.write_u64(0, 1);
+        mem.write_u64(0, 2);
+        assert_eq!(mem.read_u64(0), 2);
+    }
+}

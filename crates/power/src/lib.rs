@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! Power modelling for the integer execution unit, reproducing the
+//! paper's Table 4 constants and the clock-gating accounting behind
+//! Figures 6 and 7.
+//!
+//! The model follows the paper exactly: per-device power in mW at
+//! 3.3 V / 500 MHz scaling linearly with active datapath width, with the
+//! zero-detect logic charged per result produced and the widened result
+//! mux charged per gated operation. "For this analysis though, the
+//! important factor is the ratio of the respective functional units to
+//! each other." (Section 4.4)
+//!
+//! # Example
+//!
+//! ```
+//! use nwo_power::{PowerAccumulator};
+//! use nwo_core::GateLevel;
+//! use nwo_isa::OpClass;
+//!
+//! let mut acc = PowerAccumulator::new();
+//! for _ in 0..60 {
+//!     acc.record_op(OpClass::IntArith, GateLevel::Gate16);
+//! }
+//! for _ in 0..40 {
+//!     acc.record_op(OpClass::IntArith, GateLevel::Full);
+//! }
+//! let report = acc.report(50);
+//! assert!(report.reduction_percent > 30.0);
+//! ```
+
+mod constants;
+mod memext;
+mod model;
+
+pub use constants::{device_power, full_width_mw, Device, MUX_MW, ZERO_DETECT_MW};
+pub use memext::{MemPowerExt, MemPowerReport, ARRAY_MW_PER_BYTE, BUS_MW_PER_BYTE};
+pub use model::{device_for_class, PowerAccumulator, PowerReport};

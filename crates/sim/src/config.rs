@@ -1,0 +1,258 @@
+//! Simulator configuration. [`SimConfig::default`] reproduces the
+//! baseline machine of Table 1 verbatim.
+
+use nwo_bpred::PredictorConfig;
+use nwo_core::{GatingConfig, PackConfig};
+use nwo_mem::HierarchyConfig;
+
+/// Branch-prediction mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredictorChoice {
+    /// Oracle prediction: fetch always follows the true path (the paper's
+    /// "perfect branch prediction" configurations).
+    Perfect,
+    /// A real trained predictor.
+    Real(PredictorConfig),
+}
+
+/// Which of the paper's two optimizations is active.
+///
+/// "Since the power optimization involves clock gating functional units
+/// and the performance optimization involves executing instructions in
+/// parallel, only one technique can be used at a time." (Section 5)
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Optimization {
+    /// Baseline machine. Power statistics are still collected (gating is
+    /// timing-neutral), using the default [`GatingConfig`].
+    None,
+    /// Operand-based clock gating (Section 4).
+    ClockGating(GatingConfig),
+    /// Issue-time operation packing (Section 5).
+    Packing(PackConfig),
+}
+
+/// Full machine configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Register update unit entries (Table 1: 80).
+    pub ruu_size: usize,
+    /// Load/store queue entries (Table 1: 40).
+    pub lsq_size: usize,
+    /// Fetch queue entries (Table 1: 8).
+    pub ifq_size: usize,
+    /// Instructions fetched per cycle (Table 1: 4).
+    pub fetch_width: usize,
+    /// Instructions decoded/dispatched per cycle (Table 1: 4).
+    pub decode_width: usize,
+    /// Issue slots per cycle, out-of-order (Table 1: 4). A packed group
+    /// consumes a single slot.
+    pub issue_width: usize,
+    /// Instructions committed per cycle, in-order (Table 1: 4).
+    pub commit_width: usize,
+    /// Integer ALUs; arithmetic, logical, shift, memory and branch
+    /// operations all contend for these (Table 1: 4).
+    pub int_alus: usize,
+    /// Integer multiply/divide units (Table 1: 1).
+    pub int_muldiv: usize,
+    /// ALU latency in cycles.
+    pub alu_latency: u64,
+    /// Pipelined multiply latency in cycles.
+    pub mult_latency: u64,
+    /// Non-pipelined divide latency in cycles.
+    pub div_latency: u64,
+    /// Branch prediction mode (Table 1: the combining predictor).
+    pub predictor: PredictorChoice,
+    /// Extra fetch-redirect cycles after a misprediction resolves
+    /// (Table 1: 2).
+    pub mispredict_penalty: u64,
+    /// Memory hierarchy (Table 1 caches, TLBs and memory).
+    pub hierarchy: HierarchyConfig,
+    /// Active optimization.
+    pub optimization: Optimization,
+    /// Gating configuration used for the always-on power bookkeeping when
+    /// `optimization` is not [`Optimization::ClockGating`].
+    pub power_bookkeeping: GatingConfig,
+    /// Zero-detect performed on values arriving from the data cache
+    /// (Section 4.2 discusses processors where this is impossible; when
+    /// false, load results carry unknown width tags).
+    pub zero_detect_loads: bool,
+    /// Hard cycle limit (guards against simulator deadlock).
+    pub max_cycles: u64,
+    /// Record a pipeline trace for the first N committed instructions
+    /// (0 disables tracing). Each record carries the fetch, dispatch,
+    /// issue, completion and commit cycles — SimpleScalar's `ptrace`.
+    pub trace_limit: usize,
+}
+
+impl Default for SimConfig {
+    /// The Table 1 baseline configuration.
+    fn default() -> Self {
+        SimConfig {
+            ruu_size: 80,
+            lsq_size: 40,
+            ifq_size: 8,
+            fetch_width: 4,
+            decode_width: 4,
+            issue_width: 4,
+            commit_width: 4,
+            int_alus: 4,
+            int_muldiv: 1,
+            alu_latency: 1,
+            mult_latency: 3,
+            div_latency: 20,
+            predictor: PredictorChoice::Real(PredictorConfig::default()),
+            mispredict_penalty: 2,
+            hierarchy: HierarchyConfig::default(),
+            optimization: Optimization::None,
+            power_bookkeeping: GatingConfig::default(),
+            zero_detect_loads: true,
+            max_cycles: u64::MAX,
+            trace_limit: 0,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Switches to perfect (oracle) branch prediction.
+    pub fn with_perfect_prediction(mut self) -> Self {
+        self.predictor = PredictorChoice::Perfect;
+        self
+    }
+
+    /// Enables clock gating with the given configuration.
+    pub fn with_gating(mut self, gating: GatingConfig) -> Self {
+        self.optimization = Optimization::ClockGating(gating);
+        self
+    }
+
+    /// Enables operation packing with the given configuration.
+    pub fn with_packing(mut self, pack: PackConfig) -> Self {
+        self.optimization = Optimization::Packing(pack);
+        self
+    }
+
+    /// The paper's widened front end (Section 5.4): decode and fetch
+    /// width raised from 4 to 8.
+    pub fn with_wide_decode(mut self) -> Self {
+        self.fetch_width = 8;
+        self.decode_width = 8;
+        self.ifq_size = 16;
+        self
+    }
+
+    /// Enables pipeline tracing for the first `limit` committed
+    /// instructions.
+    pub fn with_trace(mut self, limit: usize) -> Self {
+        self.trace_limit = limit;
+        self
+    }
+
+    /// The Figure 11 comparison machine: issue width 8 and 8 integer
+    /// ALUs (fetch/decode/commit stay at 4).
+    pub fn with_eight_issue(mut self) -> Self {
+        self.issue_width = 8;
+        self.int_alus = 8;
+        self
+    }
+
+    /// The [`nwo_core::PackConfig`] in effect, if packing is enabled.
+    pub fn pack_config(&self) -> Option<PackConfig> {
+        match self.optimization {
+            Optimization::Packing(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// The gating configuration used for power bookkeeping.
+    pub fn gating_config(&self) -> GatingConfig {
+        match self.optimization {
+            Optimization::ClockGating(g) => g,
+            _ => self.power_bookkeeping,
+        }
+    }
+
+    /// Validates structural parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on nonsensical configurations (zero widths or capacities).
+    pub fn validate(&self) {
+        assert!(self.ruu_size > 0, "RUU must have capacity");
+        assert!(self.lsq_size > 0, "LSQ must have capacity");
+        assert!(self.ifq_size > 0, "fetch queue must have capacity");
+        assert!(self.fetch_width > 0, "fetch width must be positive");
+        assert!(self.decode_width > 0, "decode width must be positive");
+        assert!(self.issue_width > 0, "issue width must be positive");
+        assert!(self.commit_width > 0, "commit width must be positive");
+        assert!(self.int_alus > 0, "need at least one ALU");
+        assert!(self.int_muldiv > 0, "need at least one mul/div unit");
+        assert!(self.alu_latency >= 1, "ALU latency must be at least 1");
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)] // explicit Table 1 tweaks read better
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_table1() {
+        let c = SimConfig::default();
+        assert_eq!(c.ruu_size, 80);
+        assert_eq!(c.lsq_size, 40);
+        assert_eq!(c.ifq_size, 8);
+        assert_eq!(c.fetch_width, 4);
+        assert_eq!(c.decode_width, 4);
+        assert_eq!(c.issue_width, 4);
+        assert_eq!(c.commit_width, 4);
+        assert_eq!(c.int_alus, 4);
+        assert_eq!(c.int_muldiv, 1);
+        assert_eq!(c.mispredict_penalty, 2);
+        assert!(matches!(c.predictor, PredictorChoice::Real(_)));
+        assert_eq!(c.optimization, Optimization::None);
+        assert!(c.zero_detect_loads);
+        c.validate();
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = SimConfig::default()
+            .with_perfect_prediction()
+            .with_packing(PackConfig::with_replay())
+            .with_wide_decode();
+        assert_eq!(c.predictor, PredictorChoice::Perfect);
+        assert_eq!(c.decode_width, 8);
+        assert_eq!(c.fetch_width, 8);
+        assert!(c.pack_config().unwrap().replay);
+        c.validate();
+    }
+
+    #[test]
+    fn eight_issue_machine() {
+        let c = SimConfig::default().with_eight_issue();
+        assert_eq!(c.issue_width, 8);
+        assert_eq!(c.int_alus, 8);
+        assert_eq!(c.decode_width, 4, "figure 11 keeps decode at 4");
+    }
+
+    #[test]
+    fn gating_config_resolution() {
+        let base = SimConfig::default();
+        assert_eq!(base.gating_config(), GatingConfig::default());
+        let custom = GatingConfig {
+            gate33: false,
+            ..GatingConfig::default()
+        };
+        let gated = SimConfig::default().with_gating(custom);
+        assert_eq!(gated.gating_config(), custom);
+        assert!(gated.pack_config().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "RUU")]
+    fn zero_ruu_rejected() {
+        let mut c = SimConfig::default();
+        c.ruu_size = 0;
+        c.validate();
+    }
+}

@@ -1,0 +1,1351 @@
+//! The cycle-level out-of-order pipeline: fetch → dispatch (RUU/LSQ
+//! allocation, renaming, width tagging) → out-of-order issue (with
+//! operation packing) → execute/writeback (with replay squash and
+//! misprediction recovery) → in-order commit.
+//!
+//! Stage order within a cycle is commit, writeback, issue, dispatch,
+//! fetch — the SimpleScalar reverse-pipeline walk, which lets a value
+//! written back in cycle *t* feed an instruction issuing in cycle *t*.
+
+use crate::config::{Optimization, PredictorChoice, SimConfig};
+use crate::frontend::Frontend;
+use crate::stats::SimStats;
+use nwo_bpred::{ControlInfo, DirLookup, Predictor, RasCheckpoint};
+use nwo_core::{
+    can_pack, gate_level, replay_candidate, replay_mispredicts, GateLevel, WideOperand,
+    WidthTag,
+};
+use nwo_isa::{access_bytes, ExecRecord, Format, OpClass, Opcode, OperandB, Program, Reg};
+use nwo_mem::Hierarchy;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Errors the simulator can surface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The correct path fetched an undecodable or out-of-text PC.
+    BadFetch {
+        /// The faulting PC.
+        pc: u64,
+    },
+    /// No instruction committed for a very long time — a modelling bug,
+    /// never expected on well-formed programs.
+    Deadlock {
+        /// The cycle at which the deadlock was declared.
+        cycle: u64,
+    },
+    /// The configured `max_cycles` limit was reached.
+    CycleLimit {
+        /// The limit that was hit.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::BadFetch { pc } => write!(f, "invalid instruction fetch at {pc:#x}"),
+            SimError::Deadlock { cycle } => write!(f, "pipeline deadlock detected at cycle {cycle}"),
+            SimError::CycleLimit { limit } => write!(f, "cycle limit {limit} reached"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// One committed instruction's flow through the pipeline (SimpleScalar's
+/// `ptrace`). Cycles are absolute; `fetched_at <= dispatched_at <=
+/// issued_at < completed_at <= committed_at` always holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Instruction address.
+    pub pc: u64,
+    /// The decoded instruction.
+    pub instr: nwo_isa::Instr,
+    /// Cycle the instruction entered the fetch queue.
+    pub fetched_at: u64,
+    /// Cycle it was dispatched into the RUU.
+    pub dispatched_at: u64,
+    /// Cycle it (last) began execution.
+    pub issued_at: u64,
+    /// Cycle its result was written back.
+    pub completed_at: u64,
+    /// Cycle it retired.
+    pub committed_at: u64,
+    /// Issued as a member of a packed group (Section 5).
+    pub packed: bool,
+    /// Was squashed at least once by a replay-packing carry (Section 5.3).
+    pub replayed: bool,
+}
+
+/// An instruction in the fetch queue.
+#[derive(Debug, Clone)]
+struct Fetched {
+    rec: ExecRecord,
+    spec: bool,
+    mispredicted: bool,
+    cinfo: Option<ControlInfo>,
+    ras_cp: Option<RasCheckpoint>,
+    dir_lookup: Option<DirLookup>,
+    fetched_at: u64,
+}
+
+/// One RUU (register update unit) entry.
+#[derive(Debug, Clone)]
+struct RuuEntry {
+    seq: u64,
+    rec: ExecRecord,
+    class: OpClass,
+    spec: bool,
+    // Dependency state.
+    idep_remaining: u8,
+    odeps: Vec<u64>,
+    // Operand metadata for gating/packing.
+    tag_a: WidthTag,
+    tag_b: WidthTag,
+    from_load: bool,
+    // Timing state.
+    fetched_at: u64,
+    dispatched_at: u64,
+    issued_at: u64,
+    earliest_issue: u64,
+    issued: bool,
+    in_group: bool,
+    completed: bool,
+    complete_at: u64,
+    // Control state.
+    mispredicted: bool,
+    cinfo: Option<ControlInfo>,
+    ras_cp: Option<RasCheckpoint>,
+    dir_lookup: Option<DirLookup>,
+    // Memory state: the in-flight producer of a store's base register,
+    // if any. The store's address is considered computed once this
+    // producer completes (split STA/STD, as in the Alpha 21264).
+    store_base_producer: Option<u64>,
+    // Packing state.
+    replay_wide: Option<WideOperand>,
+    replay_attempted: bool,
+    exec_stats_counted: bool,
+    // Result metadata.
+    result_tag_known: bool,
+}
+
+impl RuuEntry {
+    fn is_store(&self) -> bool {
+        self.class == OpClass::Store
+    }
+
+    fn is_load(&self) -> bool {
+        self.class == OpClass::Load
+    }
+
+    fn ready(&self) -> bool {
+        self.idep_remaining == 0 && !self.issued && !self.completed
+    }
+
+    fn dest(&self) -> Option<Reg> {
+        self.rec.dest.filter(|r| !r.is_zero())
+    }
+}
+
+/// What the issue stage decided to do with a load this cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LoadAction {
+    /// Blocked behind a store with an unknown address or partial overlap.
+    Wait,
+    /// Forward from the given completed store.
+    Forward,
+    /// Access the data cache.
+    Access,
+}
+
+/// The full machine state for one simulation.
+pub struct Machine {
+    pub(crate) config: SimConfig,
+    frontend: Frontend,
+    predictor: Option<Predictor>,
+    hierarchy: Hierarchy,
+    // Pipeline structures.
+    ifq: VecDeque<Fetched>,
+    window: VecDeque<RuuEntry>,
+    lsq: VecDeque<u64>,
+    rename: [Option<u64>; 32],
+    committed_tag_known: [bool; 32],
+    /// Per-PC 2-bit confidence for replay packing: replay traps are
+    /// expensive, so the issue logic stops speculating on instructions
+    /// whose low-16-bit carries keep rippling (e.g. accumulators with
+    /// random low bits). Address arithmetic stays confident. This is an
+    /// extension beyond the paper, which assumes carries are "relatively
+    /// infrequent" — true for addresses, not for every add.
+    replay_confidence: std::collections::HashMap<u64, u8>,
+    committed_from_load: [bool; 32],
+    next_seq: u64,
+    // Timing state.
+    pub(crate) cycle: u64,
+    fetch_resume: u64,
+    muldiv_busy_until: u64,
+    last_commit_cycle: u64,
+    pub(crate) done: bool,
+    // Architected output (written at commit).
+    out_bytes: Vec<u8>,
+    out_quads: Vec<u64>,
+    trace: Vec<TraceRecord>,
+    // Statistics.
+    pub(crate) stats: SimStats,
+}
+
+impl fmt::Debug for Machine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Machine")
+            .field("cycle", &self.cycle)
+            .field("committed", &self.stats.committed)
+            .field("window", &self.window.len())
+            .field("done", &self.done)
+            .finish()
+    }
+}
+
+impl Machine {
+    /// Builds a machine for `program` under `config`.
+    pub fn new(program: &Program, config: SimConfig) -> Machine {
+        config.validate();
+        let predictor = match config.predictor {
+            PredictorChoice::Perfect => None,
+            PredictorChoice::Real(p) => Some(Predictor::new(p)),
+        };
+        Machine {
+            frontend: Frontend::new(program),
+            predictor,
+            hierarchy: Hierarchy::new(config.hierarchy),
+            ifq: VecDeque::with_capacity(config.ifq_size),
+            window: VecDeque::with_capacity(config.ruu_size),
+            lsq: VecDeque::with_capacity(config.lsq_size),
+            rename: [None; 32],
+            committed_tag_known: [true; 32],
+            replay_confidence: std::collections::HashMap::new(),
+            committed_from_load: [false; 32],
+            next_seq: 0,
+            cycle: 0,
+            fetch_resume: 0,
+            muldiv_busy_until: 0,
+            last_commit_cycle: 0,
+            done: false,
+            out_bytes: Vec::new(),
+            out_quads: Vec::new(),
+            trace: Vec::new(),
+            stats: SimStats::default(),
+            config,
+        }
+    }
+
+    /// Bytes emitted by committed `outb` instructions.
+    pub fn out_bytes(&self) -> &[u8] {
+        &self.out_bytes
+    }
+
+    /// Quadwords emitted by committed `outq` instructions.
+    pub fn out_quads(&self) -> &[u64] {
+        &self.out_quads
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// The pipeline trace collected so far (empty unless
+    /// `SimConfig::trace_limit` is set).
+    pub fn trace(&self) -> &[TraceRecord] {
+        &self.trace
+    }
+
+    /// Memory hierarchy statistics.
+    pub fn hierarchy_stats(&self) -> nwo_mem::HierarchyStats {
+        self.hierarchy.stats()
+    }
+
+    /// Predictor statistics (absent under perfect prediction).
+    pub fn predictor_stats(&self) -> Option<nwo_bpred::PredictorStats> {
+        self.predictor.as_ref().map(|p| p.stats())
+    }
+
+    /// Fast-forwards `insts` instructions functionally, warming caches
+    /// and the branch predictor but not simulating timing — the paper's
+    /// warmup methodology (Section 3.2).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::BadFetch`] if the program runs off the rails;
+    /// warming past `halt` simply stops early.
+    pub fn warmup(&mut self, insts: u64) -> Result<u64, SimError> {
+        let mut n = 0;
+        while n < insts && !self.frontend.halted() {
+            let pc = self.frontend.pc();
+            let Some(rec) = self.frontend.step() else {
+                if self.frontend.halted() {
+                    break;
+                }
+                return Err(SimError::BadFetch { pc });
+            };
+            self.hierarchy.warm_inst(rec.pc);
+            if let Some(addr) = rec.mem_addr {
+                self.hierarchy.warm_data(addr, rec.store_value.is_some());
+            }
+            if rec.instr.op.is_control() {
+                let cinfo = control_info(&rec);
+                if let Some(p) = &mut self.predictor {
+                    p.update(rec.pc, &cinfo, rec.taken, rec.next_pc, None);
+                }
+            }
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Runs the pipeline until the program halts, `max_insts` commit, or
+    /// an error occurs.
+    ///
+    /// # Errors
+    ///
+    /// See [`SimError`].
+    pub fn run(&mut self, max_insts: u64) -> Result<(), SimError> {
+        while !self.done && self.stats.committed < max_insts {
+            if self.cycle >= self.config.max_cycles {
+                return Err(SimError::CycleLimit {
+                    limit: self.config.max_cycles,
+                });
+            }
+            self.cycle += 1;
+            self.commit();
+            self.writeback();
+            self.issue();
+            self.dispatch();
+            self.fetch()?;
+            if self.cycle - self.last_commit_cycle > 200_000 {
+                return Err(SimError::Deadlock { cycle: self.cycle });
+            }
+        }
+        self.stats.cycles = self.cycle;
+        Ok(())
+    }
+
+    // ----------------------------------------------------------------
+    // Fetch
+    // ----------------------------------------------------------------
+
+    fn fetch(&mut self) -> Result<(), SimError> {
+        if self.done || self.cycle < self.fetch_resume {
+            return Ok(());
+        }
+        if self.frontend.halted() || self.frontend.stalled() {
+            return Ok(());
+        }
+        let pc0 = self.frontend.pc();
+        // I-cache access for the first line of the group; a miss stalls
+        // fetch for the full latency.
+        let latency = self.hierarchy.inst_access(pc0);
+        if latency > self.config.hierarchy.l1i.hit_latency {
+            self.fetch_resume = self.cycle + latency;
+            return Ok(());
+        }
+        // Table 1 specifies a flat 4-instructions/cycle fetch width; a
+        // group may cross a cache-line boundary as long as the next line
+        // also hits (a miss ends the group and stalls).
+        let mut line = pc0 / self.config.hierarchy.l1i.block_bytes;
+        let mut fetched = 0;
+        while fetched < self.config.fetch_width && self.ifq.len() < self.config.ifq_size {
+            let pc = self.frontend.pc();
+            if self.frontend.halted() || self.frontend.stalled() {
+                break;
+            }
+            let pc_line = pc / self.config.hierarchy.l1i.block_bytes;
+            if pc_line != line {
+                let latency = self.hierarchy.inst_access(pc);
+                if latency > self.config.hierarchy.l1i.hit_latency {
+                    self.fetch_resume = self.cycle + latency;
+                    break;
+                }
+                line = pc_line;
+            }
+            let was_spec = self.frontend.spec_mode();
+            let Some(rec) = self.frontend.step() else {
+                if self.frontend.stalled() || self.frontend.halted() {
+                    break;
+                }
+                // Correct-path bad fetch: a program error.
+                return Err(SimError::BadFetch { pc });
+            };
+            let is_ctrl = rec.instr.op.is_control();
+            let mut cinfo = None;
+            let mut ras_cp = None;
+            let mut dir_lookup = None;
+            let mut pred_npc = pc.wrapping_add(4);
+            if is_ctrl {
+                let info = control_info(&rec);
+                pred_npc = match &mut self.predictor {
+                    None => rec.next_pc, // perfect prediction
+                    Some(p) => {
+                        let prediction = p.predict(pc, &info);
+                        ras_cp = Some(p.ras_checkpoint());
+                        dir_lookup = prediction.lookup;
+                        if prediction.taken {
+                            prediction.target.unwrap_or(pc.wrapping_add(4))
+                        } else {
+                            pc.wrapping_add(4)
+                        }
+                    }
+                };
+                cinfo = Some(info);
+            }
+            let mispredicted = is_ctrl && pred_npc != rec.next_pc;
+            self.ifq.push_back(Fetched {
+                rec,
+                spec: was_spec,
+                mispredicted,
+                cinfo,
+                ras_cp,
+                dir_lookup,
+                fetched_at: self.cycle,
+            });
+            self.stats.fetched += 1;
+            fetched += 1;
+            if mispredicted {
+                if !was_spec {
+                    self.frontend.enter_spec();
+                }
+                self.frontend.set_pc(pred_npc);
+            }
+            if is_ctrl && pred_npc != pc.wrapping_add(4) {
+                break; // a (predicted-)taken transfer ends the fetch group
+            }
+            if rec.instr.op == Opcode::Halt {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    // ----------------------------------------------------------------
+    // Dispatch
+    // ----------------------------------------------------------------
+
+    fn dispatch(&mut self) {
+        let mut dispatched = 0;
+        while dispatched < self.config.decode_width {
+            if self.window.len() >= self.config.ruu_size {
+                break;
+            }
+            let Some(front) = self.ifq.front() else { break };
+            let is_mem = front.rec.mem_addr.is_some();
+            if is_mem && self.lsq.len() >= self.config.lsq_size {
+                break;
+            }
+            let fetched = self.ifq.pop_front().expect("checked non-empty");
+            self.dispatch_one(fetched);
+            dispatched += 1;
+        }
+    }
+
+    fn dispatch_one(&mut self, fetched: Fetched) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let rec = fetched.rec;
+        let op = rec.instr.op;
+        let class = op.class();
+
+        // Resolve source operands: timing dependencies plus width-tag and
+        // load-provenance metadata.
+        let (src_a, src_b, extra) = source_regs(&rec.instr);
+        let mut idep = 0u8;
+        let mut producers: Vec<u64> = Vec::new();
+        let mut resolve = |m: &mut Machine, reg: Option<Reg>| -> (bool, bool, Option<u64>) {
+            // Returns (tag_known, from_load, pending producer) for `reg`.
+            let Some(r) = reg.filter(|r| !r.is_zero()) else {
+                return (true, false, None);
+            };
+            match m.rename[r.index() as usize] {
+                Some(pseq) => {
+                    let p = m.entry(pseq).expect("rename points into window");
+                    let known = p.result_tag_known;
+                    let from_load = p.is_load();
+                    let pending = (!p.completed).then_some(pseq);
+                    if let Some(pseq) = pending {
+                        producers.push(pseq);
+                    }
+                    (known, from_load, pending)
+                }
+                None => (
+                    m.committed_tag_known[r.index() as usize],
+                    m.committed_from_load[r.index() as usize],
+                    None,
+                ),
+            }
+        };
+        let (a_known, a_from_load, a_producer) = resolve(self, src_a);
+        let (b_known, b_from_load, _) = resolve(self, src_b);
+        let (_, _, _) = resolve(self, extra); // store data: timing only
+        // For stores, src_a is the base register: remember its producer
+        // so loads can tell when this store's address is computable.
+        let store_base_producer = if op.is_store() { a_producer } else { None };
+        for &pseq in &producers {
+            idep += 1;
+            let entry = self.entry_mut(pseq).expect("producer in window");
+            entry.odeps.push(seq);
+        }
+
+        let tag_a = if a_known {
+            WidthTag::of(rec.op_a)
+        } else {
+            WidthTag::unknown()
+        };
+        let tag_b = if b_known {
+            WidthTag::of(rec.op_b)
+        } else {
+            WidthTag::unknown()
+        };
+        let result_tag_known = class != OpClass::Load || self.config.zero_detect_loads;
+
+        let entry = RuuEntry {
+            seq,
+            rec,
+            class,
+            spec: fetched.spec,
+            idep_remaining: idep,
+            odeps: Vec::new(),
+            tag_a,
+            tag_b,
+            from_load: a_from_load || b_from_load,
+            fetched_at: fetched.fetched_at,
+            dispatched_at: self.cycle,
+            issued_at: 0,
+            earliest_issue: self.cycle + 1,
+            issued: false,
+            in_group: false,
+            completed: false,
+            complete_at: u64::MAX,
+            mispredicted: fetched.mispredicted,
+            cinfo: fetched.cinfo,
+            ras_cp: fetched.ras_cp,
+            dir_lookup: fetched.dir_lookup,
+            store_base_producer,
+            replay_wide: None,
+            replay_attempted: false,
+            exec_stats_counted: false,
+            result_tag_known,
+        };
+        if let Some(dest) = entry.dest() {
+            self.rename[dest.index() as usize] = Some(seq);
+        }
+        if entry.rec.mem_addr.is_some() {
+            self.lsq.push_back(seq);
+        }
+        self.window.push_back(entry);
+        self.stats.dispatched += 1;
+    }
+
+    // ----------------------------------------------------------------
+    // Issue
+    // ----------------------------------------------------------------
+
+    fn issue(&mut self) {
+        #[derive(Debug)]
+        struct OpenGroup {
+            opcode: Opcode,
+            members: usize,
+            has_replay: bool,
+            leader_idx: usize,
+        }
+        let pack_config = self.config.pack_config();
+        let gating = self.config.gating_config();
+        let power_gating = matches!(
+            self.config.optimization,
+            Optimization::ClockGating(_) | Optimization::None
+        );
+
+        let mut slots = 0usize;
+        let mut alus = 0usize;
+        let mut muldiv_issued = 0usize;
+        let mut groups: Vec<OpenGroup> = Vec::new();
+
+        for idx in 0..self.window.len() {
+            // Stop when neither a fresh slot nor any open group remains.
+            let group_capacity = groups.iter().any(|g| {
+                g.members < pack_config.map(|p| p.degree).unwrap_or(1)
+            });
+            if slots >= self.config.issue_width && !group_capacity {
+                break;
+            }
+            let e = &self.window[idx];
+            if !e.ready() || e.earliest_issue > self.cycle || e.dispatched_at >= self.cycle {
+                continue;
+            }
+            let op = e.rec.instr.op;
+            let class = e.class;
+
+            // Multiply/divide unit.
+            if matches!(class, OpClass::Mult | OpClass::Div) {
+                if slots >= self.config.issue_width
+                    || muldiv_issued >= self.config.int_muldiv
+                    || self.cycle < self.muldiv_busy_until
+                {
+                    continue;
+                }
+                slots += 1;
+                muldiv_issued += 1;
+                let latency = if class == OpClass::Div {
+                    self.muldiv_busy_until = self.cycle + self.config.div_latency;
+                    self.config.div_latency
+                } else {
+                    self.config.mult_latency
+                };
+                self.issue_entry(idx, self.cycle + latency, gating, power_gating);
+                continue;
+            }
+
+            // Loads: memory-ordering checks against the LSQ.
+            if class == OpClass::Load {
+                if slots >= self.config.issue_width || alus >= self.config.int_alus {
+                    continue;
+                }
+                let action = self.load_action(idx);
+                let complete_at = match action {
+                    LoadAction::Wait => continue,
+                    LoadAction::Forward => self.cycle + self.config.alu_latency + 1,
+                    LoadAction::Access => {
+                        let addr = self.window[idx].rec.mem_addr.expect("load has address");
+                        let lat = self.hierarchy.data_access(addr, false);
+                        self.cycle + self.config.alu_latency + lat
+                    }
+                };
+                slots += 1;
+                alus += 1;
+                self.issue_entry(idx, complete_at, gating, power_gating);
+                continue;
+            }
+
+            // Everything else executes on an ALU with unit latency:
+            // arithmetic, logic, shifts, stores (EA), branches, jumps,
+            // system ops.
+            let complete_at = self.cycle + self.config.alu_latency;
+
+            // Operation packing (Section 5.2/5.3).
+            if let Some(pc_cfg) = pack_config {
+                let e = &self.window[idx];
+                let exact = !e.replay_attempted && can_pack(op, e.tag_a, e.tag_b, &pc_cfg);
+                let confident = !pc_cfg.replay_confidence
+                    || self
+                        .replay_confidence
+                        .get(&e.rec.pc)
+                        .copied()
+                        .unwrap_or(2)
+                        >= 2;
+                let replay = if !exact && pc_cfg.replay && !e.replay_attempted && confident {
+                    replay_candidate(op, e.tag_a, e.tag_b)
+                } else {
+                    None
+                };
+                if exact || replay.is_some() {
+                    // Try to join an open group of the same opcode.
+                    if let Some(g) = groups.iter_mut().find(|g| {
+                        g.opcode == op
+                            && g.members < pc_cfg.degree
+                            && (replay.is_none() || !g.has_replay)
+                    }) {
+                        debug_assert!(g.members >= 1);
+                        g.members += 1;
+                        self.window[idx].in_group = true;
+                        if let Some(wide) = replay {
+                            g.has_replay = true;
+                            self.window[idx].replay_wide = Some(wide);
+                            self.stats.pack.replay_issued += 1;
+                        }
+                        self.issue_entry(idx, complete_at, gating, power_gating);
+                        continue;
+                    }
+                    // Any candidate may open a new group (it pays for the
+                    // slot and ALU like a normal op, so leading is free);
+                    // a replay-mode leader occupies the group's single
+                    // wide-operand bypass path. A replay leader whose
+                    // group stays a singleton is un-speculated at the
+                    // tally below: alone, its lane spans the whole adder
+                    // and there is nothing to speculate on.
+                    if slots < self.config.issue_width && alus < self.config.int_alus {
+                        slots += 1;
+                        alus += 1;
+                        groups.push(OpenGroup {
+                            opcode: op,
+                            members: 1,
+                            has_replay: replay.is_some(),
+                            leader_idx: idx,
+                        });
+                        if let Some(wide) = replay {
+                            self.window[idx].replay_wide = Some(wide);
+                            self.stats.pack.replay_issued += 1;
+                        }
+                        self.issue_entry(idx, complete_at, gating, power_gating);
+                        continue;
+                    }
+                }
+            }
+
+            if slots >= self.config.issue_width || alus >= self.config.int_alus {
+                continue;
+            }
+            slots += 1;
+            alus += 1;
+            self.issue_entry(idx, complete_at, gating, power_gating);
+        }
+
+        // Occupancy accounting.
+        if self.stats.occupancy.issue_slots.len() != self.config.issue_width + 1 {
+            self.stats.occupancy.issue_slots = vec![0; self.config.issue_width + 1];
+        }
+        self.stats.occupancy.issue_slots[slots.min(self.config.issue_width)] += 1;
+        if slots >= self.config.issue_width {
+            self.stats.occupancy.issue_saturated += 1;
+        }
+        self.stats.occupancy.alu_sum += alus as u64;
+        self.stats.occupancy.ruu_sum += self.window.len() as u64;
+
+        for g in &groups {
+            if g.members >= 2 {
+                self.stats.pack.groups += 1;
+                self.stats.pack.packed_ops += g.members as u64;
+                self.stats.pack.slots_saved += (g.members - 1) as u64;
+                self.window[g.leader_idx].in_group = true;
+            } else if self.window[g.leader_idx].replay_wide.is_some() {
+                // A replay candidate that attracted no partner issues
+                // full-width: the lone lane spans the whole adder, so
+                // there is nothing to speculate on.
+                self.window[g.leader_idx].replay_wide = None;
+                self.stats.pack.replay_issued -= 1;
+            }
+        }
+    }
+
+    /// Marks entry `idx` issued and records execution statistics.
+    fn issue_entry(
+        &mut self,
+        idx: usize,
+        complete_at: u64,
+        gating: nwo_core::GatingConfig,
+        power_gating: bool,
+    ) {
+        let cycle = self.cycle;
+        let e = &mut self.window[idx];
+        e.issued = true;
+        e.issued_at = cycle;
+        e.complete_at = complete_at;
+        self.stats.issued += 1;
+
+        // Power accounting: what would the gating hardware do for this
+        // operation? (Timing-neutral, so we account on every run where
+        // packing is off; packing runs gate nothing.)
+        let level = if power_gating {
+            gate_level(e.tag_a, e.tag_b, &gating)
+        } else {
+            GateLevel::Full
+        };
+        self.stats.power.record_op(e.class, level);
+        if level != GateLevel::Full {
+            self.stats.gated_ops += 1;
+            if e.from_load {
+                self.stats.gated_ops_with_load_operand += 1;
+            }
+        }
+
+        if !e.exec_stats_counted {
+            e.exec_stats_counted = true;
+            let (a, b) = (e.rec.op_a, e.rec.op_b);
+            let class = e.class;
+            let pc = e.rec.pc;
+            self.stats.breakdown.record(class, a, b);
+            if has_two_operands(class) {
+                self.stats.width_executed.record(a, b);
+                self.stats.fluctuation.record(pc, a, b);
+            }
+        }
+        let _ = cycle;
+    }
+
+    /// Decides whether the load at window index `idx` may proceed.
+    fn load_action(&self, idx: usize) -> LoadAction {
+        let load = &self.window[idx];
+        let load_addr = load.rec.mem_addr.expect("load has an address");
+        let load_len = access_bytes(load.rec.instr.op);
+        let mut action = LoadAction::Access;
+        for &seq in &self.lsq {
+            if seq >= load.seq {
+                break;
+            }
+            let e = self.entry(seq).expect("LSQ seq in window");
+            if !e.is_store() {
+                continue;
+            }
+            let addr_known = match e.store_base_producer {
+                None => true,
+                Some(pseq) => self.entry(pseq).is_none_or(|p| p.completed),
+            };
+            if !addr_known {
+                // Unknown store address: conservatively wait.
+                return LoadAction::Wait;
+            }
+            let st_addr = e.rec.mem_addr.expect("store has an address");
+            let st_len = access_bytes(e.rec.instr.op);
+            let overlap =
+                st_addr < load_addr.wrapping_add(load_len) && load_addr < st_addr.wrapping_add(st_len);
+            if !overlap {
+                continue;
+            }
+            let covers = st_addr <= load_addr
+                && st_addr.wrapping_add(st_len) >= load_addr.wrapping_add(load_len);
+            if covers && e.completed {
+                action = LoadAction::Forward; // youngest older match wins
+            } else {
+                return LoadAction::Wait;
+            }
+        }
+        action
+    }
+
+    // ----------------------------------------------------------------
+    // Writeback
+    // ----------------------------------------------------------------
+
+    fn writeback(&mut self) {
+        // Collect this cycle's completions in age order; recoveries can
+        // invalidate younger seqs mid-walk.
+        let completing: Vec<u64> = self
+            .window
+            .iter()
+            .filter(|e| e.issued && !e.completed && e.complete_at <= self.cycle)
+            .map(|e| e.seq)
+            .collect();
+
+        for seq in completing {
+            let Some(idx) = self.index_of(seq) else {
+                continue; // squashed by an earlier recovery this cycle
+            };
+            let e = &mut self.window[idx];
+
+            // Replay-packing squash: the carry rippled past bit 15, so
+            // this op re-issues full-width after the replay penalty
+            // (Section 5.3's "replay traps").
+            if let Some(wide) = e.replay_wide {
+                let (op, a, b, pc) = (e.rec.instr.op, e.rec.op_a, e.rec.op_b, e.rec.pc);
+                e.replay_wide = None;
+                e.replay_attempted = true;
+                let mispredicted = replay_mispredicts(op, a, b, wide);
+                let conf = self.replay_confidence.entry(pc).or_insert(2);
+                if mispredicted {
+                    *conf = 0;
+                } else {
+                    *conf = (*conf + 1).min(3);
+                }
+                if mispredicted {
+                    let penalty = self
+                        .config
+                        .pack_config()
+                        .map(|p| p.replay_penalty)
+                        .unwrap_or(0);
+                    let earliest = self.cycle + penalty.max(1);
+                    let e = &mut self.window[idx];
+                    e.issued = false;
+                    e.complete_at = u64::MAX;
+                    e.earliest_issue = earliest;
+                    self.stats.pack.replay_squashed += 1;
+                    continue;
+                }
+            }
+
+            let e = &mut self.window[idx];
+            e.completed = true;
+            // Wake consumers.
+            let odeps = std::mem::take(&mut self.window[idx].odeps);
+            for dep in odeps {
+                if let Some(didx) = self.index_of(dep) {
+                    let d = &mut self.window[didx];
+                    debug_assert!(d.idep_remaining > 0, "dependency count underflow");
+                    d.idep_remaining -= 1;
+                }
+            }
+            // Branch resolution and misprediction recovery.
+            let e = &self.window[idx];
+            if e.mispredicted {
+                let bseq = e.seq;
+                let spec = e.spec;
+                let target = e.rec.next_pc;
+                let taken = e.rec.taken;
+                let ras_cp = e.ras_cp;
+                let dir_lookup = e.dir_lookup;
+                if !spec {
+                    self.stats.branch.mispredicts += 1;
+                }
+                if let (Some(p), Some(lu)) = (&mut self.predictor, &dir_lookup) {
+                    // Restore the speculative history to this branch's
+                    // snapshot and shift in the actual outcome; younger
+                    // (squashed) shifts vanish with it.
+                    p.repair(lu, taken);
+                }
+                self.recover(bseq, spec, target, ras_cp);
+            }
+        }
+    }
+
+    /// Squashes everything younger than `bseq` and redirects fetch.
+    fn recover(&mut self, bseq: u64, spec: bool, target: u64, ras_cp: Option<RasCheckpoint>) {
+        // Drop younger window entries.
+        while let Some(back) = self.window.back() {
+            if back.seq <= bseq {
+                break;
+            }
+            self.window.pop_back();
+            self.stats.squashed += 1;
+        }
+        self.lsq.retain(|&s| s <= bseq);
+        self.stats.squashed += self.ifq.len() as u64;
+        self.ifq.clear();
+        self.next_seq = bseq + 1;
+        // Rebuild the rename table and purge dangling consumer edges.
+        self.rename = [None; 32];
+        for i in 0..self.window.len() {
+            self.window[i].odeps.retain(|&s| s <= bseq);
+            if let Some(dest) = self.window[i].dest() {
+                let seq = self.window[i].seq;
+                self.rename[dest.index() as usize] = Some(seq);
+            }
+        }
+        // Redirect the front end.
+        if spec {
+            // A wrong-path branch resolved: follow its (wrong-path)
+            // computed target, still speculative.
+            self.frontend.set_pc(target);
+        } else {
+            self.frontend.recover(target);
+        }
+        if let (Some(p), Some(cp)) = (&mut self.predictor, ras_cp) {
+            p.ras_restore(cp);
+        }
+        self.fetch_resume = self
+            .fetch_resume
+            .max(self.cycle + 1 + self.config.mispredict_penalty);
+    }
+
+    // ----------------------------------------------------------------
+    // Commit
+    // ----------------------------------------------------------------
+
+    fn commit(&mut self) {
+        for _ in 0..self.config.commit_width {
+            let Some(front) = self.window.front() else { break };
+            if !front.completed {
+                break;
+            }
+            debug_assert!(!front.spec, "wrong-path instruction reached commit");
+            let e = self.window.pop_front().expect("checked non-empty");
+            if self
+                .lsq
+                .front()
+                .is_some_and(|&s| s == e.seq)
+            {
+                self.lsq.pop_front();
+            }
+            // Stores write the data cache at commit.
+            if e.is_store() {
+                let addr = e.rec.mem_addr.expect("store has an address");
+                self.hierarchy.data_access(addr, true);
+                // Section 6 extension: a known-narrow store value gates
+                // the data-array write and the bus transfer.
+                let value = e.rec.store_value.expect("store has data");
+                self.stats
+                    .mem_ext
+                    .record_store(access_bytes(e.rec.instr.op), nwo_core::is_narrow(value, 16));
+            }
+            if e.is_load() {
+                // Loads can gate only the result-bus transfer, and only
+                // when the fill path performs zero-detect.
+                let value = e.rec.result.expect("load has a result");
+                let narrow = self.config.zero_detect_loads && nwo_core::is_narrow(value, 16);
+                self.stats
+                    .mem_ext
+                    .record_load(access_bytes(e.rec.instr.op), narrow);
+            }
+            // Output side effects are architectural: commit time.
+            match e.rec.instr.op {
+                Opcode::Outb => self.out_bytes.push(e.rec.op_a as u8),
+                Opcode::Outq => self.out_quads.push(e.rec.op_a),
+                _ => {}
+            }
+            // Architected per-register metadata.
+            if let Some(dest) = e.dest() {
+                let r = dest.index() as usize;
+                self.committed_tag_known[r] = e.result_tag_known;
+                self.committed_from_load[r] = e.is_load();
+                if self.rename[r] == Some(e.seq) {
+                    self.rename[r] = None;
+                }
+            }
+            // Train the predictor with architected outcomes.
+            if let Some(cinfo) = &e.cinfo {
+                self.stats.branch.committed += 1;
+                if cinfo.is_cond {
+                    self.stats.branch.cond_committed += 1;
+                }
+                if let Some(p) = &mut self.predictor {
+                    p.update(e.rec.pc, cinfo, e.rec.taken, e.rec.next_pc, e.dir_lookup.as_ref());
+                }
+            }
+            if self.trace.len() < self.config.trace_limit {
+                self.trace.push(TraceRecord {
+                    pc: e.rec.pc,
+                    instr: e.rec.instr,
+                    fetched_at: e.fetched_at,
+                    dispatched_at: e.dispatched_at,
+                    issued_at: e.issued_at,
+                    completed_at: e.complete_at,
+                    committed_at: self.cycle,
+                    packed: e.in_group,
+                    replayed: e.replay_attempted,
+                });
+            }
+            self.stats.committed += 1;
+            self.last_commit_cycle = self.cycle;
+            if has_two_operands(e.class) {
+                self.stats.width_committed.record(e.rec.op_a, e.rec.op_b);
+            }
+            if e.rec.instr.op == Opcode::Halt {
+                self.done = true;
+                break;
+            }
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Window helpers
+    // ----------------------------------------------------------------
+
+    fn index_of(&self, seq: u64) -> Option<usize> {
+        let front = self.window.front()?.seq;
+        if seq < front {
+            return None;
+        }
+        let idx = (seq - front) as usize;
+        (idx < self.window.len()).then_some(idx)
+    }
+
+    fn entry(&self, seq: u64) -> Option<&RuuEntry> {
+        self.index_of(seq).map(|i| &self.window[i])
+    }
+
+    fn entry_mut(&mut self, seq: u64) -> Option<&mut RuuEntry> {
+        self.index_of(seq).map(|i| &mut self.window[i])
+    }
+}
+
+/// Classes whose records carry two meaningful source-operand values
+/// (the population of Figures 1 and 2).
+fn has_two_operands(class: OpClass) -> bool {
+    matches!(
+        class,
+        OpClass::IntArith
+            | OpClass::Logic
+            | OpClass::Shift
+            | OpClass::Mult
+            | OpClass::Div
+            | OpClass::Load
+            | OpClass::Store
+    )
+}
+
+/// Extracts the predictor-facing description of a control instruction.
+fn control_info(rec: &ExecRecord) -> ControlInfo {
+    let op = rec.instr.op;
+    ControlInfo {
+        is_cond: op.is_cond_branch(),
+        is_call: op.is_call(),
+        is_return: op.is_return(),
+        is_indirect: op.format() == Format::Jump,
+        direct_target: (op.format() == Format::Branch).then(|| rec.instr.branch_target(rec.pc)),
+        return_addr: rec.pc.wrapping_add(4),
+    }
+}
+
+/// The source registers feeding operand slots a and b, plus the extra
+/// (timing-only) dependency for store data.
+fn source_regs(instr: &nwo_isa::Instr) -> (Option<Reg>, Option<Reg>, Option<Reg>) {
+    let op = instr.op;
+    match op.format() {
+        Format::Operate => {
+            let b = match instr.b {
+                OperandB::Reg(r) => Some(r),
+                OperandB::Lit(_) => None,
+            };
+            // Conditional moves read the old destination value.
+            let extra = op.is_cmov().then_some(instr.rc);
+            (Some(instr.ra), b, extra)
+        }
+        Format::Memory => {
+            let data = op.is_store().then_some(instr.ra);
+            (Some(instr.rb()), None, data)
+        }
+        Format::Branch => match op {
+            Opcode::Br | Opcode::Bsr => (None, None, None),
+            _ => (Some(instr.ra), None, None),
+        },
+        Format::Jump => (Some(instr.rb()), None, None),
+        Format::System => match op {
+            Opcode::Outb | Opcode::Outq => (Some(instr.ra), None, None),
+            _ => (None, None, None),
+        },
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)] // explicit Table 1 tweaks read better
+mod tests {
+    use super::*;
+    use nwo_core::PackConfig;
+    use nwo_isa::assemble;
+
+    fn run_src(src: &str, config: SimConfig) -> Machine {
+        let prog = assemble(src).expect("assembles");
+        let mut m = Machine::new(&prog, config);
+        m.run(u64::MAX).expect("runs to halt");
+        m
+    }
+
+    #[test]
+    fn trivial_program_commits_and_halts() {
+        let m = run_src("main: li t0, 42\n outq t0\n halt", SimConfig::default());
+        assert!(m.done);
+        assert_eq!(m.out_quads(), &[42]);
+        assert_eq!(m.stats().committed, 3);
+        assert!(m.stats().cycles > 0);
+    }
+
+    #[test]
+    fn loop_produces_correct_architected_output() {
+        let src = concat!(
+            "main: clr t0\n li t1, 100\n",
+            "loop: addq t0, t1, t0\n subq t1, 1, t1\n bgt t1, loop\n",
+            " outq t0\n halt"
+        );
+        let m = run_src(src, SimConfig::default());
+        assert_eq!(m.out_quads(), &[5050]);
+    }
+
+    #[test]
+    fn perfect_prediction_never_recovers() {
+        let src = concat!(
+            "main: clr t0\n li t1, 50\n",
+            "loop: addq t0, t1, t0\n subq t1, 1, t1\n bgt t1, loop\n",
+            " outq t0\n halt"
+        );
+        let m = run_src(src, SimConfig::default().with_perfect_prediction());
+        assert_eq!(m.stats().branch.mispredicts, 0);
+        assert_eq!(m.stats().squashed, 0);
+        assert_eq!(m.out_quads(), &[1275]);
+    }
+
+    #[test]
+    fn realistic_prediction_recovers_but_stays_correct() {
+        // A data-dependent unpredictable branch pattern.
+        let src = concat!(
+            "main: clr t0\n clr t2\n li t1, 64\n",
+            "loop: and t1, 5, t3\n",
+            " beq t3, skip\n",
+            " addq t0, 1, t0\n",
+            "skip: addq t2, t1, t2\n",
+            " subq t1, 1, t1\n",
+            " bgt t1, loop\n",
+            " outq t0\n outq t2\n halt"
+        );
+        let perfect = run_src(src, SimConfig::default().with_perfect_prediction());
+        let real = run_src(src, SimConfig::default());
+        assert_eq!(perfect.out_quads(), real.out_quads(), "outputs must agree");
+        assert!(real.stats().branch.mispredicts > 0, "pattern must mispredict");
+        assert!(real.stats().squashed > 0);
+        assert!(
+            real.stats().cycles >= perfect.stats().cycles,
+            "mispredictions cannot speed things up"
+        );
+    }
+
+    #[test]
+    fn memory_dependencies_respected() {
+        // Store then immediately load the same location.
+        let src = concat!(
+            ".data\nbuf: .space 64\n.text\n",
+            "main: la t0, buf\n li t1, 1234\n",
+            " stq t1, 8(t0)\n",
+            " ldq t2, 8(t0)\n",
+            " outq t2\n halt"
+        );
+        let m = run_src(src, SimConfig::default());
+        assert_eq!(m.out_quads(), &[1234]);
+    }
+
+    #[test]
+    fn wide_decode_config_runs() {
+        let src = concat!(
+            "main: clr t0\n li t1, 30\n",
+            "loop: addq t0, 3, t0\n subq t1, 1, t1\n bgt t1, loop\n",
+            " outq t0\n halt"
+        );
+        let m = run_src(src, SimConfig::default().with_wide_decode());
+        assert_eq!(m.out_quads(), &[90]);
+    }
+
+    #[test]
+    fn packing_preserves_architecture() {
+        // Independent narrow adds that should pack.
+        let src = concat!(
+            "main: li t0, 1\n li t1, 2\n li t2, 3\n li t3, 4\n",
+            " addq t0, 10, t4\n addq t1, 10, t5\n addq t2, 10, t6\n addq t3, 10, t7\n",
+            " addq t4, t5, t4\n addq t6, t7, t6\n addq t4, t6, t4\n",
+            " outq t4\n halt"
+        );
+        let base = run_src(src, SimConfig::default());
+        let packed = run_src(
+            src,
+            SimConfig::default().with_packing(PackConfig::default()),
+        );
+        assert_eq!(base.out_quads(), packed.out_quads());
+        assert_eq!(packed.out_quads(), &[50]);
+        assert!(packed.stats().pack.groups > 0, "narrow adds should pack");
+    }
+
+    #[test]
+    fn replay_packing_squashes_on_carry() {
+        // One operand wide with a low half that forces a carry.
+        let src = concat!(
+            "main: li t0, 0xffff\n",
+            " sll t0, 16, t1\n", // t1 = 0xffff_0000
+            " bis t1, t0, t1\n", // t1 = 0xffff_ffff (low 16 all ones)
+            " li t2, 7\n",
+            // Two same-opcode adds: one packable pair where the replay
+            // member (wide t1 + narrow) must carry out of bit 15.
+            " addq t2, 1, t3\n addq t1, t2, t4\n",
+            " outq t4\n halt"
+        );
+        let m = run_src(
+            src,
+            SimConfig::default().with_packing(PackConfig::with_replay()),
+        );
+        assert_eq!(m.out_quads(), &[0xffff_ffffu64 + 7]);
+        if m.stats().pack.replay_issued > 0 {
+            assert_eq!(m.stats().pack.replay_squashed, m.stats().pack.replay_issued);
+        }
+    }
+
+    #[test]
+    fn warmup_trains_state_without_committing() {
+        let src = concat!(
+            "main: clr t0\n li t1, 40\n",
+            "loop: addq t0, t1, t0\n subq t1, 1, t1\n bgt t1, loop\n",
+            " outq t0\n halt"
+        );
+        let prog = assemble(src).unwrap();
+        let mut m = Machine::new(&prog, SimConfig::default());
+        let warmed = m.warmup(50).unwrap();
+        assert_eq!(warmed, 50);
+        assert_eq!(m.stats().committed, 0);
+        assert!(m.hierarchy_stats().l1i.accesses() > 0);
+        // Detailed simulation picks up where warmup left off.
+        m.run(u64::MAX).unwrap();
+        assert!(m.done);
+        assert_eq!(m.out_quads(), &[820]);
+    }
+
+    #[test]
+    fn deadlock_reported_not_hung() {
+        // An infinite loop never commits halt but always commits
+        // *something*, so drive deadlock differently: max_cycles.
+        let src = "main: br main";
+        let prog = assemble(src).unwrap();
+        let mut config = SimConfig::default();
+        config.max_cycles = 5_000;
+        let mut m = Machine::new(&prog, config);
+        let err = m.run(u64::MAX).unwrap_err();
+        assert_eq!(err, SimError::CycleLimit { limit: 5_000 });
+    }
+
+    #[test]
+    fn run_with_instruction_budget_stops_early() {
+        let src = concat!(
+            "main: clr t0\n",
+            "loop: addq t0, 1, t0\n br loop"
+        );
+        let prog = assemble(src).unwrap();
+        let mut m = Machine::new(&prog, SimConfig::default());
+        m.run(1000).unwrap();
+        assert!(m.stats().committed >= 1000);
+        assert!(!m.done);
+    }
+
+    #[test]
+    fn bad_fetch_on_correct_path_is_an_error() {
+        let prog = assemble("main: nop").unwrap();
+        let mut m = Machine::new(&prog, SimConfig::default());
+        let err = m.run(u64::MAX).unwrap_err();
+        assert!(matches!(err, SimError::BadFetch { .. }));
+    }
+
+    #[test]
+    fn width_stats_collected() {
+        let m = run_src(
+            "main: li t0, 17\n addq t0, 2, t1\n outq t1\n halt",
+            SimConfig::default(),
+        );
+        assert!(m.stats().width_committed.total() > 0);
+        assert!(m.stats().width_executed.total() > 0);
+        assert!(m.stats().breakdown.total_instructions > 0);
+        // The add of 17+2 is a narrow op; cumulative at 16 must be > 0.
+        assert!(m.stats().width_committed.cumulative(16) > 0.0);
+    }
+
+    #[test]
+    fn gating_stats_collected_on_baseline_run() {
+        let m = run_src(
+            "main: li t0, 17\n addq t0, 2, t1\n outq t1\n halt",
+            SimConfig::default(),
+        );
+        let report = m.stats().power.report(m.stats().cycles);
+        assert!(report.baseline_mw_per_cycle > 0.0);
+        assert!(m.stats().gated_ops > 0, "17+2 gates at 16 bits");
+    }
+
+    #[test]
+    fn cmov_old_value_dependency_is_honoured() {
+        // The cmov must wait for BOTH the condition and the old value of
+        // its destination; a long-latency producer of the old value must
+        // not be bypassed.
+        let src = concat!(
+            "main: li t0, 21\n",
+            " mulq t0, 2, t1\n",  // t1 = 42, 3-cycle latency
+            " clr t2\n",
+            " cmovne t2, zero, t1\n", // condition false: t1 stays 42
+            " cmoveq t2, t0, t3\n",   // condition true: t3 = 21
+            " addq t1, t3, v0\n",
+            " outq v0\n halt"
+        );
+        let m = run_src(src, SimConfig::default());
+        assert_eq!(m.out_quads(), &[63]);
+        let p = run_src(src, SimConfig::default().with_packing(PackConfig::with_replay()));
+        assert_eq!(p.out_quads(), &[63]);
+    }
+
+    #[test]
+    fn function_calls_use_ras() {
+        let src = concat!(
+            "main: li a0, 3\n call f\n mov v0, s0\n",
+            " li a0, 4\n call f\n addq s0, v0, v0\n",
+            " outq v0\n halt\n",
+            "f: mulq a0, a0, v0\n ret"
+        );
+        let m = run_src(src, SimConfig::default());
+        assert_eq!(m.out_quads(), &[25]);
+        let ps = m.predictor_stats().unwrap();
+        assert!(ps.ras_pops > 0);
+    }
+}

@@ -1,0 +1,96 @@
+//! End-of-run report: one struct carrying every number the paper's
+//! figures need, with a human-readable `Display`.
+
+use crate::stats::SimStats;
+use nwo_bpred::PredictorStats;
+use nwo_mem::HierarchyStats;
+use nwo_power::PowerReport;
+use std::fmt;
+
+/// Summary of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Full statistics (histograms, breakdowns, packing counters, …).
+    pub stats: SimStats,
+    /// Integer-unit power summary (Figures 6 and 7).
+    pub power: PowerReport,
+    /// Memory-system narrow-width extension summary (Section 6 future
+    /// work).
+    pub mem_ext: nwo_power::MemPowerReport,
+    /// Cache and TLB counters.
+    pub hierarchy: HierarchyStats,
+    /// Predictor counters (absent under perfect prediction).
+    pub predictor: Option<PredictorStats>,
+    /// Bytes emitted by committed `outb` instructions.
+    pub out_bytes: Vec<u8>,
+    /// Quadwords emitted by committed `outq` instructions.
+    pub out_quads: Vec<u64>,
+}
+
+impl SimReport {
+    /// Committed instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        self.stats.ipc()
+    }
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = &self.stats;
+        writeln!(f, "cycles:               {}", s.cycles)?;
+        writeln!(f, "committed:            {}", s.committed)?;
+        writeln!(f, "ipc:                  {:.4}", s.ipc())?;
+        writeln!(f, "fetched/issued:       {} / {}", s.fetched, s.issued)?;
+        writeln!(f, "squashed:             {}", s.squashed)?;
+        writeln!(
+            f,
+            "branches:             {} committed, {} mispredicted ({:.2}% accuracy)",
+            s.branch.committed,
+            s.branch.mispredicts,
+            s.branch.accuracy() * 100.0
+        )?;
+        writeln!(
+            f,
+            "narrow ops:           {:.1}% <=16 bits, {:.1}% <=33 bits (executed)",
+            s.breakdown.narrow16_total_fraction() * 100.0,
+            s.breakdown.narrow33_total_fraction() * 100.0
+        )?;
+        writeln!(
+            f,
+            "power (int unit):     {:.1} mW baseline, {:.1} mW gated ({:.1}% reduction)",
+            self.power.baseline_mw_per_cycle,
+            self.power.gated_mw_per_cycle,
+            self.power.reduction_percent
+        )?;
+        writeln!(
+            f,
+            "mem ext (Section 6):  {:.1}% of moved bytes redundant; data-array+bus power -{:.1}%",
+            self.mem_ext.redundant_byte_fraction * 100.0,
+            self.mem_ext.reduction_percent
+        )?;
+        if s.pack.groups > 0 {
+            writeln!(
+                f,
+                "packing:              {} groups, {} ops packed, {} slots saved, {} replays ({} squashed)",
+                s.pack.groups,
+                s.pack.packed_ops,
+                s.pack.slots_saved,
+                s.pack.replay_issued,
+                s.pack.replay_squashed
+            )?;
+        }
+        writeln!(
+            f,
+            "occupancy:            RUU {:.1} avg, {:.2} ALUs busy, issue saturated {:.1}% of cycles",
+            s.occupancy.avg_ruu(s.cycles),
+            s.occupancy.avg_alus(s.cycles),
+            s.occupancy.saturation_fraction(s.cycles) * 100.0
+        )?;
+        writeln!(
+            f,
+            "L1D miss rate:        {:.4}",
+            self.hierarchy.l1d.miss_rate()
+        )?;
+        Ok(())
+    }
+}

@@ -1,0 +1,451 @@
+//! Statistics collection: everything needed to regenerate the paper's
+//! figures.
+//!
+//! * [`WidthHistogram`] — Figure 1 (cumulative operand-width distribution).
+//! * [`FluctuationTracker`] — Figure 2 (per-PC 16-bit precision flips).
+//! * [`NarrowBreakdown`] — Figures 4 and 5 (narrow ops by class).
+//! * [`PackStats`] — Figures 10 and 11 (operation packing).
+//! * The power side (Figures 6 and 7) lives in
+//!   [`nwo_power::PowerAccumulator`], owned by [`SimStats`].
+
+use nwo_core::width64;
+use nwo_isa::OpClass;
+use nwo_power::PowerAccumulator;
+use std::collections::HashMap;
+
+/// Histogram of `max(width(a), width(b))` over operand pairs — the raw
+/// data behind Figure 1.
+#[derive(Debug, Clone)]
+pub struct WidthHistogram {
+    counts: [u64; 65],
+    total: u64,
+}
+
+impl Default for WidthHistogram {
+    fn default() -> Self {
+        WidthHistogram {
+            counts: [0; 65],
+            total: 0,
+        }
+    }
+}
+
+impl WidthHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one operation's operand pair.
+    #[inline]
+    pub fn record(&mut self, a: u64, b: u64) {
+        let w = width64(a).max(width64(b));
+        self.counts[w as usize] += 1;
+        self.total += 1;
+    }
+
+    /// Total operations recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Operations whose wider operand is exactly `n` bits.
+    pub fn at(&self, n: u32) -> u64 {
+        self.counts[n as usize]
+    }
+
+    /// Cumulative fraction of operations with both operands ≤ `n` bits —
+    /// one point on a Figure 1 curve.
+    pub fn cumulative(&self, n: u32) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let sum: u64 = self.counts[..=(n as usize).min(64)].iter().sum();
+        sum as f64 / self.total as f64
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &WidthHistogram) {
+        for (dst, src) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *dst += src;
+        }
+        self.total += other.total;
+    }
+}
+
+/// Tracks, per static instruction (PC), whether its "both operands
+/// narrow at 16 bits" property flips across dynamic executions — the
+/// quantity of Figure 2.
+#[derive(Debug, Clone, Default)]
+pub struct FluctuationTracker {
+    /// pc -> (last observed narrowness, has fluctuated, executions).
+    map: HashMap<u64, (bool, bool, u64)>,
+}
+
+impl FluctuationTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one dynamic execution of the instruction at `pc`.
+    #[inline]
+    pub fn record(&mut self, pc: u64, a: u64, b: u64) {
+        let narrow = width64(a).max(width64(b)) <= 16;
+        match self.map.entry(pc) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                let (last, fluct, execs) = *e.get();
+                *e.get_mut() = (narrow, fluct || last != narrow, execs + 1);
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert((narrow, false, 1));
+            }
+        }
+    }
+
+    /// Number of distinct PCs observed.
+    pub fn static_instructions(&self) -> u64 {
+        self.map.len() as u64
+    }
+
+    /// Fraction of static instructions (executed at least twice) whose
+    /// precision crossed the 16-bit line at least once.
+    pub fn fluctuating_fraction(&self) -> f64 {
+        let eligible = self.map.values().filter(|(_, _, n)| *n >= 2).count();
+        if eligible == 0 {
+            return 0.0;
+        }
+        let flipped = self
+            .map
+            .values()
+            .filter(|(_, fluct, n)| *fluct && *n >= 2)
+            .count();
+        flipped as f64 / eligible as f64
+    }
+}
+
+/// Counts of operations whose operands are both narrow, broken down by
+/// operation class — the data of Figures 4 and 5.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NarrowBreakdown {
+    /// Per class: (total, both ≤ 16 bits, both ≤ 33 bits).
+    /// Indexed by [`class_slot`].
+    pub by_class: [(u64, u64, u64); 6],
+    /// All instructions recorded (the percentage denominator).
+    pub total_instructions: u64,
+}
+
+/// The breakdown slot for a class: arith, logic, shift, mult/div,
+/// memory, branch/jump. `None` for system ops.
+pub fn class_slot(class: OpClass) -> Option<usize> {
+    match class {
+        OpClass::IntArith => Some(0),
+        OpClass::Logic => Some(1),
+        OpClass::Shift => Some(2),
+        OpClass::Mult | OpClass::Div => Some(3),
+        OpClass::Load | OpClass::Store => Some(4),
+        OpClass::Branch | OpClass::Jump => Some(5),
+        OpClass::System => None,
+    }
+}
+
+/// Human-readable names for the breakdown slots.
+pub const CLASS_SLOT_NAMES: [&str; 6] = ["arith", "logic", "shift", "mult", "memory", "branch"];
+
+impl NarrowBreakdown {
+    /// Creates an empty breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one executed operation.
+    #[inline]
+    pub fn record(&mut self, class: OpClass, a: u64, b: u64) {
+        self.total_instructions += 1;
+        let Some(slot) = class_slot(class) else {
+            return;
+        };
+        let w = width64(a).max(width64(b));
+        let entry = &mut self.by_class[slot];
+        entry.0 += 1;
+        if w <= 16 {
+            entry.1 += 1;
+        }
+        if w <= 33 {
+            entry.2 += 1;
+        }
+    }
+
+    /// Fraction of all instructions that are class-`slot` ops with both
+    /// operands ≤ 16 bits (a Figure 4 bar segment).
+    pub fn narrow16_fraction(&self, slot: usize) -> f64 {
+        ratio(self.by_class[slot].1, self.total_instructions)
+    }
+
+    /// Fraction of all instructions that are class-`slot` ops with both
+    /// operands ≤ 33 bits (a Figure 5 bar segment).
+    pub fn narrow33_fraction(&self, slot: usize) -> f64 {
+        ratio(self.by_class[slot].2, self.total_instructions)
+    }
+
+    /// Total fraction of instructions with both operands ≤ 16 bits.
+    pub fn narrow16_total_fraction(&self) -> f64 {
+        let n: u64 = self.by_class.iter().map(|c| c.1).sum();
+        ratio(n, self.total_instructions)
+    }
+
+    /// Total fraction of instructions with both operands ≤ 33 bits.
+    pub fn narrow33_total_fraction(&self) -> f64 {
+        let n: u64 = self.by_class.iter().map(|c| c.2).sum();
+        ratio(n, self.total_instructions)
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Per-cycle resource-occupancy accounting: where the machine's
+/// bottleneck sits (fetch-starved, dependence-bound, or issue-limited).
+#[derive(Debug, Clone, Default)]
+pub struct Occupancy {
+    /// `issue_slots[n]` = cycles in which exactly `n` issue slots were
+    /// used (length `issue_width + 1`).
+    pub issue_slots: Vec<u64>,
+    /// Sum over cycles of RUU entries occupied (divide by cycles for
+    /// the average).
+    pub ruu_sum: u64,
+    /// Sum over cycles of integer ALUs busy.
+    pub alu_sum: u64,
+    /// Cycles in which every issue slot was used (issue-bandwidth
+    /// saturated — the cycles operation packing relieves).
+    pub issue_saturated: u64,
+}
+
+impl Occupancy {
+    /// Average RUU occupancy over a `cycles`-cycle run.
+    pub fn avg_ruu(&self, cycles: u64) -> f64 {
+        if cycles == 0 {
+            0.0
+        } else {
+            self.ruu_sum as f64 / cycles as f64
+        }
+    }
+
+    /// Average ALUs busy per cycle.
+    pub fn avg_alus(&self, cycles: u64) -> f64 {
+        if cycles == 0 {
+            0.0
+        } else {
+            self.alu_sum as f64 / cycles as f64
+        }
+    }
+
+    /// Fraction of cycles with all issue slots used.
+    pub fn saturation_fraction(&self, cycles: u64) -> f64 {
+        if cycles == 0 {
+            0.0
+        } else {
+            self.issue_saturated as f64 / cycles as f64
+        }
+    }
+}
+
+/// Operation-packing counters (Section 5.4).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PackStats {
+    /// Packed groups issued (each used one issue slot and one ALU).
+    pub groups: u64,
+    /// Instructions that issued as members of a packed group.
+    pub packed_ops: u64,
+    /// Issue slots saved: sum over groups of (size − 1).
+    pub slots_saved: u64,
+    /// Instructions issued speculatively under replay packing.
+    pub replay_issued: u64,
+    /// Replay-packed instructions squashed by a carry ripple and
+    /// re-issued full-width.
+    pub replay_squashed: u64,
+}
+
+/// Branch-prediction outcome counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BranchStats {
+    /// Control-transfer instructions committed.
+    pub committed: u64,
+    /// Conditional branches committed.
+    pub cond_committed: u64,
+    /// Correct-path mispredictions (each triggered a recovery).
+    pub mispredicts: u64,
+}
+
+impl BranchStats {
+    /// Prediction accuracy over committed control instructions.
+    pub fn accuracy(&self) -> f64 {
+        if self.committed == 0 {
+            1.0
+        } else {
+            1.0 - self.mispredicts as f64 / self.committed as f64
+        }
+    }
+}
+
+/// All statistics for one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct SimStats {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Instructions fetched (includes wrong path).
+    pub fetched: u64,
+    /// Instructions dispatched into the RUU (includes wrong path).
+    pub dispatched: u64,
+    /// Instructions issued to functional units (includes wrong path and
+    /// replay re-issues).
+    pub issued: u64,
+    /// Instructions committed (architecturally retired).
+    pub committed: u64,
+    /// Instructions squashed by recoveries.
+    pub squashed: u64,
+    /// Committed-instruction operand-width histogram (Figure 1).
+    pub width_committed: WidthHistogram,
+    /// Executed-instruction operand-width histogram (wrong path
+    /// included).
+    pub width_executed: WidthHistogram,
+    /// Per-PC precision fluctuation over *executed* ops (Figure 2 —
+    /// the perfect/realistic contrast comes from wrong-path execution).
+    pub fluctuation: FluctuationTracker,
+    /// Narrow-operation breakdown over executed ops (Figures 4, 5).
+    pub breakdown: NarrowBreakdown,
+    /// Integer-unit power accounting (Figures 6, 7).
+    pub power: PowerAccumulator,
+    /// Extension: narrow-width data-cache/bus traffic accounting (the
+    /// paper's Section 6 future work).
+    pub mem_ext: nwo_power::MemPowerExt,
+    /// Packing counters (Figures 10, 11).
+    pub pack: PackStats,
+    /// Resource-occupancy accounting.
+    pub occupancy: Occupancy,
+    /// Branch counters.
+    pub branch: BranchStats,
+    /// Power-saving (gated) ops with at least one operand straight from
+    /// a load (the 13.1% / 1.5% statistic of Section 4.2).
+    pub gated_ops_with_load_operand: u64,
+    /// All gated ops (denominator for the above).
+    pub gated_ops: u64,
+}
+
+impl SimStats {
+    /// Committed instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of gated ops fed directly by a load.
+    pub fn load_operand_fraction(&self) -> f64 {
+        ratio(self.gated_ops_with_load_operand, self.gated_ops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_cumulative_behaviour() {
+        let mut h = WidthHistogram::new();
+        h.record(17, 2); // width 5
+        h.record(0xffff, 1); // width 16
+        h.record(0x1_0000_0000, 4); // width 33
+        assert_eq!(h.total(), 3);
+        assert!((h.cumulative(4) - 0.0).abs() < 1e-12);
+        assert!((h.cumulative(5) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((h.cumulative(16) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((h.cumulative(32) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((h.cumulative(33) - 1.0).abs() < 1e-12);
+        assert!((h.cumulative(64) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = WidthHistogram::new();
+        a.record(1, 1);
+        let mut b = WidthHistogram::new();
+        b.record(0x1_0000, 1); // width 17
+        a.merge(&b);
+        assert_eq!(a.total(), 2);
+        assert_eq!(a.at(1), 1);
+        assert_eq!(a.at(17), 1);
+    }
+
+    #[test]
+    fn fluctuation_detects_flips() {
+        let mut f = FluctuationTracker::new();
+        // PC 0x100 stays narrow; PC 0x200 flips.
+        f.record(0x100, 1, 2);
+        f.record(0x100, 3, 4);
+        f.record(0x200, 1, 2);
+        f.record(0x200, 1 << 30, 2);
+        assert_eq!(f.static_instructions(), 2);
+        assert!((f.fluctuating_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fluctuation_ignores_single_executions() {
+        let mut f = FluctuationTracker::new();
+        f.record(0x100, 1, 2);
+        assert_eq!(f.fluctuating_fraction(), 0.0);
+    }
+
+    #[test]
+    fn breakdown_fractions() {
+        let mut b = NarrowBreakdown::new();
+        b.record(OpClass::IntArith, 17, 2); // narrow16 arith
+        b.record(OpClass::Load, 0x1_0000_0000, 16); // narrow33 memory
+        b.record(OpClass::Mult, 1 << 40, 2); // wide mult
+        b.record(OpClass::System, 0, 0); // counted in denominator only
+        assert_eq!(b.total_instructions, 4);
+        assert!((b.narrow16_fraction(0) - 0.25).abs() < 1e-12);
+        assert!((b.narrow16_total_fraction() - 0.25).abs() < 1e-12);
+        assert!((b.narrow33_fraction(4) - 0.25).abs() < 1e-12);
+        assert!((b.narrow33_total_fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(b.by_class[3], (1, 0, 0));
+    }
+
+    #[test]
+    fn class_slots_cover_everything_but_system() {
+        assert_eq!(class_slot(OpClass::IntArith), Some(0));
+        assert_eq!(class_slot(OpClass::Div), Some(3));
+        assert_eq!(class_slot(OpClass::Store), Some(4));
+        assert_eq!(class_slot(OpClass::Jump), Some(5));
+        assert_eq!(class_slot(OpClass::System), None);
+        assert_eq!(CLASS_SLOT_NAMES.len(), 6);
+    }
+
+    #[test]
+    fn branch_accuracy() {
+        let b = BranchStats {
+            committed: 100,
+            cond_committed: 80,
+            mispredicts: 10,
+        };
+        assert!((b.accuracy() - 0.9).abs() < 1e-12);
+        assert_eq!(BranchStats::default().accuracy(), 1.0);
+    }
+
+    #[test]
+    fn ipc_computation() {
+        let stats = SimStats {
+            cycles: 50,
+            committed: 100,
+            ..SimStats::default()
+        };
+        assert!((stats.ipc() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,181 @@
+//! Synthetic benchmark inputs and `.data`-section emission helpers.
+//!
+//! All inputs are generated from seeded [`Rng`] streams so benchmarks are
+//! bit-reproducible. The generators aim for *realistic value
+//! distributions*, which is what the paper's optimizations key on:
+//! text is skewed ASCII, audio is a bounded 16-bit waveform, images are
+//! smooth 8-bit gradients with noise.
+
+use crate::rng::Rng;
+use std::fmt::Write;
+
+/// Markov-ish ASCII text: word-like runs of skewed letters separated by
+/// spaces and punctuation — compressible like real text (compress, gcc,
+/// perl inputs).
+pub fn text(seed: u64, len: usize) -> Vec<u8> {
+    const LETTERS: &[u8] = b"etaoinshrdlucmfwypvbgkjqxz";
+    let mut rng = Rng::new(seed);
+    let mut out = Vec::with_capacity(len);
+    while out.len() < len {
+        let word_len = 2 + rng.below(8) as usize;
+        for _ in 0..word_len.min(len - out.len()) {
+            // Zipf-ish skew: prefer early letters.
+            let i = (rng.below(26) * rng.below(26) / 26) as usize;
+            out.push(LETTERS[i]);
+        }
+        if out.len() < len {
+            out.push(if rng.below(8) == 0 { b'\n' } else { b' ' });
+        }
+    }
+    out.truncate(len);
+    out
+}
+
+/// Bounded 16-bit audio: a sum of two sine-ish integer oscillators plus
+/// noise, amplitude well inside i16 (gsm, g721 inputs).
+pub fn audio(seed: u64, samples: usize) -> Vec<i16> {
+    let mut rng = Rng::new(seed);
+    let mut out = Vec::with_capacity(samples);
+    // Integer resonator: x[n] = (k*x[n-1] >> 14) - x[n-2] approximates a
+    // sine without floating point.
+    let (mut x1, mut x2) = (1000i64, 0i64);
+    let (mut y1, mut y2) = (400i64, 350i64);
+    for _ in 0..samples {
+        let x0 = ((32700 * x1) >> 14) - x2; // slow oscillator
+        let y0 = ((30000 * y1) >> 14) - y2; // faster oscillator
+        x2 = x1;
+        x1 = x0;
+        y2 = y1;
+        y1 = y0;
+        let noise = rng.range(-64, 64);
+        let v = (x0 / 4 + y0 / 8 + noise).clamp(-20000, 20000);
+        out.push(v as i16);
+    }
+    out
+}
+
+/// Smooth 8-bit grayscale image with gradients and noise (ijpeg, mpeg2
+/// inputs). Row-major, `width * height` bytes.
+pub fn image(seed: u64, width: usize, height: usize) -> Vec<u8> {
+    let mut rng = Rng::new(seed);
+    let mut out = Vec::with_capacity(width * height);
+    for y in 0..height {
+        for x in 0..width {
+            let base = (x * 3 + y * 2) % 200;
+            let blob = if (x / 16 + y / 16) % 2 == 0 { 30 } else { 0 };
+            let noise = rng.below(16) as usize;
+            out.push((base + blob + noise).min(255) as u8);
+        }
+    }
+    out
+}
+
+/// A 19×19 go board with random stones: 0 empty, 1 black, 2 white.
+pub fn go_board(seed: u64) -> Vec<u8> {
+    let mut rng = Rng::new(seed);
+    (0..19 * 19)
+        .map(|_| match rng.below(10) {
+            0..=3 => 0,
+            4..=6 => 1,
+            _ => 2,
+        })
+        .collect()
+}
+
+// ----------------------------------------------------------------------
+// .data emission helpers
+// ----------------------------------------------------------------------
+
+/// Emits `label: .byte …` lines for a byte slice (16 values per line).
+pub fn emit_bytes(out: &mut String, label: &str, data: &[u8]) {
+    let _ = writeln!(out, "{label}:");
+    for chunk in data.chunks(16) {
+        let row: Vec<String> = chunk.iter().map(|b| b.to_string()).collect();
+        let _ = writeln!(out, "    .byte {}", row.join(", "));
+    }
+    if data.is_empty() {
+        let _ = writeln!(out, "    .space 0");
+    }
+}
+
+/// Emits `label: .word …` lines for 16-bit values.
+pub fn emit_words(out: &mut String, label: &str, data: &[i16]) {
+    let _ = writeln!(out, "{label}:");
+    for chunk in data.chunks(12) {
+        let row: Vec<String> = chunk.iter().map(|w| w.to_string()).collect();
+        let _ = writeln!(out, "    .word {}", row.join(", "));
+    }
+    if data.is_empty() {
+        let _ = writeln!(out, "    .space 0");
+    }
+}
+
+/// Emits `label: .quad …` lines for 64-bit values.
+pub fn emit_quads(out: &mut String, label: &str, data: &[i64]) {
+    let _ = writeln!(out, "{label}:");
+    for chunk in data.chunks(6) {
+        let row: Vec<String> = chunk.iter().map(|q| q.to_string()).collect();
+        let _ = writeln!(out, "    .quad {}", row.join(", "));
+    }
+    if data.is_empty() {
+        let _ = writeln!(out, "    .space 0");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_is_reproducible_and_ascii() {
+        let a = text(1, 1000);
+        let b = text(1, 1000);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 1000);
+        assert!(a.iter().all(|&c| c.is_ascii()));
+        // Mostly letters, with some separators.
+        let spaces = a.iter().filter(|&&c| c == b' ' || c == b'\n').count();
+        assert!(spaces > 50 && spaces < 500);
+    }
+
+    #[test]
+    fn audio_is_bounded_and_oscillating() {
+        let a = audio(2, 4000);
+        assert_eq!(a.len(), 4000);
+        assert!(a.iter().all(|&s| (-20000..=20000).contains(&(s as i64))));
+        // It must actually move (not a constant).
+        let distinct: std::collections::HashSet<i16> = a.iter().copied().collect();
+        assert!(distinct.len() > 100);
+        // Sign changes show oscillation.
+        let flips = a.windows(2).filter(|w| (w[0] < 0) != (w[1] < 0)).count();
+        assert!(flips > 10);
+    }
+
+    #[test]
+    fn image_has_structure() {
+        let img = image(3, 64, 64);
+        assert_eq!(img.len(), 64 * 64);
+        let distinct: std::collections::HashSet<u8> = img.iter().copied().collect();
+        assert!(distinct.len() > 30, "gradients need many levels");
+    }
+
+    #[test]
+    fn board_has_all_three_states() {
+        let b = go_board(4);
+        assert_eq!(b.len(), 361);
+        assert!(b.contains(&0) && b.contains(&1) && b.contains(&2));
+        assert!(b.iter().all(|&c| c <= 2));
+    }
+
+    #[test]
+    fn emitters_produce_assemblable_directives() {
+        let mut s = String::from(".data\n");
+        emit_bytes(&mut s, "b", &[1, 2, 255]);
+        emit_words(&mut s, "w", &[-5, 1000]);
+        emit_quads(&mut s, "q", &[-1, 1 << 40]);
+        s.push_str(".text\nmain: halt\n");
+        let prog = nwo_isa::assemble(&s).expect("directives must assemble");
+        assert_eq!(prog.data[0..3], [1, 2, 255]);
+        assert_eq!(prog.symbol("w").unwrap() - prog.symbol("b").unwrap(), 3);
+    }
+}

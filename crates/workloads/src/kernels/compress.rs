@@ -1,0 +1,170 @@
+//! `compress`-like kernel: LZW compression.
+//!
+//! Mirrors SPECint95 `compress`: a real LZW encoder over a hashed
+//! dictionary. Codes stay below 4096 (12-bit — narrow), while the hash
+//! probing exercises address arithmetic (33-bit operands).
+
+use crate::data::{emit_bytes, text};
+use nwo_isa::{assemble, Program};
+use std::fmt::Write;
+
+const TABLE_SIZE: usize = 4096;
+const MAX_CODE: u64 = 4096;
+/// Fits in a signed 32-bit immediate for `li` (golden-ratio multiplier).
+const HASH_MULT: u64 = 0x61c8_8647;
+
+fn input_len(scale: u32) -> usize {
+    768 << scale
+}
+
+/// Builds the benchmark program at the given scale.
+pub fn program(scale: u32) -> Program {
+    let input = text(0xc0de, input_len(scale));
+    let mut src = String::from(".data\n");
+    emit_bytes(&mut src, "textbuf", &input);
+    let _ = writeln!(src, ".align 8");
+    let _ = writeln!(src, "keys: .space {}", TABLE_SIZE * 8);
+    let _ = writeln!(src, "vals: .space {}", TABLE_SIZE * 8);
+    let _ = write!(
+        src,
+        r#"
+    .text
+main:
+    la   a0, textbuf
+    li   a1, {len}
+    la   a2, keys
+    la   a3, vals
+    li   a4, {hash_mult}
+    li   a5, 4095          ; table index mask
+    li   s3, {max_code}
+    clr  s0                ; emitted code count
+    clr  s1                ; checksum
+    li   s2, 256           ; next_code
+    ldbu t0, 0(a0)         ; prefix = first byte
+    li   t1, 1             ; i
+loop:
+    cmplt t1, a1, t2
+    beq  t2, flush
+    addq a0, t1, t2
+    ldbu t3, 0(t2)         ; ch
+    sll  t0, 8, t4
+    bis  t4, t3, t4        ; key = prefix<<8 | ch
+    mulq t4, a4, t5        ; hash
+    srl  t5, 8, t5
+    and  t5, a5, t5        ; slot
+probe:
+    sll  t5, 3, t6
+    addq a2, t6, t7
+    ldq  t8, 0(t7)         ; stored key+1
+    beq  t8, miss
+    addq t4, 1, t9
+    subq t8, t9, t9
+    bne  t9, collide
+    addq a3, t6, t7        ; hit: prefix = vals[slot]
+    ldq  t0, 0(t7)
+    addq t1, 1, t1
+    br   loop
+collide:
+    addq t5, 1, t5
+    and  t5, a5, t5
+    br   probe
+miss:
+    ; emit prefix: checksum = checksum*31 + prefix
+    sll  s1, 5, t9    ; strength-reduced *31
+    subq t9, s1, s1
+    addq s1, t0, s1
+    addq s0, 1, s0
+    ; insert if the dictionary is not full
+    cmplt s2, s3, t9
+    beq  t9, noinsert
+    addq t4, 1, t9
+    stq  t9, 0(t7)         ; keys[slot] = key+1 (t7 still -> keys)
+    addq a3, t6, t9
+    stq  s2, 0(t9)         ; vals[slot] = next_code
+    addq s2, 1, s2
+noinsert:
+    mov  t3, t0            ; prefix = ch
+    addq t1, 1, t1
+    br   loop
+flush:
+    sll  s1, 5, t9    ; strength-reduced *31
+    subq t9, s1, s1
+    addq s1, t0, s1
+    addq s0, 1, s0
+    outq s0
+    outq s1
+    outq s2
+    halt
+"#,
+        len = input.len(),
+        hash_mult = HASH_MULT,
+        max_code = MAX_CODE,
+    );
+    assemble(&src).expect("compress kernel must assemble")
+}
+
+/// Reference implementation: the expected `outq` stream.
+pub fn reference(scale: u32) -> Vec<u64> {
+    let input = text(0xc0de, input_len(scale));
+    let mut keys = vec![0u64; TABLE_SIZE];
+    let mut vals = vec![0u64; TABLE_SIZE];
+    let mut next_code = 256u64;
+    let mut count = 0u64;
+    let mut checksum = 0u64;
+    let mut prefix = input[0] as u64;
+    let mut i = 1;
+    while i < input.len() {
+        let ch = input[i] as u64;
+        let key = (prefix << 8) | ch;
+        let mut slot = ((key.wrapping_mul(HASH_MULT)) >> 8) as usize & (TABLE_SIZE - 1);
+        loop {
+            let stored = keys[slot];
+            if stored == 0 {
+                checksum = checksum.wrapping_mul(31).wrapping_add(prefix);
+                count += 1;
+                if next_code < MAX_CODE {
+                    keys[slot] = key + 1;
+                    vals[slot] = next_code;
+                    next_code += 1;
+                }
+                prefix = ch;
+                i += 1;
+                break;
+            }
+            if stored == key + 1 {
+                prefix = vals[slot];
+                i += 1;
+                break;
+            }
+            slot = (slot + 1) & (TABLE_SIZE - 1);
+        }
+    }
+    checksum = checksum.wrapping_mul(31).wrapping_add(prefix);
+    count += 1;
+    vec![count, checksum, next_code]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nwo_isa::Emulator;
+
+    #[test]
+    fn matches_reference() {
+        let prog = program(0);
+        let mut emu = Emulator::new(&prog);
+        emu.run(10_000_000).expect("halts");
+        assert_eq!(emu.outq(), reference(0).as_slice());
+    }
+
+    #[test]
+    fn actually_compresses() {
+        let r = reference(0);
+        let codes = r[0];
+        assert!(
+            codes < input_len(0) as u64,
+            "LZW must emit fewer codes than input bytes"
+        );
+        assert!(r[2] > 256, "dictionary must grow");
+    }
+}

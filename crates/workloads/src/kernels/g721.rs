@@ -1,0 +1,410 @@
+//! `g721`-like kernels: ADPCM voice coding with a transversal predictor.
+//!
+//! Mirrors MediaBench `g721-encode`/`g721-decode` (CCITT G.721): the real
+//! codec predicts each sample with a six-tap transversal filter over the
+//! quantised-difference history plus an adaptive quantiser. We keep that
+//! structure — a six-term shift/add prediction tree evaluated every
+//! sample with the history in registers — which gives the kernel the
+//! genuine instruction-level parallelism of the reference code, followed
+//! by the serial quantiser/adaptation recurrence.
+
+use crate::data::{audio, emit_bytes, emit_words};
+use nwo_isa::{assemble, Program};
+use std::fmt::Write;
+
+/// Adaptive step-size table (the IMA/DVI quantiser ladder).
+const STEPS: [i16; 89] = [
+    7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37, 41, 45, 50, 55, 60, 66,
+    73, 80, 88, 97, 107, 118, 130, 143, 157, 173, 190, 209, 230, 253, 279, 307, 337, 371, 408,
+    449, 494, 544, 598, 658, 724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+    2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484, 7132, 7845, 8630,
+    9493, 10442, 11487, 12635, 13899, 15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794,
+    32767,
+];
+
+/// Index adaptation per 3-bit magnitude code.
+const INDEX_ADJUST: [i8; 8] = [-1, -1, -1, -1, 2, 4, 6, 8];
+
+/// The fixed leaky transversal predictor: tap `i` contributes
+/// `dq[i] >> (i + 1)`.
+const TAPS: usize = 6;
+
+fn sample_count(scale: u32) -> usize {
+    2048 << scale
+}
+
+fn samples(scale: u32) -> Vec<i16> {
+    audio(0x6721, sample_count(scale))
+}
+
+/// Shared codec state.
+#[derive(Debug, Clone, Default)]
+struct Codec {
+    /// Quantised-difference history (newest first).
+    dq: [i64; TAPS],
+    /// Step-size index.
+    index: i64,
+}
+
+impl Codec {
+    /// The transversal prediction: `sum_i dq[i] >> (i+1)`.
+    fn predict(&self) -> i64 {
+        (0..TAPS).map(|i| self.dq[i] >> (i + 1)).sum()
+    }
+
+    /// Reconstructs the signed quantised difference for `code` and
+    /// advances the adaptation state.
+    fn reconstruct(&mut self, code: u8) -> i64 {
+        let step = STEPS[self.index as usize] as i64;
+        let mut dqv = step >> 3;
+        if code & 4 != 0 {
+            dqv += step;
+        }
+        if code & 2 != 0 {
+            dqv += step >> 1;
+        }
+        if code & 1 != 0 {
+            dqv += step >> 2;
+        }
+        if code & 8 != 0 {
+            dqv = -dqv;
+        }
+        for i in (1..TAPS).rev() {
+            self.dq[i] = self.dq[i - 1];
+        }
+        self.dq[0] = dqv;
+        self.index =
+            (self.index + INDEX_ADJUST[(code & 7) as usize] as i64).clamp(0, 88);
+        dqv
+    }
+
+    /// Quantises one sample, returning the 4-bit code.
+    fn encode(&mut self, sample: i64) -> u8 {
+        let se = self.predict();
+        let step = STEPS[self.index as usize] as i64;
+        let mut diff = sample - se;
+        let sign = if diff < 0 { 8u8 } else { 0 };
+        if diff < 0 {
+            diff = -diff;
+        }
+        let mut code = 0u8;
+        if diff >= step {
+            code |= 4;
+            diff -= step;
+        }
+        if diff >= step >> 1 {
+            code |= 2;
+            diff -= step >> 1;
+        }
+        if diff >= step >> 2 {
+            code |= 1;
+        }
+        self.reconstruct(code | sign);
+        code | sign
+    }
+
+    /// Decodes one code, returning the reconstructed sample.
+    fn decode(&mut self, code: u8) -> i64 {
+        let se = self.predict();
+        let dqv = self.reconstruct(code);
+        se + dqv
+    }
+}
+
+fn encode_all(scale: u32) -> (Vec<u8>, u64) {
+    let x = samples(scale);
+    let mut codec = Codec::default();
+    let mut codes = Vec::with_capacity(x.len());
+    let mut checksum = 0u64;
+    for &s in &x {
+        let code = codec.encode(s as i64);
+        codes.push(code);
+        checksum = checksum.wrapping_mul(31).wrapping_add(code as u64);
+    }
+    (codes, checksum)
+}
+
+/// The prediction tree in assembly: dq history lives in registers
+/// `s2, s4, s5, a4, a5, v0` (newest to oldest); leaves `se` in `t3`.
+/// Three independent shift/add pairs combine in a balanced tree.
+const PREDICT_TREE: &str = r#"    sra  s2, 1, t3
+    sra  s4, 2, t4
+    addq t3, t4, t3
+    sra  s5, 3, t4
+    sra  a4, 4, t5
+    addq t4, t5, t4
+    sra  a5, 5, t5
+    sra  v0, 6, t6
+    addq t5, t6, t5
+    addq t3, t4, t3
+    addq t3, t5, t3    ; se = six-tap prediction
+"#;
+
+/// The reconstruct + history-advance sequence: code in `t0`, leaves
+/// `dqv` in `t7` and shifts the register-resident history.
+fn asm_reconstruct(prefix: &str) -> String {
+    format!(
+        r#"    ; ---- reconstruct dqv from the code and adapt ----
+    sll  s1, 1, t5
+    addq a2, t5, t5
+    ldwu t6, 0(t5)     ; step (positive, <= 32767)
+    sra  t6, 3, t7     ; dqv = step >> 3
+    and  t0, 4, t8
+    beq  t8, {prefix}no4
+    addq t7, t6, t7
+{prefix}no4:
+    and  t0, 2, t8
+    beq  t8, {prefix}no2
+    sra  t6, 1, t8
+    addq t7, t8, t7
+{prefix}no2:
+    and  t0, 1, t8
+    beq  t8, {prefix}no1
+    sra  t6, 2, t8
+    addq t7, t8, t7
+{prefix}no1:
+    and  t0, 8, t8
+    beq  t8, {prefix}pos
+    subq zero, t7, t7
+{prefix}pos:
+    ; advance the register-resident history (newest -> oldest)
+    mov  a5, v0
+    mov  a4, a5
+    mov  s5, a4
+    mov  s4, s5
+    mov  s2, s4
+    mov  t7, s2
+    ; index adaptation
+    and  t0, 7, t8
+    addq a3, t8, t8
+    ldbu t9, 0(t8)
+    sextb t9, t9
+    addq s1, t9, s1
+    cmple zero, s1, t9
+    bne  t9, {prefix}ilow
+    clr  s1
+{prefix}ilow:
+    li   t8, 88
+    cmple s1, t8, t9
+    bne  t9, {prefix}iok
+    mov  t8, s1
+{prefix}iok:
+"#
+    )
+}
+
+/// Builds the encoder benchmark at the given scale.
+pub fn encode_program(scale: u32) -> Program {
+    let x = samples(scale);
+    let adjust_bytes: Vec<u8> = INDEX_ADJUST.iter().map(|&v| v as u8).collect();
+    let mut src = String::from(".data\n.align 8\n");
+    emit_words(&mut src, "pcm", &x);
+    emit_words(&mut src, "steps", &STEPS);
+    emit_bytes(&mut src, "adjust", &adjust_bytes);
+    let reconstruct = asm_reconstruct("e_");
+    let _ = write!(
+        src,
+        r#"
+    .text
+main:
+    la   a0, pcm
+    li   a1, {nsamples}
+    la   a2, steps
+    la   a3, adjust
+    clr  s0            ; code checksum
+    clr  s1            ; step index
+    clr  s2            ; dq[0]
+    clr  s4            ; dq[1]
+    clr  s5            ; dq[2]
+    clr  a4            ; dq[3]
+    clr  a5            ; dq[4]
+    clr  v0            ; dq[5]
+    clr  s3            ; i
+sample_loop:
+    cmplt s3, a1, t9
+    beq  t9, done
+    sll  s3, 1, t1
+    addq a0, t1, t1
+    ldwu t2, 0(t1)
+    sextw t2, t2       ; sample
+{predict}
+    subq t2, t3, t3    ; diff = sample - se
+    ; ---- quantise against the current step ----
+    sll  s1, 1, t5
+    addq a2, t5, t5
+    ldwu t6, 0(t5)     ; step
+    clr  t0            ; code
+    cmple zero, t3, t9
+    bne  t9, positive
+    li   t0, 8         ; sign bit
+    subq zero, t3, t3
+positive:
+    cmple t6, t3, t9
+    beq  t9, bit2
+    bis  t0, 4, t0
+    subq t3, t6, t3
+bit2:
+    sra  t6, 1, t7
+    cmple t7, t3, t9
+    beq  t9, bit1
+    bis  t0, 2, t0
+    subq t3, t7, t3
+bit1:
+    sra  t6, 2, t7
+    cmple t7, t3, t9
+    beq  t9, quantised
+    bis  t0, 1, t0
+quantised:
+    sll  s0, 5, t9     ; checksum = checksum*31 + code
+    subq t9, s0, s0
+    addq s0, t0, s0
+{reconstruct}
+    addq s3, 1, s3
+    br   sample_loop
+done:
+    outq s0
+    outq s2
+    halt
+"#,
+        nsamples = x.len(),
+        predict = PREDICT_TREE,
+        reconstruct = reconstruct,
+    );
+    assemble(&src).expect("g721 encode kernel must assemble")
+}
+
+/// Expected encoder output.
+pub fn encode_reference(scale: u32) -> Vec<u64> {
+    let x = samples(scale);
+    let mut codec = Codec::default();
+    let mut checksum = 0u64;
+    for &s in &x {
+        let code = codec.encode(s as i64);
+        checksum = checksum.wrapping_mul(31).wrapping_add(code as u64);
+    }
+    vec![checksum, codec.dq[0] as u64]
+}
+
+/// Builds the decoder benchmark: reconstructs PCM from the code stream
+/// produced by the (reference) encoder.
+pub fn decode_program(scale: u32) -> Program {
+    let (codes, _) = encode_all(scale);
+    let adjust_bytes: Vec<u8> = INDEX_ADJUST.iter().map(|&v| v as u8).collect();
+    let mut src = String::from(".data\n.align 8\n");
+    emit_bytes(&mut src, "codes", &codes);
+    emit_words(&mut src, "steps", &STEPS);
+    emit_bytes(&mut src, "adjust", &adjust_bytes);
+    let reconstruct = asm_reconstruct("d_");
+    let _ = write!(
+        src,
+        r#"
+    .text
+main:
+    la   a0, codes
+    li   a1, {ncodes}
+    la   a2, steps
+    la   a3, adjust
+    clr  s0            ; sample checksum
+    clr  s1            ; step index
+    clr  s2
+    clr  s4
+    clr  s5
+    clr  a4
+    clr  a5
+    clr  v0
+    clr  s3            ; i
+code_loop:
+    cmplt s3, a1, t9
+    beq  t9, done
+    addq a0, s3, t1
+    ldbu t0, 0(t1)     ; code
+{predict}
+    mov  t3, t1        ; hold se across the reconstruct
+{reconstruct}
+    addq t1, t7, t7    ; sample = se + dqv
+    sll  s0, 5, t9     ; checksum = checksum*31 + sample
+    subq t9, s0, s0
+    addq s0, t7, s0
+    addq s3, 1, s3
+    br   code_loop
+done:
+    outq s0
+    outq s2
+    halt
+"#,
+        ncodes = codes.len(),
+        predict = PREDICT_TREE,
+        reconstruct = reconstruct,
+    );
+    assemble(&src).expect("g721 decode kernel must assemble")
+}
+
+/// Expected decoder output.
+pub fn decode_reference(scale: u32) -> Vec<u64> {
+    let (codes, _) = encode_all(scale);
+    let mut codec = Codec::default();
+    let mut checksum = 0u64;
+    for &code in &codes {
+        let sample = codec.decode(code);
+        checksum = checksum.wrapping_mul(31).wrapping_add(sample as u64);
+    }
+    vec![checksum, codec.dq[0] as u64]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nwo_isa::Emulator;
+
+    #[test]
+    fn encode_matches_reference() {
+        let prog = encode_program(0);
+        let mut emu = Emulator::new(&prog);
+        emu.run(100_000_000).expect("halts");
+        assert_eq!(emu.outq(), encode_reference(0).as_slice());
+    }
+
+    #[test]
+    fn decode_matches_reference() {
+        let prog = decode_program(0);
+        let mut emu = Emulator::new(&prog);
+        emu.run(100_000_000).expect("halts");
+        assert_eq!(emu.outq(), decode_reference(0).as_slice());
+    }
+
+    #[test]
+    fn adpcm_tracks_the_waveform() {
+        // Decoded samples must follow the input: RMS error well below
+        // the signal power.
+        let x = samples(0);
+        let (codes, _) = encode_all(0);
+        let mut codec = Codec::default();
+        let mut err2 = 0i64;
+        let mut sig2 = 0i64;
+        for (i, &code) in codes.iter().enumerate() {
+            let rec = codec.decode(code);
+            let e = rec - x[i] as i64;
+            err2 += e * e;
+            sig2 += (x[i] as i64) * (x[i] as i64);
+        }
+        assert!(err2 * 5 < sig2, "ADPCM error too large: {err2} vs {sig2}");
+    }
+
+    #[test]
+    fn codes_use_full_nibble_range() {
+        let (codes, _) = encode_all(0);
+        let distinct: std::collections::HashSet<u8> = codes.iter().copied().collect();
+        assert!(distinct.len() > 8, "quantiser must exercise many codes");
+        assert!(codes.iter().all(|&c| c < 16));
+    }
+
+    #[test]
+    fn predictor_is_a_six_tap_filter() {
+        let c = Codec {
+            dq: [64, 64, 64, 64, 64, 64],
+            ..Codec::default()
+        };
+        // 32 + 16 + 8 + 4 + 2 + 1
+        assert_eq!(c.predict(), 63);
+    }
+}

@@ -1,0 +1,208 @@
+//! `gcc`-like kernel: tokenisation and symbol-table management.
+//!
+//! Mirrors the compiler profile of SPECint95 `gcc`: identifier scanning,
+//! hashing, and chained hash-table insertion/lookup over a pointer
+//! arena — a mix of byte-narrow character work and 33-bit pointer
+//! chasing.
+
+use crate::data::{emit_bytes, text};
+use nwo_isa::{assemble, Program};
+use std::collections::HashMap;
+use std::fmt::Write;
+
+const BUCKETS: usize = 256;
+/// Entry layout in the arena: [full hash, count, next] — 24 bytes.
+const ENTRY_BYTES: usize = 24;
+
+fn input_len(scale: u32) -> usize {
+    1024 << scale
+}
+
+fn max_symbols(scale: u32) -> usize {
+    512 << scale
+}
+
+/// Builds the benchmark program at the given scale.
+pub fn program(scale: u32) -> Program {
+    let input = text(0x6cc0, input_len(scale));
+    let mut src = String::from(".data\n");
+    emit_bytes(&mut src, "textbuf", &input);
+    let _ = writeln!(src, ".align 8");
+    let _ = writeln!(src, "buckets: .space {}", BUCKETS * 8);
+    let _ = writeln!(src, "arena: .space {}", max_symbols(scale) * ENTRY_BYTES);
+    let _ = write!(
+        src,
+        r#"
+    .text
+main:
+    la   a0, textbuf
+    li   a1, {len}
+    la   a2, buckets
+    la   a3, arena
+    clr  s0            ; tokens
+    clr  s1            ; distinct symbols
+    mov  a3, s2        ; arena bump pointer
+    clr  t0            ; i
+    clr  t1            ; current hash (0 = not inside identifier)
+scan:
+    cmplt t0, a1, t2
+    beq  t2, endscan
+    addq a0, t0, t2
+    ldbu t3, 0(t2)     ; c
+    cmpult t3, 'a', t4
+    bne  t4, break_ident
+    cmpule t3, 'z', t4
+    beq  t4, break_ident
+    ; h = h*131 + c  (h starts at 1 so empty/non-empty is distinguishable)
+    bne  t1, grow
+    li   t1, 1
+grow:
+    mulq t1, 131, t1
+    addq t1, t3, t1
+    addq t0, 1, t0
+    br   scan
+break_ident:
+    beq  t1, advance   ; no identifier pending
+    ; finish identifier with hash t1
+    addq s0, 1, s0
+    and  t1, 255, t4   ; bucket index
+    sll  t4, 3, t4
+    addq a2, t4, t4    ; &buckets[b]
+    ldq  t5, 0(t4)     ; chain head
+walk:
+    beq  t5, insert
+    ldq  t6, 0(t5)     ; entry hash
+    subq t6, t1, t7
+    beq  t7, found
+    ldq  t5, 16(t5)    ; next
+    br   walk
+found:
+    ldq  t6, 8(t5)
+    addq t6, 1, t6
+    stq  t6, 8(t5)     ; count++
+    br   ident_done
+insert:
+    stq  t1, 0(s2)     ; hash
+    li   t6, 1
+    stq  t6, 8(s2)     ; count = 1
+    ldq  t7, 0(t4)
+    stq  t7, 16(s2)    ; next = old head
+    stq  s2, 0(t4)     ; head = new entry
+    addq s2, 24, s2
+    addq s1, 1, s1
+ident_done:
+    clr  t1
+advance:
+    addq t0, 1, t0
+    br   scan
+endscan:
+    beq  t1, summarize ; flush a trailing identifier
+    addq s0, 1, s0
+    and  t1, 255, t4
+    sll  t4, 3, t4
+    addq a2, t4, t4
+    ldq  t5, 0(t4)
+walk2:
+    beq  t5, insert2
+    ldq  t6, 0(t5)
+    subq t6, t1, t7
+    beq  t7, found2
+    ldq  t5, 16(t5)
+    br   walk2
+found2:
+    ldq  t6, 8(t5)
+    addq t6, 1, t6
+    stq  t6, 8(t5)
+    br   summarize
+insert2:
+    stq  t1, 0(s2)
+    li   t6, 1
+    stq  t6, 8(s2)
+    ldq  t7, 0(t4)
+    stq  t7, 16(s2)
+    stq  s2, 0(t4)
+    addq s2, 24, s2
+    addq s1, 1, s1
+summarize:
+    ; checksum = fold over arena entries in allocation order
+    clr  s3
+    mov  a3, t0
+chk:
+    cmpult t0, s2, t2
+    beq  t2, out
+    ldq  t3, 8(t0)     ; count
+    sll  s3, 5, t9    ; strength-reduced *31
+    subq t9, s3, s3
+    addq s3, t3, s3
+    addq t0, 24, t0
+    br   chk
+out:
+    outq s0
+    outq s1
+    outq s3
+    halt
+"#,
+        len = input.len(),
+    );
+    assemble(&src).expect("gcc kernel must assemble")
+}
+
+/// Reference implementation: the expected `outq` stream.
+pub fn reference(scale: u32) -> Vec<u64> {
+    let input = text(0x6cc0, input_len(scale));
+    let mut tokens = 0u64;
+    let mut order: Vec<u64> = Vec::new(); // counts in allocation order
+    let mut index: HashMap<u64, usize> = HashMap::new();
+    let mut h = 0u64;
+    let mut finish = |h: &mut u64, tokens: &mut u64| {
+        if *h != 0 {
+            *tokens += 1;
+            match index.get(h) {
+                Some(&i) => order[i] += 1,
+                None => {
+                    index.insert(*h, order.len());
+                    order.push(1);
+                }
+            }
+            *h = 0;
+        }
+    };
+    for &c in &input {
+        if c.is_ascii_lowercase() {
+            if h == 0 {
+                h = 1;
+            }
+            h = h.wrapping_mul(131).wrapping_add(c as u64);
+        } else {
+            finish(&mut h, &mut tokens);
+        }
+    }
+    finish(&mut h, &mut tokens);
+    let distinct = order.len() as u64;
+    let mut checksum = 0u64;
+    for count in order {
+        checksum = checksum.wrapping_mul(31).wrapping_add(count);
+    }
+    vec![tokens, distinct, checksum]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nwo_isa::Emulator;
+
+    #[test]
+    fn matches_reference() {
+        let prog = program(0);
+        let mut emu = Emulator::new(&prog);
+        emu.run(10_000_000).expect("halts");
+        assert_eq!(emu.outq(), reference(0).as_slice());
+    }
+
+    #[test]
+    fn symbol_table_sees_repeats() {
+        let r = reference(0);
+        assert!(r[0] > r[1], "repeated identifiers must collapse");
+        assert!(r[1] > 10, "input must contain many distinct identifiers");
+    }
+}

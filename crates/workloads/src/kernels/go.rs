@@ -1,0 +1,183 @@
+//! `go`-like kernel: 19×19 board scanning.
+//!
+//! Mirrors SPECint95 `go`: per-point neighbour classification (liberty
+//! counting and influence), heavy on address arithmetic and branches —
+//! the address-calculation-dominated profile the paper's 33-bit gating
+//! signal targets.
+
+use crate::data::{emit_bytes, go_board};
+use nwo_isa::{assemble, Program};
+use std::fmt::Write;
+
+const SIZE: i64 = 19;
+
+fn passes(scale: u32) -> u64 {
+    2 << scale
+}
+
+fn neighbor_block(name: &str, skip_check: &str, offset: i64) -> String {
+    let addr = if offset < 0 {
+        format!("subq t2, {}, t8", -offset)
+    } else {
+        format!("addq t2, {offset}, t8")
+    };
+    // Branchless classification (compare-and-accumulate), the code an
+    // optimising compiler emits for a three-way histogram.
+    format!(
+        r#"{skip_check}
+    {addr}
+    addq a0, t8, t8
+    ldbu t7, 0(t8)
+    cmpeq t7, 0, t9
+    addq t6, t9, t6
+    cmpeq t7, 1, t9
+    addq t4, t9, t4
+    cmpeq t7, 2, t9
+    addq t5, t9, t5
+nb_{name}_done:
+"#
+    )
+}
+
+/// Builds the benchmark program at the given scale.
+pub fn program(scale: u32) -> Program {
+    let board = go_board(0x60b0);
+    let mut src = String::from(".data\n");
+    emit_bytes(&mut src, "board", &board);
+    let up = neighbor_block("up", "beq  t0, nb_up_done", -SIZE);
+    let down = neighbor_block("down", "cmpeq t0, 18, t9\n    bne  t9, nb_down_done", SIZE);
+    let left = neighbor_block("left", "beq  t1, nb_left_done", -1);
+    let right = neighbor_block(
+        "right",
+        "cmpeq t1, 18, t9\n    bne  t9, nb_right_done",
+        1,
+    );
+    let _ = write!(
+        src,
+        r#"
+    .text
+main:
+    la   a0, board
+    li   a1, {passes}
+    clr  s0            ; influence
+    clr  s1            ; liberties
+    clr  s2            ; pass
+pass_loop:
+    cmplt s2, a1, t9
+    beq  t9, done
+    clr  t0            ; row
+row_loop:
+    cmplt t0, 19, t9
+    beq  t9, pass_next
+    clr  t1            ; col
+col_loop:
+    cmplt t1, 19, t9
+    beq  t9, row_next
+    mulq t0, 19, t2
+    addq t2, t1, t2    ; idx
+    addq a0, t2, t3
+    ldbu t3, 0(t3)     ; cell
+    clr  t4            ; black neighbours
+    clr  t5            ; white neighbours
+    clr  t6            ; empty neighbours
+{up}{down}{left}{right}
+    beq  t3, point_empty
+    addq s1, t6, s1    ; stone: liberties += empties
+    br   point_done
+point_empty:
+    subq t4, t5, t9
+    addq s0, t9, s0    ; empty: influence += black - white
+point_done:
+    addq t1, 1, t1
+    br   col_loop
+row_next:
+    addq t0, 1, t0
+    br   row_loop
+pass_next:
+    ; mutate one cell: board[(pass*53) % 361] = (v + 1) % 3
+    mulq s2, 53, t0
+    li   t1, 361
+    remq t0, t1, t0
+    addq a0, t0, t0
+    ldbu t1, 0(t0)
+    addq t1, 1, t1
+    cmpeq t1, 3, t2
+    beq  t2, store_cell
+    clr  t1
+store_cell:
+    stb  t1, 0(t0)
+    addq s2, 1, s2
+    br   pass_loop
+done:
+    outq s0
+    outq s1
+    halt
+"#,
+        passes = passes(scale),
+    );
+    assemble(&src).expect("go kernel must assemble")
+}
+
+/// Reference implementation: the expected `outq` stream.
+pub fn reference(scale: u32) -> Vec<u64> {
+    let mut board = go_board(0x60b0);
+    let mut influence = 0i64;
+    let mut liberties = 0u64;
+    for pass in 0..passes(scale) {
+        for r in 0..19i64 {
+            for c in 0..19i64 {
+                let idx = (r * 19 + c) as usize;
+                let cell = board[idx];
+                let mut black = 0i64;
+                let mut white = 0i64;
+                let mut empty = 0u64;
+                let mut look = |i: usize| match board[i] {
+                    0 => empty += 1,
+                    1 => black += 1,
+                    _ => white += 1,
+                };
+                if r > 0 {
+                    look(idx - 19);
+                }
+                if r < 18 {
+                    look(idx + 19);
+                }
+                if c > 0 {
+                    look(idx - 1);
+                }
+                if c < 18 {
+                    look(idx + 1);
+                }
+                if cell == 0 {
+                    influence = influence.wrapping_add(black - white);
+                } else {
+                    liberties = liberties.wrapping_add(empty);
+                }
+            }
+        }
+        let m = ((pass * 53) % 361) as usize;
+        board[m] = (board[m] + 1) % 3;
+    }
+    vec![influence as u64, liberties]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nwo_isa::Emulator;
+
+    #[test]
+    fn matches_reference() {
+        let prog = program(0);
+        let mut emu = Emulator::new(&prog);
+        emu.run(10_000_000).expect("halts");
+        assert_eq!(emu.outq(), reference(0).as_slice());
+    }
+
+    #[test]
+    fn liberties_are_plausible() {
+        let r = reference(0);
+        // A random 19x19 board has plenty of stones with liberties.
+        assert!(r[1] > 100);
+    }
+}

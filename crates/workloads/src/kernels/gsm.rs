@@ -1,0 +1,365 @@
+//! `gsm`-like kernels: long-term-prediction speech coding.
+//!
+//! Mirrors MediaBench `gsm-encode`/`gsm-decode` (GSM 06.10 full rate):
+//! the encoder's dominant loop is the long-term-prediction lag search —
+//! a dense 16-bit multiply-accumulate — and the decoder reconstructs
+//! from lag + residual. This is the benchmark whose narrow multiplies
+//! the paper calls out ("6% of the narrow-width operations in gsm").
+
+use crate::data::{audio, emit_bytes, emit_words};
+use nwo_isa::{assemble, Program};
+use std::fmt::Write;
+
+const SUBFRAME: usize = 40;
+const MIN_LAG: i64 = 40;
+const MAX_LAG: i64 = 120;
+/// History samples preceding the first subframe.
+const HISTORY: usize = MAX_LAG as usize;
+
+fn sample_count(scale: u32) -> usize {
+    HISTORY + SUBFRAME * (12 << scale)
+}
+
+fn samples(scale: u32) -> Vec<i16> {
+    audio(0x65e0, sample_count(scale))
+}
+
+/// Encoder model shared by the assembly kernel and the Rust reference:
+/// per subframe, pick the lag in `[40, 120]` maximising the
+/// cross-correlation, then produce the half-gain residual.
+fn encode_model(x: &[i16]) -> (Vec<u64>, Vec<i16>, u64, u64) {
+    let mut lags = Vec::new();
+    let mut residual = Vec::new();
+    let mut lag_sum = 0u64;
+    let mut energy = 0u64;
+    let mut s = HISTORY;
+    while s + SUBFRAME <= x.len() {
+        let mut best_corr = i64::MIN;
+        let mut best_lag = MIN_LAG;
+        for lag in MIN_LAG..=MAX_LAG {
+            let mut corr = 0i64;
+            for i in 0..SUBFRAME {
+                corr += x[s + i] as i64 * x[s + i - lag as usize] as i64;
+            }
+            if corr > best_corr {
+                best_corr = corr;
+                best_lag = lag;
+            }
+        }
+        lags.push(best_lag as u64);
+        lag_sum = lag_sum.wrapping_add(best_lag as u64);
+        for i in 0..SUBFRAME {
+            let pred = (x[s + i - best_lag as usize] as i64) >> 1;
+            let r = x[s + i] as i64 - pred;
+            residual.push(r as i16);
+            energy = energy.wrapping_add(((r * r) >> 8) as u64);
+        }
+        s += SUBFRAME;
+    }
+    (lags, residual, lag_sum, energy)
+}
+
+/// Builds the encoder benchmark at the given scale.
+pub fn encode_program(scale: u32) -> Program {
+    let x = samples(scale);
+    let mut src = String::from(".data\n.align 8\n");
+    emit_words(&mut src, "pcm", &x);
+    let _ = write!(
+        src,
+        r#"
+    .text
+main:
+    la   a0, pcm
+    li   a1, {nsamples}
+    clr  s0            ; lag sum
+    clr  s1            ; residual energy
+    li   s2, {history} ; s = subframe start
+sf_loop:
+    addq s2, 40, t9
+    cmpule t9, a1, t9
+    beq  t9, done
+    sll  s2, 1, a2
+    addq a0, a2, a2    ; subframe base pointer (hoisted)
+    ; ---- lag search (correlation loop unrolled x4, two accumulators,
+    ;      as cc -O5 emits) ----
+    li   s3, 40        ; lag
+    li   s4, 40        ; best lag
+    li   s5, 1
+    sll  s5, 62, s5
+    subq zero, s5, s5  ; best corr = -(1<<62)
+lag_loop:
+    cmpule s3, 120, t9
+    beq  t9, lag_done
+    clr  t0            ; corr (even)
+    clr  at            ; corr (odd)
+    mov  a2, t2        ; current-sample pointer
+    sll  s3, 1, t9
+    subq a2, t9, t3    ; lagged-sample pointer
+    li   t1, 10        ; 10 groups of 4 samples
+corr_loop:
+    ldwu t4, 0(t2)
+    sextw t4, t4
+    ldwu t6, 0(t3)
+    sextw t6, t6
+    mulq t4, t6, t4
+    addq t0, t4, t0
+    ldwu t4, 2(t2)
+    sextw t4, t4
+    ldwu t6, 2(t3)
+    sextw t6, t6
+    mulq t4, t6, t4
+    addq at, t4, at
+    ldwu t4, 4(t2)
+    sextw t4, t4
+    ldwu t6, 4(t3)
+    sextw t6, t6
+    mulq t4, t6, t4
+    addq t0, t4, t0
+    ldwu t4, 6(t2)
+    sextw t4, t4
+    ldwu t6, 6(t3)
+    sextw t6, t6
+    mulq t4, t6, t4
+    addq at, t4, at
+    addq t2, 8, t2
+    addq t3, 8, t3
+    subq t1, 1, t1
+    bgt  t1, corr_loop
+    addq t0, at, t0    ; combine accumulators
+    cmplt s5, t0, t9
+    beq  t9, lag_next
+    mov  t0, s5
+    mov  s3, s4
+lag_next:
+    addq s3, 1, s3
+    br   lag_loop
+lag_done:
+    addq s0, s4, s0
+    ; ---- residual of the winning lag (unrolled x2) ----
+    mov  a2, t2
+    sll  s4, 1, t9
+    subq a2, t9, t3
+    li   t1, 20        ; 20 groups of 2 samples
+res_loop:
+    ldwu t4, 0(t2)
+    sextw t4, t4
+    ldwu t6, 0(t3)
+    sextw t6, t6
+    sra  t6, 1, t6     ; half-gain prediction
+    subq t4, t6, t4    ; residual
+    mulq t4, t4, t5
+    srl  t5, 8, t5
+    addq s1, t5, s1
+    ldwu t4, 2(t2)
+    sextw t4, t4
+    ldwu t6, 2(t3)
+    sextw t6, t6
+    sra  t6, 1, t6     ; half-gain prediction
+    subq t4, t6, t4    ; residual
+    mulq t4, t4, t5
+    srl  t5, 8, t5
+    addq s1, t5, s1
+    addq t2, 4, t2
+    addq t3, 4, t3
+    subq t1, 1, t1
+    bgt  t1, res_loop
+sf_next:
+    addq s2, 40, s2
+    br   sf_loop
+done:
+    outq s0
+    outq s1
+    halt
+"#,
+        nsamples = x.len(),
+        history = HISTORY,
+    );
+    assemble(&src).expect("gsm encode kernel must assemble")
+}
+
+/// Expected encoder output.
+pub fn encode_reference(scale: u32) -> Vec<u64> {
+    let x = samples(scale);
+    let (_, _, lag_sum, energy) = encode_model(&x);
+    vec![lag_sum, energy]
+}
+
+/// Builds the decoder benchmark: reconstruct from history + lags +
+/// residual (produced by the reference encoder, as a real bitstream
+/// would be).
+pub fn decode_program(scale: u32) -> Program {
+    let x = samples(scale);
+    let (lags, residual, _, _) = encode_model(&x);
+    let lag_bytes: Vec<u8> = lags.iter().map(|&l| l as u8).collect();
+    let history: Vec<i16> = x[..HISTORY].to_vec();
+    let mut src = String::from(".data\n.align 8\n");
+    emit_words(&mut src, "hist", &history);
+    emit_words(&mut src, "res", &residual);
+    emit_bytes(&mut src, "lags", &lag_bytes);
+    let _ = writeln!(src, ".align 8");
+    let _ = writeln!(src, "work: .space {}", (HISTORY + residual.len()) * 8);
+    let _ = write!(
+        src,
+        r#"
+    .text
+main:
+    la   a0, hist
+    la   a1, res
+    la   a2, lags
+    la   a3, work
+    li   a4, {nsub}
+    clr  s0            ; checksum
+    ; copy history into the quadword workspace
+    clr  t0
+copy:
+    cmplt t0, {history}, t9
+    beq  t9, decode
+    sll  t0, 1, t1
+    addq a0, t1, t1
+    ldwu t2, 0(t1)
+    sextw t2, t2
+    sll  t0, 3, t1
+    addq a3, t1, t1
+    stq  t2, 0(t1)
+    addq t0, 1, t0
+    br   copy
+decode:
+    clr  s2            ; subframe index
+    li   s3, {history} ; output position
+sf_loop:
+    cmplt s2, a4, t9
+    beq  t9, done
+    addq a2, s2, t0
+    ldbu s4, 0(t0)     ; lag
+    ; reconstruction unrolled x4 — safe because lag >= 40 keeps the
+    ; recurrence distance beyond the unroll window
+    sll  s3, 3, t2
+    addq a3, t2, t2    ; output pointer
+    sll  s4, 3, t3
+    subq t2, t3, t3    ; lagged pointer
+    subq s3, {history}, t5
+    sll  t5, 1, t5
+    addq a1, t5, t5    ; residual pointer
+    li   t1, 10        ; 10 groups of 4 samples
+rec_loop:
+    ldq  t4, 0(t3)  ; reconstructed past sample
+    sra  t4, 1, t4
+    ldwu t6, 0(t5)
+    sextw t6, t6       ; residual
+    addq t6, t4, t6    ; sample
+    stq  t6, 0(t2)
+    sll  s0, 5, t9    ; strength-reduced *31
+    subq t9, s0, s0
+    addq s0, t6, s0
+    ldq  t4, 8(t3)  ; reconstructed past sample
+    sra  t4, 1, t4
+    ldwu t6, 2(t5)
+    sextw t6, t6       ; residual
+    addq t6, t4, t6    ; sample
+    stq  t6, 8(t2)
+    sll  s0, 5, t9    ; strength-reduced *31
+    subq t9, s0, s0
+    addq s0, t6, s0
+    ldq  t4, 16(t3)  ; reconstructed past sample
+    sra  t4, 1, t4
+    ldwu t6, 4(t5)
+    sextw t6, t6       ; residual
+    addq t6, t4, t6    ; sample
+    stq  t6, 16(t2)
+    sll  s0, 5, t9    ; strength-reduced *31
+    subq t9, s0, s0
+    addq s0, t6, s0
+    ldq  t4, 24(t3)  ; reconstructed past sample
+    sra  t4, 1, t4
+    ldwu t6, 6(t5)
+    sextw t6, t6       ; residual
+    addq t6, t4, t6    ; sample
+    stq  t6, 24(t2)
+    sll  s0, 5, t9    ; strength-reduced *31
+    subq t9, s0, s0
+    addq s0, t6, s0
+    addq t2, 32, t2
+    addq t3, 32, t3
+    addq t5, 8, t5
+    subq t1, 1, t1
+    bgt  t1, rec_loop
+sf_next:
+    addq s2, 1, s2
+    addq s3, 40, s3
+    br   sf_loop
+done:
+    outq s0
+    halt
+"#,
+        nsub = lags.len(),
+        history = HISTORY,
+    );
+    assemble(&src).expect("gsm decode kernel must assemble")
+}
+
+/// Expected decoder output.
+pub fn decode_reference(scale: u32) -> Vec<u64> {
+    let x = samples(scale);
+    let (lags, residual, _, _) = encode_model(&x);
+    let mut work: Vec<i64> = x[..HISTORY].iter().map(|&v| v as i64).collect();
+    let mut checksum = 0u64;
+    for (sf, &lag) in lags.iter().enumerate() {
+        for i in 0..SUBFRAME {
+            let pos = HISTORY + sf * SUBFRAME + i;
+            let pred = work[pos - lag as usize] >> 1;
+            let v = residual[sf * SUBFRAME + i] as i64 + pred;
+            work.push(v);
+            debug_assert_eq!(work.len(), pos + 1);
+            checksum = checksum.wrapping_mul(31).wrapping_add(v as u64);
+        }
+    }
+    vec![checksum]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nwo_isa::Emulator;
+
+    #[test]
+    fn encode_matches_reference() {
+        let prog = encode_program(0);
+        let mut emu = Emulator::new(&prog);
+        emu.run(100_000_000).expect("halts");
+        assert_eq!(emu.outq(), encode_reference(0).as_slice());
+    }
+
+    #[test]
+    fn decode_matches_reference() {
+        let prog = decode_program(0);
+        let mut emu = Emulator::new(&prog);
+        emu.run(100_000_000).expect("halts");
+        assert_eq!(emu.outq(), decode_reference(0).as_slice());
+    }
+
+    #[test]
+    fn decoder_reconstructs_the_input_exactly() {
+        // Half-gain prediction with exact integer residuals is lossless:
+        // the reconstruction must equal the original samples.
+        let x = samples(0);
+        let (lags, residual, _, _) = encode_model(&x);
+        let mut work: Vec<i64> = x[..HISTORY].iter().map(|&v| v as i64).collect();
+        for (sf, &lag) in lags.iter().enumerate() {
+            for i in 0..SUBFRAME {
+                let pos = HISTORY + sf * SUBFRAME + i;
+                let pred = work[pos - lag as usize] >> 1;
+                work.push(residual[sf * SUBFRAME + i] as i64 + pred);
+            }
+        }
+        for (i, &v) in work.iter().enumerate() {
+            assert_eq!(v, x[i] as i64, "sample {i}");
+        }
+    }
+
+    #[test]
+    fn lags_stay_in_range() {
+        let (lags, _, _, _) = encode_model(&samples(0));
+        assert!(!lags.is_empty());
+        assert!(lags.iter().all(|&l| (40..=120).contains(&l)));
+    }
+}

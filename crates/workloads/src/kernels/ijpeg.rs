@@ -1,0 +1,246 @@
+//! `ijpeg`-like kernel: 8×8 integer forward DCT and quantisation.
+//!
+//! Mirrors SPECint95 `ijpeg`: block transforms over 8-bit pixels with a
+//! 16-bit-narrow coefficient table — the narrow-arithmetic-heavy profile
+//! the paper credits for `ijpeg`'s large power savings.
+
+use crate::data::{emit_bytes, emit_words, image};
+use nwo_isa::{assemble, Program};
+use std::fmt::Write;
+
+const W: usize = 64;
+
+/// Integer DCT basis: `round(cos((2x+1)·u·π/16) · 64)`.
+fn dct_table() -> [i16; 64] {
+    let mut c = [0i16; 64];
+    for u in 0..8 {
+        for x in 0..8 {
+            let angle = (2.0 * x as f64 + 1.0) * u as f64 * std::f64::consts::PI / 16.0;
+            c[u * 8 + x] = (angle.cos() * 64.0).round() as i16;
+        }
+    }
+    c
+}
+
+/// Quantisation shift per diagonal (coarser for high frequencies).
+const QSHIFT: [u8; 8] = [2, 3, 3, 4, 4, 5, 5, 6];
+
+fn block_count(scale: u32) -> usize {
+    16 << scale
+}
+
+/// Fully-unrolled 8-term inner product for pass 1, with two independent
+/// accumulators — the code shape `cc -O5` produces for fixed-trip-count
+/// DCT loops. Expects `t0 = u`, `t1 = y`, `s4 = block base`; leaves the
+/// sum in `t3`.
+fn unrolled_pass1_body() -> String {
+    let mut out = String::new();
+    // crow = cof + u*16 (8 words per row); prow = img + base + y*64.
+    out.push_str(
+        "    sll  t0, 4, t4\n    addq a1, t4, t4    ; coefficient row\n    sll  t1, 6, t5\n    addq t5, s4, t5\n    addq a0, t5, t5    ; pixel row\n    clr  t3\n    clr  t6\n",
+    );
+    for x in 0..8 {
+        let acc = if x % 2 == 0 { "t3" } else { "t6" };
+        let _ = write!(
+            out,
+            "    ldwu t7, {co}(t4)\n    sextw t7, t7\n    ldbu t8, {px}(t5)\n    mulq t7, t8, t7\n    addq {acc}, t7, {acc}\n",
+            co = 2 * x,
+            px = x,
+        );
+    }
+    out.push_str("    addq t3, t6, t3\n");
+    out
+}
+
+/// Fully-unrolled pass-2 inner product: `t0 = u`, `t1 = v`, sum in `t3`.
+fn unrolled_pass2_body() -> String {
+    let mut out = String::new();
+    // crow = cof + v*16; trow = tmp + u*64 (8 quads per row).
+    out.push_str(
+        "    sll  t1, 4, t4\n    addq a1, t4, t4    ; coefficient row\n    sll  t0, 6, t5\n    addq a2, t5, t5    ; tmp row\n    clr  t3\n    clr  t6\n",
+    );
+    for y in 0..8 {
+        let acc = if y % 2 == 0 { "t3" } else { "t6" };
+        let _ = write!(
+            out,
+            "    ldwu t7, {co}(t4)\n    sextw t7, t7\n    ldq  t8, {tq}(t5)\n    mulq t7, t8, t7\n    addq {acc}, t7, {acc}\n",
+            co = 2 * y,
+            tq = 8 * y,
+        );
+    }
+    out.push_str("    addq t3, t6, t3\n");
+    out
+}
+
+/// Builds the benchmark program at the given scale.
+pub fn program(scale: u32) -> Program {
+    let img = image(0x1336, W, W);
+    let cof = dct_table();
+    let mut src = String::from(".data\n");
+    emit_bytes(&mut src, "img", &img);
+    let _ = writeln!(src, ".align 8");
+    emit_words(&mut src, "cof", &cof);
+    emit_bytes(&mut src, "qshift", &QSHIFT);
+    let _ = writeln!(src, ".align 8");
+    let _ = writeln!(src, "tmp: .space {}", 64 * 8);
+    let _ = write!(
+        src,
+        r#"
+    .text
+main:
+    la   a0, img
+    la   a1, cof
+    la   a2, tmp
+    la   a3, qshift
+    li   s3, {nblocks}
+    clr  s0            ; checksum
+    clr  s1            ; nonzero coefficients
+    clr  s2            ; block counter
+block_loop:
+    cmplt s2, s3, t9
+    beq  t9, done
+    ; base = (by*64 + bx) with bx = (b%8)*8, by = ((b/8)%8)*8
+    and  s2, 7, t0
+    sll  t0, 3, t0     ; bx
+    srl  s2, 3, t1
+    and  t1, 7, t1
+    sll  t1, 3, t1     ; by
+    sll  t1, 6, t2     ; by*64
+    addq t2, t0, s4    ; base
+    ; ---- pass 1: tmp[u][y] = sum_x cof[u][x] * p(x, y) ----
+    clr  t0            ; u
+p1_u:
+    cmplt t0, 8, t9
+    beq  t9, p2_init
+    clr  t1            ; y
+p1_y:
+    cmplt t1, 8, t9
+    beq  t9, p1_u_next
+{pass1_body}
+    sll  t0, 3, t4
+    addq t4, t1, t4
+    sll  t4, 3, t4
+    addq a2, t4, t4
+    stq  t3, 0(t4)     ; tmp[u*8+y]
+    addq t1, 1, t1
+    br   p1_y
+p1_u_next:
+    addq t0, 1, t0
+    br   p1_u
+p2_init:
+    ; ---- pass 2: q[u][v] = (sum_y cof[v][y]*tmp[u][y]) >> 12 >> qshift ----
+    clr  t0            ; u
+p2_u:
+    cmplt t0, 8, t9
+    beq  t9, block_next
+    clr  t1            ; v
+p2_v:
+    cmplt t1, 8, t9
+    beq  t9, p2_u_next
+{pass2_body}
+    sra  t3, 12, t3    ; descale
+    addq t0, t1, t4    ; diagonal u+v
+    cmpule t4, 7, t5
+    bne  t5, diag_ok
+    li   t4, 7
+diag_ok:
+    addq a3, t4, t4
+    ldbu t5, 0(t4)     ; qshift
+    sra  t3, t5, t3    ; quantise
+    sll  s0, 5, t9    ; strength-reduced *31
+    subq t9, s0, s0
+    addq s0, t3, s0
+    beq  t3, p2_zero
+    addq s1, 1, s1
+p2_zero:
+    addq t1, 1, t1
+    br   p2_v
+p2_u_next:
+    addq t0, 1, t0
+    br   p2_u
+block_next:
+    addq s2, 1, s2
+    br   block_loop
+done:
+    outq s0
+    outq s1
+    halt
+"#,
+        nblocks = block_count(scale),
+        pass1_body = unrolled_pass1_body(),
+        pass2_body = unrolled_pass2_body(),
+    );
+    assemble(&src).expect("ijpeg kernel must assemble")
+}
+
+/// Reference implementation: the expected `outq` stream.
+#[allow(clippy::needless_range_loop)] // indexing mirrors the DCT math
+pub fn reference(scale: u32) -> Vec<u64> {
+    let img = image(0x1336, W, W);
+    let cof = dct_table();
+    let mut checksum = 0u64;
+    let mut nonzero = 0u64;
+    for b in 0..block_count(scale) {
+        let bx = (b % 8) * 8;
+        let by = ((b / 8) % 8) * 8;
+        let p = |x: usize, y: usize| img[(by + y) * W + bx + x] as i64;
+        let mut tmp = [[0i64; 8]; 8];
+        for u in 0..8 {
+            for y in 0..8 {
+                let mut acc = 0i64;
+                for x in 0..8 {
+                    acc += cof[u * 8 + x] as i64 * p(x, y);
+                }
+                tmp[u][y] = acc;
+            }
+        }
+        for u in 0..8 {
+            for v in 0..8 {
+                let mut acc = 0i64;
+                for y in 0..8 {
+                    acc += cof[v * 8 + y] as i64 * tmp[u][y];
+                }
+                let descaled = acc >> 12;
+                let q = descaled >> QSHIFT[(u + v).min(7)];
+                checksum = checksum.wrapping_mul(31).wrapping_add(q as u64);
+                if q != 0 {
+                    nonzero += 1;
+                }
+            }
+        }
+    }
+    vec![checksum, nonzero]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nwo_isa::Emulator;
+
+    #[test]
+    fn matches_reference() {
+        let prog = program(0);
+        let mut emu = Emulator::new(&prog);
+        emu.run(50_000_000).expect("halts");
+        assert_eq!(emu.outq(), reference(0).as_slice());
+    }
+
+    #[test]
+    fn quantisation_zeroes_some_coefficients() {
+        // The noisy gradient image keeps plenty of AC energy, but
+        // quantisation must still kill a meaningful share.
+        let r = reference(0);
+        let total = 64 * block_count(0) as u64;
+        assert!(r[1] < total, "nonzero {} of {total}", r[1]);
+        assert!(r[1] > total / 4);
+    }
+
+    #[test]
+    fn dct_table_shape() {
+        let c = dct_table();
+        // Row 0 is flat (DC basis).
+        assert!(c[0..8].iter().all(|&v| v == 64));
+        // All coefficients fit comfortably in 16-bit-narrow range.
+        assert!(c.iter().all(|&v| (-64..=64).contains(&v)));
+    }
+}

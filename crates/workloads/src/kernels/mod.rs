@@ -1,0 +1,16 @@
+//! The fourteen benchmark kernels: eight SPECint95-like, six
+//! MediaBench-like. Each module provides `program(scale)` (the assembled
+//! binary) and `reference(scale)` (the expected `outq` stream from a
+//! pure-Rust implementation of the same algorithm).
+
+pub mod compress;
+pub mod g721;
+pub mod gcc;
+pub mod go;
+pub mod gsm;
+pub mod ijpeg;
+pub mod m88ksim;
+pub mod mpeg2;
+pub mod perl;
+pub mod vortex;
+pub mod xlisp;

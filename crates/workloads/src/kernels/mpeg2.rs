@@ -1,0 +1,476 @@
+//! `mpeg2`-like kernels: motion estimation and IDCT reconstruction.
+//!
+//! Mirrors MediaBench `mpeg2-encode` (whose cycles go to block-matching
+//! SAD over 8-bit pixels) and `mpeg2-decode` (inverse DCT plus
+//! saturation to 8-bit) — the byte-narrow, loop-parallel profile that
+//! benefits most from operation packing.
+
+use crate::data::{emit_bytes, emit_words, image};
+use nwo_isa::{assemble, Program};
+use std::fmt::Write;
+
+const FRAME: usize = 48;
+/// Block origins: 4 + 8·b for b in 0..4, so a ±4 search stays in frame.
+const GRID: usize = 4;
+const SEARCH: i64 = 4;
+
+fn pass_count(scale: u32) -> usize {
+    1 << scale
+}
+
+/// The fully-unrolled 8-column absolute-difference body: `t7`/`t8` hold
+/// the current/reference row pointers; accumulates into `t4` (even
+/// columns) and `at` (odd columns).
+fn unrolled_sad_body() -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    for col in 0..8 {
+        let acc = if col % 2 == 0 { "t4" } else { "at" };
+        let _ = write!(
+            out,
+            "    ldbu t9, {col}(t7)\n    ldbu a4, {col}(t8)\n    subq t9, a4, t9\n    sra  t9, 63, a4    ; branchless abs\n    xor  t9, a4, t9\n    subq t9, a4, t9\n    addq {acc}, t9, {acc}\n",
+        );
+    }
+    out
+}
+
+fn frames() -> (Vec<u8>, Vec<u8>) {
+    let f0 = image(0x0e60, FRAME, FRAME);
+    // Frame 1: frame 0 shifted by (2, 1) with fresh noise, like real
+    // motion.
+    let noise = image(0x0e61, FRAME, FRAME);
+    let mut f1 = vec![0u8; FRAME * FRAME];
+    for y in 0..FRAME {
+        for x in 0..FRAME {
+            let sx = x.saturating_sub(2).min(FRAME - 1);
+            let sy = y.saturating_sub(1).min(FRAME - 1);
+            let v = f0[sy * FRAME + sx] as u32 + (noise[y * FRAME + x] as u32 & 7);
+            f1[y * FRAME + x] = v.min(255) as u8;
+        }
+    }
+    (f0, f1)
+}
+
+/// Builds the motion-estimation (encode) benchmark at the given scale.
+pub fn encode_program(scale: u32) -> Program {
+    let (f0, f1) = frames();
+    let mut src = String::from(".data\n");
+    emit_bytes(&mut src, "ref_frame", &f0);
+    emit_bytes(&mut src, "cur_frame", &f1);
+    let _ = write!(
+        src,
+        r#"
+    .text
+main:
+    la   a0, ref_frame
+    la   a1, cur_frame
+    li   a2, {passes}
+    clr  s0            ; total best SAD
+    clr  s1            ; motion-vector checksum
+    clr  s5            ; pass
+pass_loop:
+    cmplt s5, a2, t9
+    beq  t9, done
+    clr  s2            ; block index (0..15)
+block_loop:
+    cmplt s2, 16, t9
+    beq  t9, pass_next
+    ; block origin = (4 + 8*(b%4), 4 + 8*(b/4))
+    and  s2, 3, t0
+    sll  t0, 3, t0
+    addq t0, 4, t0     ; ox
+    srl  s2, 2, t1
+    sll  t1, 3, t1
+    addq t1, 4, t1     ; oy
+    mulq t1, {frame}, t2
+    addq t2, t0, s3    ; cur base = oy*FRAME + ox
+    ; ---- search dx,dy in [-4,4] ----
+    li   t0, 1
+    sll  t0, 40, s4    ; best (sad<<8 | vec) packed, init huge
+    li   v0, -4        ; dy
+dy_loop:
+    cmple v0, 4, t9
+    beq  t9, search_done
+    li   a3, -4        ; dx
+dx_loop:
+    cmple a3, 4, t9
+    beq  t9, dy_next
+    ; ref base = (oy+dy)*FRAME + ox+dx = cur base + dy*FRAME + dx
+    mulq v0, {frame}, t2
+    addq t2, a3, t2
+    addq s3, t2, t3    ; ref base
+    ; ---- SAD over the 8x8 block (inner loop fully unrolled, two
+    ;      accumulators, as cc -O5 emits) ----
+    clr  t4            ; sad accumulator (even columns)
+    clr  at            ; sad accumulator (odd columns)
+    clr  t5            ; row
+sad_row:
+    cmplt t5, 8, t9
+    beq  t9, sad_done
+    mulq t5, {frame}, t6
+    addq s3, t6, t7
+    addq a1, t7, t7    ; current-frame row pointer
+    addq t3, t6, t8
+    addq a0, t8, t8    ; reference-frame row pointer
+{sad_body}
+    addq t5, 1, t5
+    br   sad_row
+sad_done:
+    addq t4, at, t4    ; combine the accumulators
+    ; pack (sad << 8) | ((dy+4)*9 + dx+4); smaller wins, ties to the
+    ; earlier (smaller-code) vector.
+    sll  t4, 8, t4
+    addq v0, 4, t5
+    mulq t5, 9, t5
+    addq t5, a3, t5
+    addq t5, 4, t5
+    bis  t4, t5, t4
+    cmplt t4, s4, t9
+    beq  t9, dx_next
+    mov  t4, s4
+dx_next:
+    addq a3, 1, a3
+    br   dx_loop
+dy_next:
+    addq v0, 1, v0
+    br   dy_loop
+search_done:
+    srl  s4, 8, t0     ; best sad
+    addq s0, t0, s0
+    and  s4, 255, t0   ; best vector code
+    sll  s1, 5, t9    ; strength-reduced *31
+    subq t9, s1, s1
+    addq s1, t0, s1
+    addq s2, 1, s2
+    br   block_loop
+pass_next:
+    addq s5, 1, s5
+    br   pass_loop
+done:
+    outq s0
+    outq s1
+    halt
+"#,
+        passes = pass_count(scale),
+        frame = FRAME,
+        sad_body = unrolled_sad_body(),
+    );
+    assemble(&src).expect("mpeg2 encode kernel must assemble")
+}
+
+/// Expected encoder output.
+pub fn encode_reference(scale: u32) -> Vec<u64> {
+    let (f0, f1) = frames();
+    let mut total_sad = 0u64;
+    let mut checksum = 0u64;
+    for _pass in 0..pass_count(scale) {
+        for b in 0..GRID * GRID {
+            let ox = 4 + 8 * (b % 4);
+            let oy = 4 + 8 * (b / 4);
+            let mut best = 1 << 40;
+            for dy in -SEARCH..=SEARCH {
+                for dx in -SEARCH..=SEARCH {
+                    let mut sad = 0i64;
+                    for row in 0..8usize {
+                        for col in 0..8usize {
+                            let cur = f1[(oy + row) * FRAME + ox + col] as i64;
+                            let rx = (ox as i64 + dx) as usize + col;
+                            let ry = (oy as i64 + dy) as usize + row;
+                            let rfv = f0[ry * FRAME + rx] as i64;
+                            sad += (cur - rfv).abs();
+                        }
+                    }
+                    let code = ((dy + 4) * 9 + dx + 4) as u64;
+                    let packed = ((sad as u64) << 8) | code;
+                    if packed < best {
+                        best = packed;
+                    }
+                }
+            }
+            total_sad = total_sad.wrapping_add(best >> 8);
+            checksum = checksum.wrapping_mul(31).wrapping_add(best & 255);
+        }
+    }
+    vec![total_sad, checksum]
+}
+
+/// Integer DCT basis, shared with the decoder.
+fn dct_table() -> [i16; 64] {
+    let mut c = [0i16; 64];
+    for u in 0..8 {
+        for x in 0..8 {
+            let angle = (2.0 * x as f64 + 1.0) * u as f64 * std::f64::consts::PI / 16.0;
+            c[u * 8 + x] = (angle.cos() * 64.0).round() as i16;
+        }
+    }
+    c
+}
+
+/// Forward-DCT coefficient blocks the decoder consumes (what a real
+/// decoder would read from the bitstream after dequantisation).
+fn coef_blocks(scale: u32) -> Vec<i16> {
+    let img = image(0x0de0, FRAME, FRAME);
+    let cof = dct_table();
+    let nblocks = 16 << scale;
+    let mut out = Vec::with_capacity(nblocks * 64);
+    for b in 0..nblocks {
+        let bx = (b % 5) * 8;
+        let by = ((b / 5) % 5) * 8;
+        let p = |x: usize, y: usize| img[(by + y) * FRAME + bx + x] as i64 - 128;
+        for u in 0..8 {
+            for v in 0..8 {
+                let mut acc = 0i64;
+                for x in 0..8 {
+                    for y in 0..8 {
+                        acc += cof[u * 8 + x] as i64 * cof[v * 8 + y] as i64 * p(x, y);
+                    }
+                }
+                // Normalise: the 2-D basis gain is 64*64*16 for DC; use a
+                // uniform >>14 so coefficients stay 16-bit.
+                out.push((acc >> 14) as i16);
+            }
+        }
+    }
+    out
+}
+
+
+/// Fully-unrolled pass-1 IDCT inner product: `t0 = x`, `t1 = v`,
+/// block base (bytes) in `s3`; sum left in `t3`.
+fn unrolled_idct1_body() -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    out.push_str(
+        "    sll  t0, 1, t4\n    addq a1, t4, t4    ; &cof[0][x]\n    sll  t1, 1, t5\n    addq t5, s3, t5\n    addq a0, t5, t5    ; &F[0][v]\n    clr  t3\n    clr  t6\n",
+    );
+    for u in 0..8 {
+        let acc = if u % 2 == 0 { "t3" } else { "t6" };
+        let _ = write!(
+            out,
+            "    ldwu t7, {off}(t4)\n    sextw t7, t7\n    ldwu t8, {off}(t5)\n    sextw t8, t8\n    mulq t7, t8, t7\n    addq {acc}, t7, {acc}\n",
+            off = 16 * u,
+        );
+    }
+    out.push_str("    addq t3, t6, t3\n");
+    out
+}
+
+/// Fully-unrolled pass-2 IDCT inner product: `t0 = x`, `t1 = y`;
+/// sum left in `t3`.
+fn unrolled_idct2_body() -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    out.push_str(
+        "    sll  t1, 1, t4\n    addq a1, t4, t4    ; &cof[0][y]\n    sll  t0, 6, t5\n    addq a2, t5, t5    ; &tmp[x][0]\n    clr  t3\n    clr  t6\n",
+    );
+    for v in 0..8 {
+        let acc = if v % 2 == 0 { "t3" } else { "t6" };
+        let _ = write!(
+            out,
+            "    ldwu t7, {co}(t4)\n    sextw t7, t7\n    ldq  t8, {tq}(t5)\n    mulq t7, t8, t7\n    addq {acc}, t7, {acc}\n",
+            co = 16 * v,
+            tq = 8 * v,
+        );
+    }
+    out.push_str("    addq t3, t6, t3\n");
+    out
+}
+
+/// Builds the IDCT-reconstruction (decode) benchmark at the given scale.
+pub fn decode_program(scale: u32) -> Program {
+    let coefs = coef_blocks(scale);
+    let cof = dct_table();
+    let nblocks = coefs.len() / 64;
+    let mut src = String::from(".data\n.align 8\n");
+    emit_words(&mut src, "coefs", &coefs);
+    emit_words(&mut src, "cof", &cof);
+    let _ = writeln!(src, "tmp: .space {}", 64 * 8);
+    let _ = write!(
+        src,
+        r#"
+    .text
+main:
+    la   a0, coefs
+    la   a1, cof
+    la   a2, tmp
+    li   a3, {nblocks}
+    clr  s0            ; checksum of saturated pixels
+    clr  s1            ; saturation events
+    clr  s2            ; block
+blk:
+    cmplt s2, a3, t9
+    beq  t9, done
+    sll  s2, 7, s3     ; block base in words (64 coefs * 2 bytes)
+    ; ---- pass 1: tmp[x][v] = sum_u cof[u][x] * F[u][v] ----
+    clr  t0            ; x
+i1_x:
+    cmplt t0, 8, t9
+    beq  t9, i2_init
+    clr  t1            ; v
+i1_v:
+    cmplt t1, 8, t9
+    beq  t9, i1_x_next
+{idct1_body}
+    sll  t0, 3, t4
+    addq t4, t1, t4
+    sll  t4, 3, t4
+    addq a2, t4, t4
+    stq  t3, 0(t4)
+    addq t1, 1, t1
+    br   i1_v
+i1_x_next:
+    addq t0, 1, t0
+    br   i1_x
+i2_init:
+    ; ---- pass 2: p(x,y) = clamp((sum_v cof[v][y]*tmp[x][v]) >> 16 + 128) ----
+    clr  t0            ; x
+i2_x:
+    cmplt t0, 8, t9
+    beq  t9, blk_next
+    clr  t1            ; y
+i2_y:
+    cmplt t1, 8, t9
+    beq  t9, i2_x_next
+{idct2_body}
+    sra  t3, 16, t3    ; descale the unnormalised basis round trip
+    addq t3, 128, t3   ; re-bias
+    cmple zero, t3, t9
+    bne  t9, not_low
+    clr  t3
+    addq s1, 1, s1
+not_low:
+    li   t4, 255
+    cmple t3, t4, t9
+    bne  t9, not_high
+    mov  t4, t3
+    addq s1, 1, s1
+not_high:
+    sll  s0, 5, t9    ; strength-reduced *31
+    subq t9, s0, s0
+    addq s0, t3, s0
+    addq t1, 1, t1
+    br   i2_y
+i2_x_next:
+    addq t0, 1, t0
+    br   i2_x
+blk_next:
+    addq s2, 1, s2
+    br   blk
+done:
+    outq s0
+    outq s1
+    halt
+"#,
+        nblocks = nblocks,
+        idct1_body = unrolled_idct1_body(),
+        idct2_body = unrolled_idct2_body(),
+    );
+    assemble(&src).expect("mpeg2 decode kernel must assemble")
+}
+
+/// Expected decoder output.
+#[allow(clippy::needless_range_loop)] // indexing mirrors the IDCT math
+pub fn decode_reference(scale: u32) -> Vec<u64> {
+    let coefs = coef_blocks(scale);
+    let cof = dct_table();
+    let nblocks = coefs.len() / 64;
+    let mut checksum = 0u64;
+    let mut saturated = 0u64;
+    for b in 0..nblocks {
+        let f = |u: usize, v: usize| coefs[b * 64 + u * 8 + v] as i64;
+        let mut tmp = [[0i64; 8]; 8];
+        for x in 0..8 {
+            for v in 0..8 {
+                let mut acc = 0i64;
+                for u in 0..8 {
+                    acc += cof[u * 8 + x] as i64 * f(u, v);
+                }
+                tmp[x][v] = acc;
+            }
+        }
+        for x in 0..8 {
+            for y in 0..8 {
+                let mut acc = 0i64;
+                for v in 0..8 {
+                    acc += cof[v * 8 + y] as i64 * tmp[x][v];
+                }
+                let mut p = (acc >> 16) + 128;
+                if p < 0 {
+                    p = 0;
+                    saturated += 1;
+                } else if p > 255 {
+                    p = 255;
+                    saturated += 1;
+                }
+                checksum = checksum.wrapping_mul(31).wrapping_add(p as u64);
+            }
+        }
+    }
+    vec![checksum, saturated]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nwo_isa::Emulator;
+
+    #[test]
+    fn encode_matches_reference() {
+        let prog = encode_program(0);
+        let mut emu = Emulator::new(&prog);
+        emu.run(100_000_000).expect("halts");
+        assert_eq!(emu.outq(), encode_reference(0).as_slice());
+    }
+
+    #[test]
+    fn decode_matches_reference() {
+        let prog = decode_program(0);
+        let mut emu = Emulator::new(&prog);
+        emu.run(100_000_000).expect("halts");
+        assert_eq!(emu.outq(), decode_reference(0).as_slice());
+    }
+
+    #[test]
+    fn motion_search_finds_the_synthetic_shift() {
+        // Frame 1 is frame 0 shifted by (2, 1): the dominant motion
+        // vector should be dx=-2, dy=-1 -> code ((-1)+4)*9 + (-2)+4 = 29.
+        let (f0, f1) = frames();
+        let mut histogram = [0u32; 81];
+        for b in 0..16 {
+            let ox = 4 + 8 * (b % 4);
+            let oy = 4 + 8 * (b / 4);
+            let mut best = (i64::MAX, 0usize);
+            for dy in -4i64..=4 {
+                for dx in -4i64..=4 {
+                    let mut sad = 0i64;
+                    for row in 0..8usize {
+                        for col in 0..8usize {
+                            let cur = f1[(oy + row) * FRAME + ox + col] as i64;
+                            let rfv = f0[((oy as i64 + dy) as usize + row) * FRAME
+                                + (ox as i64 + dx) as usize
+                                + col] as i64;
+                            sad += (cur - rfv).abs();
+                        }
+                    }
+                    let code = ((dy + 4) * 9 + dx + 4) as usize;
+                    if sad < best.0 {
+                        best = (sad, code);
+                    }
+                }
+            }
+            histogram[best.1] += 1;
+        }
+        let expected_code = 3 * 9 + 2; // dy=-1, dx=-2
+        assert!(
+            histogram[expected_code] >= 10,
+            "most blocks should find the global shift, histogram {histogram:?}"
+        );
+    }
+
+    #[test]
+    fn idct_saturates_rarely_on_natural_blocks() {
+        let r = decode_reference(0);
+        let total = 64 * (coef_blocks(0).len() / 64) as u64;
+        assert!(r[1] < total / 4, "saturation {} of {total}", r[1]);
+    }
+}

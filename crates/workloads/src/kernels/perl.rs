@@ -1,0 +1,116 @@
+//! `perl`-like kernel: byte-wise string processing.
+//!
+//! Mirrors the SPECint95 `perl` scrabble-game workload: letter-score
+//! table lookups with positional bonuses, plus substring matching —
+//! dominated by sub-8-bit operand values.
+
+use crate::data::{emit_bytes, text};
+use nwo_isa::{assemble, Program};
+use std::fmt::Write;
+
+/// Scrabble letter values for a–z.
+const SCORES: [u8; 26] = [
+    1, 3, 3, 2, 1, 4, 2, 4, 1, 8, 5, 1, 3, 1, 1, 3, 10, 1, 1, 1, 1, 4, 4, 8, 4, 10,
+];
+
+fn input_len(scale: u32) -> usize {
+    512 << scale
+}
+
+/// Builds the benchmark program at the given scale.
+pub fn program(scale: u32) -> Program {
+    let input = text(0x9e51, input_len(scale));
+    let mut src = String::from(".data\n");
+    emit_bytes(&mut src, "textbuf", &input);
+    emit_bytes(&mut src, "scores", &SCORES);
+    let _ = write!(
+        src,
+        r#"
+    .text
+main:
+    la   a0, textbuf
+    li   a1, {len}
+    la   a2, scores
+    clr  s0            ; total score
+    clr  s1            ; pattern matches
+    clr  t0            ; i
+loop:
+    cmplt t0, a1, t1
+    beq  t1, done
+    addq a0, t0, t2
+    ldbu t3, 0(t2)     ; c = text[i]
+    cmpult t3, 'a', t4
+    bne  t4, pattern   ; separators score nothing
+    cmpule t3, 'z', t4
+    beq  t4, pattern
+    subq t3, 'a', t5
+    addq a2, t5, t6
+    ldbu t7, 0(t6)     ; letter score
+    and  t0, 7, t8     ; every 8th position doubles (branchless cmov)
+    addq t7, t7, t9
+    cmoveq t8, t9, t7
+    addq s0, t7, s0
+pattern:
+    addq t0, 2, t8     ; match "the" at i (needs i+2 in range)
+    cmplt t8, a1, t9
+    beq  t9, next
+    subq t3, 't', t9
+    bne  t9, next
+    ldbu t9, 1(t2)
+    subq t9, 'h', t9
+    bne  t9, next
+    ldbu t9, 2(t2)
+    subq t9, 'e', t9
+    bne  t9, next
+    addq s1, 1, s1
+next:
+    addq t0, 1, t0
+    br   loop
+done:
+    outq s0
+    outq s1
+    halt
+"#,
+        len = input.len()
+    );
+    assemble(&src).expect("perl kernel must assemble")
+}
+
+/// Reference implementation: the expected `outq` stream.
+pub fn reference(scale: u32) -> Vec<u64> {
+    let input = text(0x9e51, input_len(scale));
+    let mut total = 0u64;
+    let mut matches = 0u64;
+    for (i, &c) in input.iter().enumerate() {
+        if c.is_ascii_lowercase() {
+            let mut score = SCORES[(c - b'a') as usize] as u64;
+            if i % 8 == 0 {
+                score *= 2;
+            }
+            total += score;
+        }
+        if i + 2 < input.len() && &input[i..i + 3] == b"the" {
+            matches += 1;
+        }
+    }
+    vec![total, matches]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nwo_isa::Emulator;
+
+    #[test]
+    fn matches_reference() {
+        let prog = program(0);
+        let mut emu = Emulator::new(&prog);
+        emu.run(10_000_000).expect("halts");
+        assert_eq!(emu.outq(), reference(0).as_slice());
+    }
+
+    #[test]
+    fn scales_change_input() {
+        assert_ne!(reference(0), reference(1));
+    }
+}

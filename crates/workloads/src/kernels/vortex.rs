@@ -1,0 +1,165 @@
+//! `vortex`-like kernel: database record lookup and copying.
+//!
+//! Mirrors SPECint95 `vortex` (an object-oriented database): binary
+//! search over a sorted key index, record retrieval and field copies —
+//! wide pointer/index arithmetic with narrow comparison results.
+
+use crate::data::emit_quads;
+use crate::rng::Rng;
+use nwo_isa::{assemble, Program};
+use std::fmt::Write;
+
+/// Record layout: [key, f1, f2, f3] — 32 bytes.
+const RECORD_BYTES: i64 = 32;
+
+fn record_count(scale: u32) -> usize {
+    128 << scale
+}
+
+fn query_count(scale: u32) -> usize {
+    512 << scale
+}
+
+fn make_records(scale: u32) -> Vec<i64> {
+    let mut out = Vec::new();
+    for i in 0..record_count(scale) as i64 {
+        let key = i * 7 + 3; // sorted, gapped keys
+        out.extend_from_slice(&[key, (key * key) & 0xffff, key ^ 0x5a5a, key * 3]);
+    }
+    out
+}
+
+fn make_queries(scale: u32) -> Vec<i64> {
+    let mut rng = Rng::new(0x0bde);
+    let max_key = (record_count(scale) as i64 - 1) * 7 + 3;
+    (0..query_count(scale))
+        .map(|_| rng.range(0, max_key + 8))
+        .collect()
+}
+
+/// Builds the benchmark program at the given scale.
+pub fn program(scale: u32) -> Program {
+    let records = make_records(scale);
+    let queries = make_queries(scale);
+    let mut src = String::from(".data\n.align 8\n");
+    emit_quads(&mut src, "records", &records);
+    emit_quads(&mut src, "queries", &queries);
+    let _ = writeln!(src, "outbuf: .space {RECORD_BYTES}");
+    let _ = write!(
+        src,
+        r#"
+    .text
+main:
+    la   a0, records
+    la   a1, queries
+    la   a2, outbuf
+    li   a3, {nrec}
+    li   a4, {nquery}
+    clr  s0            ; hits
+    clr  s1            ; checksum
+    clr  t0            ; query index
+qloop:
+    cmplt t0, a4, t1
+    beq  t1, done
+    sll  t0, 3, t1
+    addq a1, t1, t1
+    ldq  v0, 0(t1)     ; q = queries[j]
+    ; binary search: lo in t2, hi in t3 (hi is exclusive)
+    clr  t2
+    mov  a3, t3
+search:
+    cmplt t2, t3, t4
+    beq  t4, miss
+    addq t2, t3, t5
+    srl  t5, 1, t5     ; mid
+    sll  t5, 5, t6     ; mid * 32
+    addq a0, t6, t6    ; &records[mid]
+    ldq  t7, 0(t6)     ; key
+    subq t7, v0, t8
+    beq  t8, hit
+    ; branchless interval update (cmov, as cc -O5 emits):
+    ;   key < q  ->  lo = mid + 1
+    ;   key > q  ->  hi = mid
+    cmplt t7, v0, t8
+    addq t5, 1, t9
+    cmovne t8, t9, t2  ; lo = mid + 1 when key < q
+    cmoveq t8, t5, t3  ; hi = mid otherwise
+    br   search
+hit:
+    addq s0, 1, s0
+    ; copy the record to outbuf and fold fields
+    ldq  t8, 0(t6)
+    stq  t8, 0(a2)
+    ldq  t9, 8(t6)
+    stq  t9, 8(a2)
+    addq s1, t8, s1
+    addq s1, t9, s1
+    ldq  t8, 16(t6)
+    stq  t8, 16(a2)
+    ldq  t9, 24(t6)
+    stq  t9, 24(a2)
+    addq s1, t9, s1
+miss:
+    addq t0, 1, t0
+    br   qloop
+done:
+    outq s0
+    outq s1
+    halt
+"#,
+        nrec = record_count(scale),
+        nquery = query_count(scale),
+    );
+    assemble(&src).expect("vortex kernel must assemble")
+}
+
+/// Reference implementation: the expected `outq` stream.
+pub fn reference(scale: u32) -> Vec<u64> {
+    let records = make_records(scale);
+    let queries = make_queries(scale);
+    let n = record_count(scale);
+    let mut hits = 0u64;
+    let mut checksum = 0u64;
+    for &q in &queries {
+        let (mut lo, mut hi) = (0usize, n);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            let key = records[mid * 4];
+            match key.cmp(&q) {
+                std::cmp::Ordering::Equal => {
+                    hits += 1;
+                    checksum = checksum
+                        .wrapping_add(records[mid * 4] as u64)
+                        .wrapping_add(records[mid * 4 + 1] as u64)
+                        .wrapping_add(records[mid * 4 + 3] as u64);
+                    break;
+                }
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+            }
+        }
+    }
+    vec![hits, checksum]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nwo_isa::Emulator;
+
+    #[test]
+    fn matches_reference() {
+        let prog = program(0);
+        let mut emu = Emulator::new(&prog);
+        emu.run(10_000_000).expect("halts");
+        assert_eq!(emu.outq(), reference(0).as_slice());
+    }
+
+    #[test]
+    fn some_queries_hit_and_some_miss() {
+        let r = reference(0);
+        let hits = r[0];
+        assert!(hits > 0, "some queries must hit");
+        assert!(hits < query_count(0) as u64, "gapped keys must miss too");
+    }
+}

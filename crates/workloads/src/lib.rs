@@ -1,0 +1,321 @@
+#![warn(missing_docs)]
+
+//! Benchmark workloads for the `nwo` study: eight SPECint95-like and six
+//! MediaBench-like kernels (Tables 2 and 3 of the paper), written in the
+//! `nwo-isa` assembly language and generated with seeded synthetic
+//! inputs.
+//!
+//! Every kernel implements the *actual algorithm class* of its namesake
+//! (LZW for `compress`, DCT for `ijpeg`, ADPCM for `g721`, …), so
+//! operand-width distributions emerge from real data flow rather than
+//! hand-tuned histograms. Each kernel ships with a pure-Rust reference
+//! implementation; the `outq` stream of the assembled program must match
+//! it exactly, which is verified by unit tests (on the functional
+//! emulator) and integration tests (on the cycle-level simulator).
+//!
+//! # Example
+//!
+//! ```
+//! use nwo_workloads::{spec_suite, Suite};
+//! use nwo_isa::Emulator;
+//!
+//! let suite = spec_suite(0); // scale 0: small, CI-sized inputs
+//! assert_eq!(suite.len(), 8);
+//! let bench = &suite[0];
+//! assert_eq!(bench.suite, Suite::SpecInt);
+//! let mut emu = Emulator::new(&bench.program);
+//! emu.run(100_000_000)?;
+//! assert_eq!(emu.outq(), bench.expected.as_slice());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod data;
+pub mod kernels;
+mod rng;
+
+pub use rng::Rng;
+
+use nwo_isa::Program;
+
+/// Which benchmark suite a kernel mirrors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// SPECint95-like (Table 2 of the paper).
+    SpecInt,
+    /// MediaBench-like (Table 3 of the paper).
+    Media,
+}
+
+impl std::fmt::Display for Suite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Suite::SpecInt => f.write_str("SPECint95"),
+            Suite::Media => f.write_str("MediaBench"),
+        }
+    }
+}
+
+/// A ready-to-simulate benchmark.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Benchmark name (matches the paper's figures: `ijpeg`, `gsm-enc`, …).
+    pub name: &'static str,
+    /// Which suite it belongs to.
+    pub suite: Suite,
+    /// The assembled program.
+    pub program: Program,
+    /// The expected `outq` stream from the reference implementation.
+    pub expected: Vec<u64>,
+}
+
+impl Benchmark {
+    fn new(name: &'static str, suite: Suite, program: Program, expected: Vec<u64>) -> Benchmark {
+        Benchmark {
+            name,
+            suite,
+            program,
+            expected,
+        }
+    }
+}
+
+/// The eight SPECint95-like benchmarks at the given scale (each step of
+/// `scale` roughly doubles the dynamic instruction count).
+pub fn spec_suite(scale: u32) -> Vec<Benchmark> {
+    use kernels::*;
+    vec![
+        Benchmark::new(
+            "compress",
+            Suite::SpecInt,
+            compress::program(scale),
+            compress::reference(scale),
+        ),
+        Benchmark::new("gcc", Suite::SpecInt, gcc::program(scale), gcc::reference(scale)),
+        Benchmark::new("go", Suite::SpecInt, go::program(scale), go::reference(scale)),
+        Benchmark::new(
+            "ijpeg",
+            Suite::SpecInt,
+            ijpeg::program(scale),
+            ijpeg::reference(scale),
+        ),
+        Benchmark::new(
+            "m88ksim",
+            Suite::SpecInt,
+            m88ksim::program(scale),
+            m88ksim::reference(scale),
+        ),
+        Benchmark::new("perl", Suite::SpecInt, perl::program(scale), perl::reference(scale)),
+        Benchmark::new(
+            "vortex",
+            Suite::SpecInt,
+            vortex::program(scale),
+            vortex::reference(scale),
+        ),
+        Benchmark::new(
+            "xlisp",
+            Suite::SpecInt,
+            xlisp::program(scale),
+            xlisp::reference(scale),
+        ),
+    ]
+}
+
+/// The six MediaBench-like benchmarks at the given scale.
+pub fn media_suite(scale: u32) -> Vec<Benchmark> {
+    use kernels::*;
+    vec![
+        Benchmark::new(
+            "gsm-enc",
+            Suite::Media,
+            gsm::encode_program(scale),
+            gsm::encode_reference(scale),
+        ),
+        Benchmark::new(
+            "gsm-dec",
+            Suite::Media,
+            gsm::decode_program(scale),
+            gsm::decode_reference(scale),
+        ),
+        Benchmark::new(
+            "g721-enc",
+            Suite::Media,
+            g721::encode_program(scale),
+            g721::encode_reference(scale),
+        ),
+        Benchmark::new(
+            "g721-dec",
+            Suite::Media,
+            g721::decode_program(scale),
+            g721::decode_reference(scale),
+        ),
+        Benchmark::new(
+            "mpeg2-enc",
+            Suite::Media,
+            mpeg2::encode_program(scale),
+            mpeg2::encode_reference(scale),
+        ),
+        Benchmark::new(
+            "mpeg2-dec",
+            Suite::Media,
+            mpeg2::decode_program(scale),
+            mpeg2::decode_reference(scale),
+        ),
+    ]
+}
+
+/// All fourteen benchmarks.
+pub fn full_suite(scale: u32) -> Vec<Benchmark> {
+    let mut all = spec_suite(scale);
+    all.extend(media_suite(scale));
+    all
+}
+
+/// The per-benchmark scale that yields roughly half a million dynamic
+/// instructions — the calibration used by the experiment harness so
+/// every kernel contributes comparably (the paper simulates equal
+/// 100M-instruction windows for the same reason).
+pub fn experiment_scale(name: &str) -> u32 {
+    match name {
+        "compress" => 5,
+        "gcc" => 5,
+        "go" => 4,
+        "ijpeg" => 2,
+        "m88ksim" => 2,
+        "perl" => 6,
+        "vortex" => 4,
+        "xlisp" => 5,
+        "gsm-enc" => 1,
+        "gsm-dec" => 6,
+        "g721-enc" => 2,
+        "g721-dec" => 3,
+        "mpeg2-enc" => 0,
+        "mpeg2-dec" => 2,
+        _ => 0,
+    }
+}
+
+/// Builds a single benchmark by name at the given scale.
+pub fn benchmark(name: &str, scale: u32) -> Option<Benchmark> {
+    use kernels::*;
+    let b = match name {
+        "compress" => Benchmark::new(
+            "compress",
+            Suite::SpecInt,
+            compress::program(scale),
+            compress::reference(scale),
+        ),
+        "gcc" => Benchmark::new("gcc", Suite::SpecInt, gcc::program(scale), gcc::reference(scale)),
+        "go" => Benchmark::new("go", Suite::SpecInt, go::program(scale), go::reference(scale)),
+        "ijpeg" => Benchmark::new(
+            "ijpeg",
+            Suite::SpecInt,
+            ijpeg::program(scale),
+            ijpeg::reference(scale),
+        ),
+        "m88ksim" => Benchmark::new(
+            "m88ksim",
+            Suite::SpecInt,
+            m88ksim::program(scale),
+            m88ksim::reference(scale),
+        ),
+        "perl" => Benchmark::new("perl", Suite::SpecInt, perl::program(scale), perl::reference(scale)),
+        "vortex" => Benchmark::new(
+            "vortex",
+            Suite::SpecInt,
+            vortex::program(scale),
+            vortex::reference(scale),
+        ),
+        "xlisp" => Benchmark::new(
+            "xlisp",
+            Suite::SpecInt,
+            xlisp::program(scale),
+            xlisp::reference(scale),
+        ),
+        "gsm-enc" => Benchmark::new(
+            "gsm-enc",
+            Suite::Media,
+            gsm::encode_program(scale),
+            gsm::encode_reference(scale),
+        ),
+        "gsm-dec" => Benchmark::new(
+            "gsm-dec",
+            Suite::Media,
+            gsm::decode_program(scale),
+            gsm::decode_reference(scale),
+        ),
+        "g721-enc" => Benchmark::new(
+            "g721-enc",
+            Suite::Media,
+            g721::encode_program(scale),
+            g721::encode_reference(scale),
+        ),
+        "g721-dec" => Benchmark::new(
+            "g721-dec",
+            Suite::Media,
+            g721::decode_program(scale),
+            g721::decode_reference(scale),
+        ),
+        "mpeg2-enc" => Benchmark::new(
+            "mpeg2-enc",
+            Suite::Media,
+            mpeg2::encode_program(scale),
+            mpeg2::encode_reference(scale),
+        ),
+        "mpeg2-dec" => Benchmark::new(
+            "mpeg2-dec",
+            Suite::Media,
+            mpeg2::decode_program(scale),
+            mpeg2::decode_reference(scale),
+        ),
+        _ => return None,
+    };
+    Some(b)
+}
+
+/// The fourteen benchmark names in canonical (suite, alphabetical) order.
+pub const BENCHMARK_NAMES: [&str; 14] = [
+    "compress", "gcc", "go", "ijpeg", "m88ksim", "perl", "vortex", "xlisp", "gsm-enc", "gsm-dec",
+    "g721-enc", "g721-dec", "mpeg2-enc", "mpeg2-dec",
+];
+
+/// All fourteen benchmarks at their calibrated experiment scales, plus
+/// `bump` extra doublings (for longer runs).
+pub fn experiment_suite(bump: u32) -> Vec<Benchmark> {
+    BENCHMARK_NAMES
+        .iter()
+        .map(|name| {
+            benchmark(name, experiment_scale(name) + bump).expect("known benchmark name")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_shapes() {
+        let spec = spec_suite(0);
+        let media = media_suite(0);
+        assert_eq!(spec.len(), 8);
+        assert_eq!(media.len(), 6);
+        assert_eq!(full_suite(0).len(), 14);
+        assert!(spec.iter().all(|b| b.suite == Suite::SpecInt));
+        assert!(media.iter().all(|b| b.suite == Suite::Media));
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let all = full_suite(0);
+        let names: std::collections::HashSet<_> = all.iter().map(|b| b.name).collect();
+        assert_eq!(names.len(), all.len());
+    }
+
+    #[test]
+    fn all_programs_nonempty_with_expectations() {
+        for b in full_suite(0) {
+            assert!(!b.program.is_empty(), "{} has no code", b.name);
+            assert!(!b.expected.is_empty(), "{} has no expected output", b.name);
+        }
+    }
+}

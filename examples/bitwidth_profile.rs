@@ -1,0 +1,51 @@
+//! Bitwidth profiling (paper Figure 1): run a benchmark and print the
+//! cumulative operand-width distribution as an ASCII chart.
+//!
+//! ```sh
+//! cargo run --release --example bitwidth_profile [benchmark] [scale]
+//! ```
+
+use nwo::sim::{SimConfig, Simulator};
+use nwo::workloads::{benchmark, experiment_scale, BENCHMARK_NAMES};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "compress".to_string());
+    let scale: u32 = match args.next() {
+        Some(s) => s.parse()?,
+        None => experiment_scale(&name),
+    };
+    let Some(bench) = benchmark(&name, scale) else {
+        eprintln!("unknown benchmark `{name}`; known: {BENCHMARK_NAMES:?}");
+        std::process::exit(2);
+    };
+
+    let mut sim = Simulator::new(&bench.program, SimConfig::default());
+    let report = sim.run(u64::MAX)?;
+    assert_eq!(report.out_quads, bench.expected, "benchmark diverged");
+
+    let hist = &report.stats.width_committed;
+    println!(
+        "{name} (scale {scale}): {} committed instructions, {} with two operands",
+        report.stats.committed,
+        hist.total()
+    );
+    println!();
+    println!("cumulative % of operations with both operands <= N bits:");
+    for bits in 1..=64u32 {
+        let frac = hist.cumulative(bits);
+        let bar = "#".repeat((frac * 50.0).round() as usize);
+        // Print every width up to 36, then the sparse tail.
+        if bits <= 36 || bits % 8 == 0 {
+            println!("{bits:>3} | {bar:<50} {:5.1}%", frac * 100.0);
+        }
+    }
+    println!();
+    println!(
+        "narrow at 16 bits: {:.1}%   narrow at 33 bits: {:.1}%",
+        hist.cumulative(16) * 100.0,
+        hist.cumulative(33) * 100.0
+    );
+    println!("(the jump at 33 bits is heap/stack address arithmetic — Figure 1)");
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! Operation packing speedups (paper Section 5).
+//!
+//! Compares baseline, packed, replay-packed, and 8-issue machines on
+//! every kernel and prints Figure 10/11-style numbers.
+//!
+//! ```sh
+//! cargo run --release --example operation_packing [scale]
+//! ```
+
+use nwo::core::PackConfig;
+use nwo::sim::{SimConfig, SimReport, Simulator};
+use nwo::workloads::full_suite;
+
+fn run(bench: &nwo::workloads::Benchmark, config: SimConfig) -> SimReport {
+    let mut sim = Simulator::new(&bench.program, config);
+    let report = sim.run(u64::MAX).expect("benchmark runs to completion");
+    assert_eq!(report.out_quads, bench.expected, "{} diverged", bench.name);
+    report
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale: u32 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(0);
+    println!(
+        "{:<11} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "benchmark", "base cyc", "base", "pack", "+replay", "8-issue", "packed%"
+    );
+    for bench in full_suite(scale) {
+        let base = run(&bench, SimConfig::default());
+        let pack = run(
+            &bench,
+            SimConfig::default().with_packing(PackConfig::default()),
+        );
+        let replay = run(
+            &bench,
+            SimConfig::default().with_packing(PackConfig::with_replay()),
+        );
+        let eight = run(&bench, SimConfig::default().with_eight_issue());
+        let speedup =
+            |r: &SimReport| (base.stats.cycles as f64 / r.stats.cycles as f64 - 1.0) * 100.0;
+        println!(
+            "{:<11} {:>9} {:>7.2}  {:>+7.2}% {:>+7.2}% {:>+7.2}% {:>7.1}%",
+            bench.name,
+            base.stats.cycles,
+            base.ipc(),
+            speedup(&pack),
+            speedup(&replay),
+            speedup(&eight),
+            pack.stats.pack.packed_ops as f64 / pack.stats.issued.max(1) as f64 * 100.0,
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,34 @@
+//! Suite overview: run every benchmark kernel on the functional
+//! emulator, verify its output against the reference implementation,
+//! and print dynamic instruction counts.
+//!
+//! ```sh
+//! cargo run --release --example suite_overview [scale]
+//! ```
+
+use nwo::isa::Emulator;
+use nwo::workloads::full_suite;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale: u32 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(0);
+    println!("benchmark   suite       dyn.instrs   static   verified");
+    for bench in full_suite(scale) {
+        let mut emu = Emulator::new(&bench.program);
+        emu.run(2_000_000_000)?;
+        let ok = emu.outq() == bench.expected.as_slice();
+        println!(
+            "{:<11} {:<11} {:>10}   {:>6}   {}",
+            bench.name,
+            bench.suite.to_string(),
+            emu.icount(),
+            bench.program.len(),
+            if ok { "ok" } else { "MISMATCH" }
+        );
+        assert!(ok, "{} diverged from its reference", bench.name);
+    }
+    Ok(())
+}

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! # nwo — Dynamically Exploiting Narrow Width Operands
+//!
+//! A full reproduction of Brooks & Martonosi, *"Dynamically Exploiting
+//! Narrow Width Operands to Improve Processor Power and Performance"*
+//! (HPCA 1999), as a Rust workspace:
+//!
+//! * [`isa`] — a 64-bit Alpha-flavoured RISC ISA, assembler and
+//!   functional emulator;
+//! * [`mem`] — main memory, caches and TLBs (the Table 1 hierarchy);
+//! * [`bpred`] — branch predictors (the Table 1 combining predictor),
+//!   BTB and return-address stack;
+//! * [`core`] — the paper's contribution: narrow-width detection, clock
+//!   gating decisions, operation packing and replay packing;
+//! * [`power`] — the Table 4 power model and gating accounting;
+//! * [`sim`] — the cycle-level out-of-order (RUU/LSQ) simulator;
+//! * [`workloads`] — fourteen SPECint95- and MediaBench-like kernels.
+//!
+//! # Quick start
+//!
+//! ```
+//! use nwo::sim::{SimConfig, Simulator};
+//! use nwo::isa::assemble;
+//!
+//! let program = assemble("main: li t0, 17\n addq t0, 2, t0\n outq t0\n halt")?;
+//! let mut sim = Simulator::new(&program, SimConfig::default());
+//! let report = sim.run(1_000)?;
+//! assert_eq!(report.out_quads, vec![19]);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use nwo_bpred as bpred;
+pub use nwo_core as core;
+pub use nwo_isa as isa;
+pub use nwo_mem as mem;
+pub use nwo_power as power;
+pub use nwo_sim as sim;
+pub use nwo_workloads as workloads;

@@ -1,0 +1,81 @@
+//! Co-simulation: the cycle-level out-of-order machine must commit
+//! exactly the architected behaviour of the functional emulator, for
+//! every benchmark and every machine configuration.
+
+use nwo::core::{GatingConfig, PackConfig};
+use nwo::isa::Emulator;
+use nwo::sim::{SimConfig, Simulator};
+use nwo::workloads::full_suite;
+
+fn configs() -> Vec<(&'static str, SimConfig)> {
+    vec![
+        ("baseline", SimConfig::default()),
+        ("perfect-bp", SimConfig::default().with_perfect_prediction()),
+        (
+            "gating",
+            SimConfig::default().with_gating(GatingConfig::default()),
+        ),
+        (
+            "packing",
+            SimConfig::default().with_packing(PackConfig::default()),
+        ),
+        (
+            "replay-packing",
+            SimConfig::default().with_packing(PackConfig::with_replay()),
+        ),
+        ("wide-decode", SimConfig::default().with_wide_decode()),
+        ("eight-issue", SimConfig::default().with_eight_issue()),
+        (
+            "packing-wide",
+            SimConfig::default()
+                .with_packing(PackConfig::with_replay())
+                .with_wide_decode(),
+        ),
+        ("no-zdl", {
+            let mut c = SimConfig::default().with_gating(GatingConfig::default());
+            c.zero_detect_loads = false;
+            c
+        }),
+    ]
+}
+
+#[test]
+fn all_benchmarks_match_emulator_under_all_configs() {
+    for bench in full_suite(0) {
+        // The emulator is the reference semantics.
+        let mut emu = Emulator::new(&bench.program);
+        emu.run(1_000_000_000).expect("emulator halts");
+        assert_eq!(
+            emu.outq(),
+            bench.expected.as_slice(),
+            "{}: emulator vs reference implementation",
+            bench.name
+        );
+        for (cfg_name, config) in configs() {
+            let mut sim = Simulator::new(&bench.program, config);
+            let report = sim
+                .run(u64::MAX)
+                .unwrap_or_else(|e| panic!("{} under {cfg_name}: {e}", bench.name));
+            assert_eq!(
+                report.out_quads, bench.expected,
+                "{} under {cfg_name}: simulator diverged",
+                bench.name
+            );
+            assert!(sim.finished(), "{} under {cfg_name} must halt", bench.name);
+        }
+    }
+}
+
+#[test]
+fn warmup_then_run_still_matches() {
+    for bench in full_suite(0).into_iter().take(4) {
+        let mut sim = Simulator::new(&bench.program, SimConfig::default());
+        sim.warmup(5_000).expect("warmup succeeds");
+        let report = sim.run(u64::MAX).expect("runs");
+        assert_eq!(
+            report.out_quads, bench.expected,
+            "{} after warmup",
+            bench.name
+        );
+    }
+}

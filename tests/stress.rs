@@ -1,0 +1,196 @@
+//! Stress configurations: tiny structural resources, hostile memory
+//! ordering, and degraded machines must all preserve architected
+//! behaviour.
+
+#![allow(clippy::field_reassign_with_default)] // explicit Table 1 tweaks read better
+
+use nwo::core::PackConfig;
+use nwo::isa::{assemble, Emulator};
+use nwo::sim::{SimConfig, Simulator};
+use nwo::workloads::full_suite;
+
+fn run_expect(src: &str, config: SimConfig, expected: &[u64]) {
+    let program = assemble(src).expect("assembles");
+    let mut sim = Simulator::new(&program, config);
+    let report = sim.run(u64::MAX).expect("completes");
+    assert_eq!(report.out_quads, expected);
+}
+
+#[test]
+fn tiny_window_machines_stay_correct() {
+    // A 4-entry RUU with a 2-entry LSQ forces structural stalls at every
+    // stage; architected results must be unchanged.
+    let mut tiny = SimConfig::default();
+    tiny.ruu_size = 4;
+    tiny.lsq_size = 2;
+    tiny.ifq_size = 2;
+    for bench in full_suite(0).into_iter().take(5) {
+        let mut sim = Simulator::new(&bench.program, tiny.clone());
+        let report = sim.run(u64::MAX).expect("tiny machine completes");
+        assert_eq!(report.out_quads, bench.expected, "{}", bench.name);
+    }
+}
+
+#[test]
+fn tiny_window_with_packing_stays_correct() {
+    let mut tiny = SimConfig::default().with_packing(PackConfig::with_replay());
+    tiny.ruu_size = 6;
+    tiny.lsq_size = 3;
+    for bench in full_suite(0).into_iter().take(3) {
+        let mut sim = Simulator::new(&bench.program, tiny.clone());
+        let report = sim.run(u64::MAX).expect("completes");
+        assert_eq!(report.out_quads, bench.expected, "{}", bench.name);
+    }
+}
+
+#[test]
+fn partial_store_overlap_is_ordered() {
+    // A byte store into the middle of a quad, then a quad load: the
+    // load must observe the merged value and must not deadlock even
+    // though forwarding is impossible.
+    let src = concat!(
+        ".data\nbuf: .quad 0x1111111111111111\n.text\n",
+        "main: la t0, buf\n",
+        " li t1, 0xab\n",
+        " stb t1, 3(t0)\n",
+        " ldq t2, 0(t0)\n",
+        " outq t2\n halt"
+    );
+    run_expect(src, SimConfig::default(), &[0x1111_1111_ab11_1111]);
+}
+
+#[test]
+fn narrow_store_wide_load_chain() {
+    // Interleaved sizes exercise every forwarding/wait path.
+    let src = concat!(
+        ".data\nbuf: .space 16\n.text\n",
+        "main: la t0, buf\n",
+        " li t1, 0x1234\n",
+        " stw t1, 0(t0)\n",
+        " stw t1, 2(t0)\n",
+        " ldl t2, 0(t0)\n", // covered by neither word alone
+        " li t3, -1\n",
+        " stq t3, 8(t0)\n",
+        " ldbu t4, 8(t0)\n", // covered: forwards
+        " addq t2, t4, v0\n",
+        " outq v0\n halt"
+    );
+    let program = assemble(src).unwrap();
+    let mut emu = Emulator::new(&program);
+    emu.run(1_000).unwrap();
+    let expected = emu.outq().to_vec();
+    run_expect(src, SimConfig::default(), &expected);
+    run_expect(
+        src,
+        SimConfig::default().with_packing(PackConfig::with_replay()),
+        &expected,
+    );
+}
+
+#[test]
+fn higher_mispredict_penalty_costs_cycles() {
+    // A branch-heavy, hard-to-predict kernel: raising the redirect
+    // penalty can only add cycles.
+    let bench = full_suite(0)
+        .into_iter()
+        .find(|b| b.name == "go")
+        .expect("go exists");
+    let cheap = {
+        let mut c = SimConfig::default();
+        c.mispredict_penalty = 0;
+        let mut sim = Simulator::new(&bench.program, c);
+        sim.run(u64::MAX).unwrap()
+    };
+    let costly = {
+        let mut c = SimConfig::default();
+        c.mispredict_penalty = 10;
+        let mut sim = Simulator::new(&bench.program, c);
+        sim.run(u64::MAX).unwrap()
+    };
+    assert_eq!(cheap.out_quads, costly.out_quads);
+    assert!(
+        costly.stats.cycles > cheap.stats.cycles,
+        "penalty 10 must cost more than penalty 0 ({} vs {})",
+        costly.stats.cycles,
+        cheap.stats.cycles
+    );
+}
+
+#[test]
+fn slow_memory_hurts_and_preserves_output() {
+    let bench = full_suite(0)
+        .into_iter()
+        .find(|b| b.name == "xlisp")
+        .expect("xlisp exists");
+    let fast = {
+        let mut sim = Simulator::new(&bench.program, SimConfig::default());
+        sim.run(u64::MAX).unwrap()
+    };
+    let slow = {
+        let mut c = SimConfig::default();
+        c.hierarchy.l2 = None;
+        c.hierarchy.memory_latency = 500;
+        let mut sim = Simulator::new(&bench.program, c);
+        sim.run(u64::MAX).unwrap()
+    };
+    assert_eq!(fast.out_quads, slow.out_quads);
+    assert!(slow.stats.cycles >= fast.stats.cycles);
+}
+
+#[test]
+fn divider_contention_is_modelled() {
+    // Back-to-back divides serialise on the non-pipelined divider. Loop
+    // enough times that the 20-cycle divide latency dominates the cold
+    // I-cache misses of program startup.
+    let body = |op: &str| {
+        format!(
+            concat!(
+                "main: li t0, 1000\n li t1, 7\n li s0, 50\n",
+                "loop: {op} t0, t1, t2\n {op} t0, t1, t3\n {op} t0, t1, t4\n",
+                " addq t2, t3, v0\n addq v0, t4, v0\n",
+                " subq s0, 1, s0\n bgt s0, loop\n",
+                " outq v0\n halt"
+            ),
+            op = op
+        )
+    };
+    let run = |src: &str| {
+        let program = assemble(src).unwrap();
+        let mut sim = Simulator::new(&program, SimConfig::default());
+        sim.run(u64::MAX).unwrap().stats.cycles
+    };
+    let div_cycles = run(&body("divq"));
+    let add_cycles = run(&body("addq"));
+    // 50 iterations x 3 divides x 20 cycles on one divider ~ 3000 cycles.
+    assert!(
+        div_cycles >= add_cycles + 50 * 2 * 20,
+        "divides must serialise on one divider ({div_cycles} vs {add_cycles})"
+    );
+}
+
+#[test]
+fn single_wide_fetch_degrades_gracefully() {
+    let mut narrow = SimConfig::default();
+    narrow.fetch_width = 1;
+    narrow.decode_width = 1;
+    narrow.issue_width = 1;
+    narrow.commit_width = 1;
+    narrow.int_alus = 1;
+    for bench in full_suite(0).into_iter().take(3) {
+        let base = {
+            let mut sim = Simulator::new(&bench.program, SimConfig::default());
+            sim.run(u64::MAX).unwrap()
+        };
+        let scalar = {
+            let mut sim = Simulator::new(&bench.program, narrow.clone());
+            sim.run(u64::MAX).unwrap()
+        };
+        assert_eq!(base.out_quads, scalar.out_quads, "{}", bench.name);
+        assert!(
+            scalar.stats.cycles > base.stats.cycles,
+            "{}: a scalar machine must be slower",
+            bench.name
+        );
+        assert!(scalar.ipc() <= 1.0 + 1e-9, "{}", bench.name);
+    }
+}
