@@ -152,7 +152,12 @@ fn bench_assembler(c: &mut Criterion) {
     let source = {
         let mut s = String::from("main:\n");
         for i in 0..500 {
-            s.push_str(&format!("    addq r{}, {}, r{}\n", i % 8 + 1, i % 200, i % 8 + 1));
+            s.push_str(&format!(
+                "    addq r{}, {}, r{}\n",
+                i % 8 + 1,
+                i % 200,
+                i % 8 + 1
+            ));
         }
         s.push_str("    halt\n");
         s

@@ -9,11 +9,12 @@ use crate::{
 };
 use nwo_core::{GatingConfig, PackConfig};
 use nwo_power::{device_power, Device, MUX_MW, ZERO_DETECT_MW};
+use nwo_sim::obs::StallCause;
 use nwo_sim::{SimConfig, SimReport};
 use nwo_workloads::Suite;
 
 /// All experiment names, in presentation order.
-pub const EXPERIMENTS: [&str; 20] = [
+pub const EXPERIMENTS: [&str; 21] = [
     "table1",
     "table4",
     "fig1",
@@ -26,6 +27,7 @@ pub const EXPERIMENTS: [&str; 20] = [
     "fig10",
     "fig10wide",
     "fig11",
+    "stalls",
     "ablation-gate",
     "ablation-degree",
     "ablation-neg",
@@ -51,6 +53,7 @@ pub fn run_experiment(name: &str) -> bool {
         "fig10" => fig10(false),
         "fig10wide" => fig10(true),
         "fig11" => fig11(),
+        "stalls" => stalls(),
         "ablation-gate" => ablation_gate(),
         "ablation-degree" => ablation_degree(),
         "ablation-neg" => ablation_neg(),
@@ -78,8 +81,14 @@ pub fn table1() {
     kv("RUU size", format!("{} instructions", c.ruu_size));
     kv("LSQ size", c.lsq_size.to_string());
     kv("Fetch queue size", format!("{} instructions", c.ifq_size));
-    kv("Fetch width", format!("{} instructions/cycle", c.fetch_width));
-    kv("Decode width", format!("{} instructions/cycle", c.decode_width));
+    kv(
+        "Fetch width",
+        format!("{} instructions/cycle", c.fetch_width),
+    );
+    kv(
+        "Decode width",
+        format!("{} instructions/cycle", c.decode_width),
+    );
     kv(
         "Issue width",
         format!("{} instructions/cycle (out-of-order)", c.issue_width),
@@ -90,7 +99,10 @@ pub fn table1() {
     );
     kv(
         "Functional units",
-        format!("{} integer ALUs, {} integer multiply/divide", c.int_alus, c.int_muldiv),
+        format!(
+            "{} integer ALUs, {} integer multiply/divide",
+            c.int_alus, c.int_muldiv
+        ),
     );
     kv(
         "Branch predictor",
@@ -99,7 +111,10 @@ pub fn table1() {
     );
     kv("BTB", "2048-entry, 2-way".to_string());
     kv("Return-address stack", "32-entry".to_string());
-    kv("Mispredict penalty", format!("{} cycles", c.mispredict_penalty));
+    kv(
+        "Mispredict penalty",
+        format!("{} cycles", c.mispredict_penalty),
+    );
     kv(
         "L1 data-cache",
         format!(
@@ -156,8 +171,18 @@ pub fn table4() {
             f1(device_power(device, 64)),
         ]);
     }
-    t.row(vec!["Zero-Detect".into(), String::new(), f1(ZERO_DETECT_MW), String::new()]);
-    t.row(vec!["Additional Muxes".into(), String::new(), f1(MUX_MW), String::new()]);
+    t.row(vec![
+        "Zero-Detect".into(),
+        String::new(),
+        f1(ZERO_DETECT_MW),
+        String::new(),
+    ]);
+    t.row(vec![
+        "Additional Muxes".into(),
+        String::new(),
+        f1(MUX_MW),
+        String::new(),
+    ]);
     t.emit();
 }
 
@@ -228,7 +253,16 @@ fn class_fraction_table(title: &str, csv: &str, threshold33: bool) {
     let mut t = Table::new(
         title,
         csv,
-        &["benchmark", "arith", "logic", "shift", "mult", "memory", "branch", "total"],
+        &[
+            "benchmark",
+            "arith",
+            "logic",
+            "shift",
+            "mult",
+            "memory",
+            "branch",
+            "total",
+        ],
     );
     let mut totals = Vec::new();
     for b in &benches {
@@ -291,7 +325,13 @@ pub fn fig6() {
     let mut t = Table::new(
         "Figure 6 - Net power saved by clock gating at 16 and 33 bits (mW per cycle)",
         "fig6",
-        &["benchmark", "saved@16", "saved@33", "extra used", "net saved"],
+        &[
+            "benchmark",
+            "saved@16",
+            "saved@33",
+            "extra used",
+            "net saved",
+        ],
     );
     let mut nets = Vec::new();
     for b in &benches {
@@ -369,9 +409,15 @@ pub fn loadstat() {
 /// operation packing under perfect and realistic prediction.
 pub fn fig10(wide: bool) {
     let (title, csv) = if wide {
-        ("Section 5.4 - Packing speedup with 8-wide decode (%)", "fig10wide")
+        (
+            "Section 5.4 - Packing speedup with 8-wide decode (%)",
+            "fig10wide",
+        )
     } else {
-        ("Figure 10 - Speedup due to operation packing (4-wide decode, %)", "fig10")
+        (
+            "Figure 10 - Speedup due to operation packing (4-wide decode, %)",
+            "fig10",
+        )
     };
     let benches = suite();
     let adapt = |c: SimConfig| if wide { c.with_wide_decode() } else { c };
@@ -432,13 +478,38 @@ pub fn fig10(wide: bool) {
     t.emit();
 }
 
-/// Figure 11: IPC of baseline, packed, and 8-issue/8-ALU machines.
+/// The dominant stall cause of a run, with its share of lost slots.
+fn top_stall(r: &SimReport) -> String {
+    let (cause, slots) = r
+        .stall
+        .iter()
+        .max_by_key(|&(_, n)| n)
+        .expect("StallCause::ALL is non-empty");
+    if slots == 0 {
+        "-".to_string()
+    } else {
+        format!("{} {:.0}%", cause.name(), r.stall.fraction(cause) * 100.0)
+    }
+}
+
+/// Figure 11: IPC of baseline, packed, and 8-issue/8-ALU machines,
+/// with the dominant stall cause of each machine alongside (packing
+/// pays off exactly where the baseline is FU- or dependence-bound).
 pub fn fig11() {
     let benches = suite();
     let mut t = Table::new(
         "Figure 11 - IPC: baseline vs packing vs 8-issue/8-ALU (combining predictor)",
         "fig11",
-        &["benchmark", "baseline", "packed", "8-issue", "packing capture"],
+        &[
+            "benchmark",
+            "baseline",
+            "packed",
+            "8-issue",
+            "packing capture",
+            "base stall",
+            "packed stall",
+            "8i stall",
+        ],
     );
     for b in &benches {
         let base = run(b, base_config());
@@ -449,7 +520,10 @@ pub fn fig11() {
         let gain_eight = eight.ipc() - base.ipc();
         let gain_pack = pack.ipc() - base.ipc();
         let capture = if gain_eight > 1e-9 {
-            format!("{:.0}% of 8-issue gain", (gain_pack / gain_eight * 100.0).min(999.0))
+            format!(
+                "{:.0}% of 8-issue gain",
+                (gain_pack / gain_eight * 100.0).min(999.0)
+            )
         } else {
             "8-issue gains nothing".to_string()
         };
@@ -459,10 +533,54 @@ pub fn fig11() {
             format!("{:.3}", pack.ipc()),
             format!("{:.3}", eight.ipc()),
             capture,
+            top_stall(&base),
+            top_stall(&pack),
+            top_stall(&eight),
         ]);
     }
     t.note("(paper: ijpeg, vortex and the media benchmarks come very close");
-    t.note(" to the 8-issue/8-ALU machine's IPC)");
+    t.note(" to the 8-issue/8-ALU machine's IPC; stall columns show each");
+    t.note(" machine's dominant lost-slot cause and its share)");
+    t.emit();
+}
+
+/// Stall attribution: where every lost commit slot of the baseline
+/// machine goes, per benchmark. Each cycle that retires fewer than
+/// `commit_width` instructions charges the missing slots to exactly one
+/// cause, so the cause columns sum to 100% per row and the absolute
+/// counts satisfy `sum = commit_width * cycles - committed` (see
+/// docs/observability.md for the taxonomy).
+pub fn stalls() {
+    let benches = suite();
+    let mut columns = vec!["benchmark".to_string(), "lost/cycle".to_string()];
+    columns.extend(StallCause::ALL.iter().map(|c| c.name().to_string()));
+    let cols: Vec<&str> = columns.iter().map(String::as_str).collect();
+    let mut t = Table::new(
+        "Stall attribution - lost commit slots by cause (baseline machine)",
+        "stalls",
+        &cols,
+    );
+    for b in &benches {
+        let r = run(b, base_config());
+        let mut row = vec![
+            b.name.to_string(),
+            format!(
+                "{:.2}",
+                r.stall.total() as f64 / r.stats.cycles.max(1) as f64
+            ),
+        ];
+        row.extend(
+            StallCause::ALL
+                .iter()
+                .map(|&c| pct(r.stall.fraction(c) * 100.0)),
+        );
+        t.row(row);
+    }
+    t.note(format!(
+        "(slots lost per cycle out of a commit width of {}; cause columns",
+        base_config().commit_width
+    ));
+    t.note(" are shares of lost slots and sum to 100% per row)");
     t.emit();
 }
 
@@ -554,7 +672,11 @@ pub fn ablation_neg() {
         );
         let rate =
             |r: &SimReport| r.stats.pack.packed_ops as f64 / r.stats.issued.max(1) as f64 * 1000.0;
-        t.row(vec![b.name.to_string(), f1(rate(&with)), f1(rate(&without))]);
+        t.row(vec![
+            b.name.to_string(),
+            f1(rate(&with)),
+            f1(rate(&without)),
+        ]);
     }
     t.emit();
 }
@@ -641,10 +763,17 @@ pub fn ablation_window() {
         "ablation-window",
         &column_refs,
     );
-    for b in benches
-        .iter()
-        .filter(|b| ["go", "ijpeg", "gsm-enc", "g721-dec", "mpeg2-enc", "mpeg2-dec"].contains(&b.name))
-    {
+    for b in benches.iter().filter(|b| {
+        [
+            "go",
+            "ijpeg",
+            "gsm-enc",
+            "g721-dec",
+            "mpeg2-enc",
+            "mpeg2-dec",
+        ]
+        .contains(&b.name)
+    }) {
         let mut row = vec![b.name.to_string()];
         for &(ruu, lsq) in &sizes {
             let shape = |mut c: SimConfig| {
@@ -654,8 +783,7 @@ pub fn ablation_window() {
             };
             let base = run(b, shape(base_config()));
             let pack = run(b, shape(packing_config()));
-            let speedup =
-                (base.stats.cycles as f64 / pack.stats.cycles as f64 - 1.0) * 100.0;
+            let speedup = (base.stats.cycles as f64 / pack.stats.cycles as f64 - 1.0) * 100.0;
             row.push(spct(speedup));
         }
         t.row(row);
@@ -716,7 +844,13 @@ pub fn ablation_spechist() {
     let mut t = Table::new(
         "Ablation - speculative branch history (combining predictor)",
         "ablation-spechist",
-        &["benchmark", "acc commit", "acc spec", "ipc commit", "ipc spec"],
+        &[
+            "benchmark",
+            "acc commit",
+            "acc spec",
+            "ipc commit",
+            "ipc spec",
+        ],
     );
     for b in &benches {
         let shape = |speculative: bool| {

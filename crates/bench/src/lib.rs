@@ -124,7 +124,7 @@ mod tests {
     #[test]
     fn unknown_experiments_are_rejected() {
         assert!(!crate::figures::run_experiment("not-an-experiment"));
-        assert_eq!(crate::figures::EXPERIMENTS.len(), 20);
+        assert_eq!(crate::figures::EXPERIMENTS.len(), 21);
     }
 
     #[test]

@@ -97,7 +97,11 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.columns.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+            self.columns
+                .iter()
+                .map(|c| escape(c))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(
@@ -154,7 +158,10 @@ mod tests {
         assert!(s.contains("==== T ===="));
         assert!(s.contains("long-name"));
         // Value column right-aligned to the same width.
-        let lines: Vec<&str> = s.lines().filter(|l| !l.is_empty() && !l.contains("====")).collect();
+        let lines: Vec<&str> = s
+            .lines()
+            .filter(|l| !l.is_empty() && !l.contains("===="))
+            .collect();
         assert_eq!(lines[0].len(), lines[1].len());
         assert_eq!(lines[1].len(), lines[2].len());
     }

@@ -62,7 +62,10 @@ impl Btb {
             "entries must be a multiple of associativity"
         );
         let num_sets = config.entries / config.assoc;
-        assert!(num_sets.is_power_of_two(), "set count must be a power of two");
+        assert!(
+            num_sets.is_power_of_two(),
+            "set count must be a power of two"
+        );
         Btb {
             sets: vec![vec![BtbEntry::default(); config.assoc]; num_sets],
             tick: 0,
@@ -142,7 +145,7 @@ mod tests {
     #[test]
     fn lru_within_set() {
         let mut btb = tiny(); // 2 sets x 2 ways
-        // PCs mapping to set 0: word addresses with even low bit.
+                              // PCs mapping to set 0: word addresses with even low bit.
         btb.update(0x1000, 1); // set 0
         btb.update(0x1008, 2); // set 0 (word 0x402, low bit 0)
         btb.lookup(0x1000); // refresh first

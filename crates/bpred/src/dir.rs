@@ -57,7 +57,10 @@ struct Bimodal {
 
 impl Bimodal {
     fn new(entries: usize, bits: u32) -> Self {
-        assert!(entries.is_power_of_two(), "table size must be a power of two");
+        assert!(
+            entries.is_power_of_two(),
+            "table size must be a power of two"
+        );
         Bimodal {
             table: vec![SatCounter::new(bits); entries],
         }
@@ -86,7 +89,10 @@ struct GShare {
 
 impl GShare {
     fn new(entries: usize, history_bits: u32, counter_bits: u32) -> Self {
-        assert!(entries.is_power_of_two(), "table size must be a power of two");
+        assert!(
+            entries.is_power_of_two(),
+            "table size must be a power of two"
+        );
         GShare {
             table: vec![SatCounter::new(counter_bits); entries],
             history: 0,
@@ -118,7 +124,10 @@ struct Local {
 
 impl Local {
     fn new(l1_entries: usize, history_bits: u32, counter_bits: u32) -> Self {
-        assert!(l1_entries.is_power_of_two(), "table size must be a power of two");
+        assert!(
+            l1_entries.is_power_of_two(),
+            "table size must be a power of two"
+        );
         Local {
             histories: vec![0; l1_entries],
             counters: vec![SatCounter::new(counter_bits); 1 << history_bits],
@@ -443,10 +452,7 @@ impl DirPredictor {
             (Impl::GShare(g), LookupPayload::GShare { ghist_before, .. }) => {
                 g.history = ((ghist_before << 1) | actual as u64) & g.history_mask;
             }
-            (
-                Impl::Local(l),
-                LookupPayload::Local { l1, hist_before },
-            ) => {
+            (Impl::Local(l), LookupPayload::Local { l1, hist_before }) => {
                 l.histories[l1] =
                     ((hist_before << 1) | actual as u64) & ((1 << l.history_bits) - 1);
             }
@@ -459,10 +465,9 @@ impl DirPredictor {
                     ..
                 },
             ) => {
-                c.global.history =
-                    ((ghist_before << 1) | actual as u64) & c.global.history_mask;
-                c.local.histories[local_l1] = ((local_hist_before << 1) | actual as u64)
-                    & ((1 << c.local.history_bits) - 1);
+                c.global.history = ((ghist_before << 1) | actual as u64) & c.global.history_mask;
+                c.local.histories[local_l1] =
+                    ((local_hist_before << 1) | actual as u64) & ((1 << c.local.history_bits) - 1);
             }
             _ => {}
         }
@@ -517,7 +522,10 @@ mod tests {
             p.update(0x1000, next);
             next = !next;
         }
-        assert!(correct > 950, "gshare should learn T/N/T/N, got {correct}/1000");
+        assert!(
+            correct > 950,
+            "gshare should learn T/N/T/N, got {correct}/1000"
+        );
     }
 
     #[test]

@@ -120,6 +120,16 @@ pub struct PredictorStats {
     pub updates: u64,
 }
 
+impl nwo_obs::MetricSource for PredictorStats {
+    fn collect(&self, registry: &mut nwo_obs::Registry) {
+        registry.counter("dir_lookups", self.dir_lookups);
+        registry.counter("btb_lookups", self.btb_lookups);
+        registry.counter("btb_hits", self.btb_hits);
+        registry.counter("ras_pops", self.ras_pops);
+        registry.counter("updates", self.updates);
+    }
+}
+
 /// Direction predictor + BTB + RAS behind one fetch-stage interface.
 #[derive(Debug, Clone)]
 pub struct Predictor {
@@ -181,7 +191,11 @@ impl Predictor {
             let lookup = self.dir.lookup(pc, self.speculative_history);
             return Prediction {
                 taken: lookup.taken,
-                target: if lookup.taken { info.direct_target } else { None },
+                target: if lookup.taken {
+                    info.direct_target
+                } else {
+                    None
+                },
                 lookup: Some(lookup),
             };
         }
@@ -421,7 +435,10 @@ mod tests {
             spec > commit,
             "speculative history must beat stale commit-time history ({spec} vs {commit})"
         );
-        assert!(spec > 1800, "pattern must be essentially learned ({spec}/2000)");
+        assert!(
+            spec > 1800,
+            "pattern must be essentially learned ({spec}/2000)"
+        );
     }
 
     #[test]

@@ -23,6 +23,9 @@ usage:
        --eight      8-issue / 8-ALU machine
        --max <N>    stop after N committed instructions
        --trace <N>  print a pipeline trace of the first N commits
+       --json <path>       write every machine counter as a JSON snapshot
+       --trace-out <path>  stream pipeline events as JSON lines (O(1) memory)
+       --pipeview <N>      draw a text pipeline diagram of the first N commits
   nwo dbg  <file.s|file.nwo>          interactive debugger (step/break/dump)
   nwo bench [name ...] [--scale N]    run benchmark kernels (verified)
   nwo experiments [name ...]          regenerate the paper's tables/figures
@@ -34,9 +37,8 @@ fn load_program(path: &str) -> Result<Program, String> {
     if bytes.starts_with(b"NWO1") {
         return Program::from_bytes(&bytes).map_err(|e| format!("{path}: {e}"));
     }
-    let source = String::from_utf8(bytes).map_err(|_| {
-        format!("{path}: not UTF-8 assembly and not an NWO1 image")
-    })?;
+    let source = String::from_utf8(bytes)
+        .map_err(|_| format!("{path}: not UTF-8 assembly and not an NWO1 image"))?;
     assemble(&source).map_err(|e| format!("{path}: {e}"))
 }
 
@@ -100,9 +102,14 @@ pub fn run(args: &[String]) -> Result<(), String> {
 
 /// `nwo sim <file> [flags]`
 pub fn sim(args: &[String]) -> Result<(), String> {
+    use nwo_sim::obs::{JsonlSink, RingSink, TeeSink, TraceSink};
+
     let mut input = None;
     let mut config = SimConfig::default();
     let mut max = u64::MAX;
+    let mut json_out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut pipeview: usize = 0;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -126,6 +133,15 @@ pub fn sim(args: &[String]) -> Result<(), String> {
                     .parse()
                     .map_err(|_| "--trace needs a number")?
             }
+            "--json" => json_out = Some(it.next().ok_or("--json needs a path")?.clone()),
+            "--trace-out" => trace_out = Some(it.next().ok_or("--trace-out needs a path")?.clone()),
+            "--pipeview" => {
+                pipeview = it
+                    .next()
+                    .ok_or("--pipeview needs a number")?
+                    .parse()
+                    .map_err(|_| "--pipeview needs a number")?
+            }
             _ if input.is_none() && !a.starts_with('-') => input = Some(a.clone()),
             other => return Err(format!("unexpected argument `{other}`")),
         }
@@ -134,13 +150,35 @@ pub fn sim(args: &[String]) -> Result<(), String> {
     let program = load_program(&input)?;
     let trace_limit = config.trace_limit;
     let mut simulator = Simulator::new(&program, config);
+
+    // Compose the trace sink: in-memory retention for --trace/--pipeview,
+    // a streaming JSONL file for --trace-out, or both behind a tee.
+    let retain = trace_limit.max(pipeview);
+    let mut sinks: Vec<Box<dyn TraceSink>> = Vec::new();
+    if retain > 0 {
+        sinks.push(Box::new(RingSink::keep_first(retain)));
+    }
+    if let Some(path) = &trace_out {
+        let sink = JsonlSink::create(Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
+        sinks.push(Box::new(sink));
+    }
+    if sinks.len() == 1 {
+        simulator.set_trace_sink(sinks.pop().expect("checked length"));
+    } else if sinks.len() > 1 {
+        let mut tee = TeeSink::new();
+        for s in sinks {
+            tee.push(s);
+        }
+        simulator.set_trace_sink(Box::new(tee));
+    }
+
     let report = simulator.run(max).map_err(|e| e.to_string())?;
     if trace_limit > 0 {
         println!(
             "{:<10} {:<24} {:>6} {:>6} {:>6} {:>6} {:>6}  flags",
             "pc", "instruction", "F", "D", "I", "X", "C"
         );
-        for t in simulator.trace() {
+        for t in simulator.trace().iter().take(trace_limit) {
             println!(
                 "{:<#10x} {:<24} {:>6} {:>6} {:>6} {:>6} {:>6}  {}{}",
                 t.pc,
@@ -156,6 +194,17 @@ pub fn sim(args: &[String]) -> Result<(), String> {
         }
         println!();
     }
+    if pipeview > 0 {
+        let records = simulator.trace_commits();
+        let shown = &records[..pipeview.min(records.len())];
+        let diagram = nwo_sim::obs::pipeview::render(shown, &|_, raw| {
+            nwo_isa::Instr::decode(raw)
+                .map(|i| i.to_string())
+                .unwrap_or_else(|_| format!("{raw:08x}"))
+        });
+        print!("{diagram}");
+        println!();
+    }
     if !report.out_bytes.is_empty() {
         println!("outb: {}", String::from_utf8_lossy(&report.out_bytes));
     }
@@ -164,6 +213,13 @@ pub fn sim(args: &[String]) -> Result<(), String> {
     }
     println!();
     print!("{report}");
+    if let Some(path) = &json_out {
+        std::fs::write(path, simulator.snapshot().to_json()).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("wrote metrics snapshot to {path}");
+    }
+    if let Some(path) = &trace_out {
+        eprintln!("wrote pipeline event stream to {path}");
+    }
     Ok(())
 }
 
@@ -238,7 +294,9 @@ pub fn experiments(args: &[String]) -> Result<(), String> {
     };
     for name in selected {
         if !run_experiment(name) {
-            return Err(format!("unknown experiment `{name}`; known: {EXPERIMENTS:?}"));
+            return Err(format!(
+                "unknown experiment `{name}`; known: {EXPERIMENTS:?}"
+            ));
         }
     }
     Ok(())

@@ -18,14 +18,14 @@ use std::io::{BufRead, Write};
 
 /// Runs the debugger REPL over arbitrary input/output streams (tests
 /// inject scripted commands; `main` passes stdin/stdout).
-pub fn repl<R: BufRead, W: Write>(
-    program: &Program,
-    input: R,
-    out: &mut W,
-) -> std::io::Result<()> {
+pub fn repl<R: BufRead, W: Write>(program: &Program, input: R, out: &mut W) -> std::io::Result<()> {
     let mut emu = Emulator::new(program);
     let mut breakpoints: HashSet<u64> = HashSet::new();
-    writeln!(out, "nwo debugger — {} instructions loaded; `help` for commands", program.len())?;
+    writeln!(
+        out,
+        "nwo debugger — {} instructions loaded; `help` for commands",
+        program.len()
+    )?;
     print_location(&emu, program, out)?;
     write!(out, "(nwo-dbg) ")?;
     out.flush()?;
@@ -37,7 +37,10 @@ pub fn repl<R: BufRead, W: Write>(
         match cmd {
             "" => {}
             "help" | "h" => {
-                writeln!(out, "s [n] | c | b <addr|label> | r | m <addr> [n] | d [addr] | o | q")?;
+                writeln!(
+                    out,
+                    "s [n] | c | b <addr|label> | r | m <addr> [n] | d [addr] | o | q"
+                )?;
             }
             "s" => {
                 let n: u64 = args.first().and_then(|a| a.parse().ok()).unwrap_or(1);
@@ -74,7 +77,11 @@ pub fn repl<R: BufRead, W: Write>(
                     }
                     steps += 1;
                     if breakpoints.contains(&emu.pc()) {
-                        writeln!(out, "breakpoint at {:#x} after {steps} instructions", emu.pc())?;
+                        writeln!(
+                            out,
+                            "breakpoint at {:#x} after {steps} instructions",
+                            emu.pc()
+                        )?;
                         break;
                     }
                     if steps > 1_000_000_000 {
@@ -155,11 +162,7 @@ pub fn repl<R: BufRead, W: Write>(
     Ok(())
 }
 
-fn print_location<W: Write>(
-    emu: &Emulator,
-    program: &Program,
-    out: &mut W,
-) -> std::io::Result<()> {
+fn print_location<W: Write>(emu: &Emulator, program: &Program, out: &mut W) -> std::io::Result<()> {
     match program.instr_at(emu.pc()) {
         Some(instr) => writeln!(out, "=> {:#010x}: {instr}", emu.pc()),
         None => writeln!(out, "=> {:#010x}: <outside text>", emu.pc()),

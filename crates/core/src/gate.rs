@@ -86,14 +86,9 @@ fn qualifies(tag: WidthTag, narrow: bool, config: &GatingConfig) -> bool {
 /// assert_eq!(gate_level(addr, narrow, &cfg), GateLevel::Gate33);
 /// ```
 pub fn gate_level(a: WidthTag, b: WidthTag, config: &GatingConfig) -> GateLevel {
-    if config.gate16
-        && qualifies(a, a.narrow16, config)
-        && qualifies(b, b.narrow16, config)
-    {
+    if config.gate16 && qualifies(a, a.narrow16, config) && qualifies(b, b.narrow16, config) {
         GateLevel::Gate16
-    } else if config.gate33
-        && qualifies(a, a.narrow33, config)
-        && qualifies(b, b.narrow33, config)
+    } else if config.gate33 && qualifies(a, a.narrow33, config) && qualifies(b, b.narrow33, config)
     {
         GateLevel::Gate33
     } else {
@@ -120,10 +115,7 @@ mod tests {
     fn one_wide_operand_blocks_16_bit_gating() {
         let cfg = GatingConfig::default();
         assert_eq!(gate_level(tag(17), tag(1 << 20), &cfg), GateLevel::Gate33);
-        assert_eq!(
-            gate_level(tag(17), tag(1 << 40), &cfg),
-            GateLevel::Full
-        );
+        assert_eq!(gate_level(tag(17), tag(1 << 40), &cfg), GateLevel::Full);
     }
 
     #[test]

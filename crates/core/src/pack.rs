@@ -396,10 +396,7 @@ mod tests {
         let a = 0x1_2345_0010u64;
         let b = 5u64;
         assert!(!replay_mispredicts(Opcode::Addq, a, b, WideOperand::A));
-        assert_eq!(
-            replay_predicted(Opcode::Addq, a, b, WideOperand::A),
-            a + b
-        );
+        assert_eq!(replay_predicted(Opcode::Addq, a, b, WideOperand::A), a + b);
     }
 
     #[test]

@@ -153,8 +153,8 @@ mod tests {
         assert_eq!(width64(0), 1);
         assert_eq!(width64(1), 1);
         assert_eq!(width64(u64::MAX), 1); // -1: one significant bit
-        // i64::MIN is ones-detected at 63: the low 63 bits (all zero) plus
-        // the ones signal reconstruct it, so its hardware width is 63.
+                                          // i64::MIN is ones-detected at 63: the low 63 bits (all zero) plus
+                                          // the ones signal reconstruct it, so its hardware width is 63.
         assert_eq!(width64(i64::MIN as u64), 63);
         assert_eq!(width64(i64::MAX as u64), 63);
     }

@@ -58,11 +58,23 @@ fn err<T>(line: usize, message: impl Into<String>) -> Result<T, AsmError> {
 enum Slot {
     Ready(Instr),
     /// A branch to a label, resolved once label addresses are known.
-    BranchTo { op: Opcode, ra: Reg, target: String },
+    BranchTo {
+        op: Opcode,
+        ra: Reg,
+        target: String,
+    },
     /// High half of a two-instruction `la` expansion.
-    LaHigh { rd: Reg, label: String, offset: i64 },
+    LaHigh {
+        rd: Reg,
+        label: String,
+        offset: i64,
+    },
     /// Low half of a two-instruction `la` expansion.
-    LaLow { rd: Reg, label: String, offset: i64 },
+    LaLow {
+        rd: Reg,
+        label: String,
+        offset: i64,
+    },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -285,7 +297,8 @@ impl Assembler {
                 Ok(())
             }
             "space" => {
-                let n = self.resolve_int(args)
+                let n = self
+                    .resolve_int(args)
                     .map_err(|_| AsmError {
                         line: line_no,
                         message: format!("bad .space size `{args}`"),
@@ -297,7 +310,10 @@ impl Assembler {
             "align" => {
                 let n = self.resolve_int(args).unwrap_or(0);
                 if n <= 0 || (n as u64).count_ones() != 1 {
-                    return err(line_no, format!("bad .align `{args}` (power of two required)"));
+                    return err(
+                        line_no,
+                        format!("bad .align `{args}` (power of two required)"),
+                    );
                 }
                 while !(self.data.len() as u64).is_multiple_of(n as u64) {
                     self.data.push(0);
@@ -322,7 +338,10 @@ impl Assembler {
                 message: format!("bad integer `{}`", item.trim()),
             })?;
             if v < min || v > max {
-                return err(line_no, format!("value {v} out of range for {bytes}-byte datum"));
+                return err(
+                    line_no,
+                    format!("value {v} out of range for {bytes}-byte datum"),
+                );
             }
             self.data
                 .extend_from_slice(&(v as u64).to_le_bytes()[..bytes]);
@@ -352,7 +371,10 @@ impl Assembler {
         match mnemonic.to_ascii_lowercase().as_str() {
             "mov" => {
                 let (rs, rd) = (reg(line_no, &ops, 0)?, reg(line_no, &ops, 1)?);
-                self.emit(line_no, Slot::Ready(Instr::operate(Opcode::Bis, rs, rs, rd)));
+                self.emit(
+                    line_no,
+                    Slot::Ready(Instr::operate(Opcode::Bis, rs, rs, rd)),
+                );
                 return Ok(());
             }
             "clr" => {
@@ -420,11 +442,10 @@ impl Assembler {
             _ => {}
         }
 
-        let op = Opcode::from_mnemonic(mnemonic)
-            .ok_or_else(|| AsmError {
-                line: line_no,
-                message: format!("unknown mnemonic `{mnemonic}`"),
-            })?;
+        let op = Opcode::from_mnemonic(mnemonic).ok_or_else(|| AsmError {
+            line: line_no,
+            message: format!("unknown mnemonic `{mnemonic}`"),
+        })?;
         match op.format() {
             Format::Operate => self.asm_operate(line_no, op, &ops),
             Format::Memory => self.asm_memory(line_no, op, &ops),
@@ -521,10 +542,7 @@ impl Assembler {
         if !(-32768..=32767).contains(&disp) {
             return err(line_no, format!("displacement {disp} out of 16-bit range"));
         }
-        self.emit(
-            line_no,
-            Slot::Ready(Instr::memory(op, ra, disp as i32, rb)),
-        );
+        self.emit(line_no, Slot::Ready(Instr::memory(op, ra, disp as i32, rb)));
         Ok(())
     }
 
@@ -547,10 +565,7 @@ impl Assembler {
             );
             Ok(())
         } else if let Ok(disp) = self.resolve_int(target) {
-            self.emit(
-                line_no,
-                Slot::Ready(Instr::branch(op, ra, disp as i32)),
-            );
+            self.emit(line_no, Slot::Ready(Instr::branch(op, ra, disp as i32)));
             Ok(())
         } else {
             err(line_no, format!("bad branch target `{target}`"))
@@ -710,7 +725,9 @@ fn find_label_colon(s: &str) -> Option<usize> {
 
 fn is_valid_label(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
         && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
         && s.parse::<Reg>().is_err()
 }
@@ -1095,12 +1112,15 @@ mod tests {
     #[test]
     fn mov_and_clr_pseudos() {
         let i = first("mov r5, r6");
-        assert_eq!((i.op, i.ra, i.b, i.rc), (
-            Opcode::Bis,
-            Reg::new(5),
-            OperandB::Reg(Reg::new(5)),
-            Reg::new(6)
-        ));
+        assert_eq!(
+            (i.op, i.ra, i.b, i.rc),
+            (
+                Opcode::Bis,
+                Reg::new(5),
+                OperandB::Reg(Reg::new(5)),
+                Reg::new(6)
+            )
+        );
         let j = first("clr r7");
         assert_eq!((j.op, j.ra, j.rc), (Opcode::Bis, Reg::ZERO, Reg::new(7)));
     }
@@ -1108,12 +1128,15 @@ mod tests {
     #[test]
     fn sext_unary_sugar() {
         let i = first("sextb r3, r4");
-        assert_eq!((i.op, i.ra, i.b, i.rc), (
-            Opcode::Sextb,
-            Reg::ZERO,
-            OperandB::Reg(Reg::new(3)),
-            Reg::new(4)
-        ));
+        assert_eq!(
+            (i.op, i.ra, i.b, i.rc),
+            (
+                Opcode::Sextb,
+                Reg::ZERO,
+                OperandB::Reg(Reg::new(3)),
+                Reg::new(4)
+            )
+        );
     }
 
     #[test]
@@ -1176,13 +1199,22 @@ main: li t0, BASE+28
 
     #[test]
     fn equ_errors() {
-        assert!(assemble(".equ X, 1
+        assert!(assemble(
+            ".equ X, 1
 .equ X, 2
-main: halt").is_err());
-        assert!(assemble(".equ 9bad, 1
-main: halt").is_err());
-        assert!(assemble("main: li t0, UNDEFINED
- halt").is_err());
+main: halt"
+        )
+        .is_err());
+        assert!(assemble(
+            ".equ 9bad, 1
+main: halt"
+        )
+        .is_err());
+        assert!(assemble(
+            "main: li t0, UNDEFINED
+ halt"
+        )
+        .is_err());
     }
 
     #[test]

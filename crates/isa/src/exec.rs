@@ -180,10 +180,7 @@ mod tests {
     fn shifts_mask_amount_to_six_bits() {
         assert_eq!(alu_result(Opcode::Sll, 1, 65), 2);
         assert_eq!(alu_result(Opcode::Srl, 0x8000_0000_0000_0000, 63), 1);
-        assert_eq!(
-            alu_result(Opcode::Sra, 0x8000_0000_0000_0000, 63),
-            u64::MAX
-        );
+        assert_eq!(alu_result(Opcode::Sra, 0x8000_0000_0000_0000, 63), u64::MAX);
     }
 
     #[test]

@@ -195,7 +195,8 @@ impl Instr {
     /// words relative to the next instruction, as on Alpha.
     pub fn branch_target(&self, pc: u64) -> u64 {
         debug_assert_eq!(self.op.format(), Format::Branch);
-        pc.wrapping_add(4).wrapping_add((self.disp as i64 as u64) << 2)
+        pc.wrapping_add(4)
+            .wrapping_add((self.disp as i64 as u64) << 2)
     }
 
     /// Encodes to a 32-bit instruction word.

@@ -71,6 +71,15 @@ impl CacheStats {
     }
 }
 
+impl nwo_obs::MetricSource for CacheStats {
+    fn collect(&self, registry: &mut nwo_obs::Registry) {
+        registry.counter("hits", self.hits);
+        registry.counter("misses", self.misses);
+        registry.counter("writebacks", self.writebacks);
+        registry.gauge("miss_rate", self.miss_rate());
+    }
+}
+
 #[derive(Debug, Clone, Copy, Default)]
 struct Line {
     valid: bool,

@@ -52,6 +52,16 @@ pub struct HierarchyStats {
     pub dtlb: TlbStats,
 }
 
+impl nwo_obs::MetricSource for HierarchyStats {
+    fn collect(&self, registry: &mut nwo_obs::Registry) {
+        registry.source("l1i", &self.l1i);
+        registry.source("l1d", &self.l1d);
+        registry.source("l2", &self.l2);
+        registry.source("itlb", &self.itlb);
+        registry.source("dtlb", &self.dtlb);
+    }
+}
+
 /// Composed instruction/data memory hierarchy.
 ///
 /// Latency composition: an access always pays the L1 hit latency; on an L1
@@ -221,7 +231,7 @@ mod tests {
         let mut h = Hierarchy::new(cfg);
         h.data_access(0, false); // cold
         h.data_access(64, false); // evicts block 0 from L1; both in L2
-        // Same TLB page, L1 miss, L2 hit: 1 + 12.
+                                  // Same TLB page, L1 miss, L2 hit: 1 + 12.
         assert_eq!(h.data_access(0, false), 13);
     }
 

@@ -49,6 +49,14 @@ impl TlbStats {
     }
 }
 
+impl nwo_obs::MetricSource for TlbStats {
+    fn collect(&self, registry: &mut nwo_obs::Registry) {
+        registry.counter("hits", self.hits);
+        registry.counter("misses", self.misses);
+        registry.gauge("miss_rate", self.miss_rate());
+    }
+}
+
 /// Fully-associative TLB with true-LRU replacement.
 ///
 /// # Example

@@ -1,0 +1,330 @@
+//! Metrics registry: named counters, gauges and log2-bucketed
+//! histograms, collected into an ordered [`Snapshot`] that serializes
+//! to JSON. Subsystems expose their counters by implementing
+//! [`MetricSource`]; the simulator walks every source once per
+//! snapshot, so there is no sampling overhead on the simulation loop
+//! itself.
+
+use crate::json;
+
+/// A histogram whose bucket `k` counts values with `k` significant
+/// bits (bucket 0 counts zeros) — the natural shape for operand-width
+/// and latency distributions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Log2Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Log2Histogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl Log2Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        let bucket = 64 - value.leading_zeros() as usize;
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Total number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Count in bucket `k` (values with `k` significant bits).
+    pub fn bucket(&self, k: usize) -> u64 {
+        self.buckets[k]
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Index of the highest non-empty bucket, if any value was recorded.
+    pub fn max_bucket(&self) -> Option<usize> {
+        self.buckets.iter().rposition(|&c| c > 0)
+    }
+
+    /// Adds another histogram into this one.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+}
+
+/// One registered metric value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// A monotonically accumulated count.
+    Counter(u64),
+    /// A point-in-time or derived value.
+    Gauge(f64),
+    /// A [`Log2Histogram`] (boxed: its fixed bucket array dwarfs the
+    /// scalar variants).
+    Histogram(Box<Log2Histogram>),
+}
+
+/// Anything that can contribute metrics to a [`Registry`].
+pub trait MetricSource {
+    /// Registers this source's metrics.
+    fn collect(&self, registry: &mut Registry);
+}
+
+/// An ordered, dot-namespaced collection point for metrics.
+///
+/// ```
+/// use nwo_obs::{MetricValue, Registry};
+/// let mut r = Registry::new();
+/// r.group("mem", |r| {
+///     r.counter("hits", 10);
+///     r.gauge("miss_rate", 0.25);
+/// });
+/// let snap = r.finish();
+/// assert_eq!(snap.counter("mem.hits"), Some(10));
+/// ```
+#[derive(Debug, Default)]
+pub struct Registry {
+    prefix: String,
+    entries: Vec<(String, MetricValue)>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn qualify(&self, name: &str) -> String {
+        if self.prefix.is_empty() {
+            name.to_string()
+        } else {
+            format!("{}.{}", self.prefix, name)
+        }
+    }
+
+    /// Registers a counter.
+    pub fn counter(&mut self, name: &str, value: u64) {
+        let key = self.qualify(name);
+        self.entries.push((key, MetricValue::Counter(value)));
+    }
+
+    /// Registers a gauge.
+    pub fn gauge(&mut self, name: &str, value: f64) {
+        let key = self.qualify(name);
+        self.entries.push((key, MetricValue::Gauge(value)));
+    }
+
+    /// Registers a histogram.
+    pub fn histogram(&mut self, name: &str, value: Log2Histogram) {
+        let key = self.qualify(name);
+        self.entries
+            .push((key, MetricValue::Histogram(Box::new(value))));
+    }
+
+    /// Runs `f` with `name` appended to the namespace prefix.
+    pub fn group(&mut self, name: &str, f: impl FnOnce(&mut Registry)) {
+        let saved = std::mem::take(&mut self.prefix);
+        self.prefix = if saved.is_empty() {
+            name.to_string()
+        } else {
+            format!("{saved}.{name}")
+        };
+        f(self);
+        self.prefix = saved;
+    }
+
+    /// Collects a [`MetricSource`] under the group `name`.
+    pub fn source(&mut self, name: &str, source: &dyn MetricSource) {
+        self.group(name, |r| source.collect(r));
+    }
+
+    /// Finalizes into an immutable snapshot.
+    pub fn finish(self) -> Snapshot {
+        Snapshot {
+            entries: self.entries,
+        }
+    }
+}
+
+/// An immutable, ordered set of named metrics.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    entries: Vec<(String, MetricValue)>,
+}
+
+impl Snapshot {
+    /// All entries, in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &MetricValue)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no metric was registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks a metric up by full dotted name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
+    /// The value of a counter metric.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name) {
+            Some(MetricValue::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value of a gauge metric.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.get(name) {
+            Some(MetricValue::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Serializes to a flat JSON object, one key per metric, in
+    /// registration order. Histograms become
+    /// `{"count":..,"sum":..,"mean":..,"buckets":[..]}` with the bucket
+    /// array trimmed to the highest non-empty bucket.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64 * self.entries.len().max(1));
+        out.push_str("{\n");
+        for (i, (key, value)) in self.entries.iter().enumerate() {
+            out.push_str("  ");
+            json::write_str(&mut out, key);
+            out.push_str(": ");
+            match value {
+                MetricValue::Counter(v) => {
+                    out.push_str(&v.to_string());
+                }
+                MetricValue::Gauge(v) => json::write_f64(&mut out, *v),
+                MetricValue::Histogram(h) => {
+                    out.push_str("{\"count\":");
+                    out.push_str(&h.count().to_string());
+                    out.push_str(",\"sum\":");
+                    out.push_str(&h.sum().to_string());
+                    out.push_str(",\"mean\":");
+                    json::write_f64(&mut out, h.mean());
+                    out.push_str(",\"buckets\":[");
+                    let last = h.max_bucket().map_or(0, |b| b + 1);
+                    for k in 0..last {
+                        if k > 0 {
+                            out.push(',');
+                        }
+                        out.push_str(&h.bucket(k).to_string());
+                    }
+                    out.push_str("]}");
+                }
+            }
+            if i + 1 < self.entries.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log2_histogram_buckets_by_significant_bits() {
+        let mut h = Log2Histogram::new();
+        for v in [0, 1, 2, 3, 4, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.bucket(0), 1); // 0
+        assert_eq!(h.bucket(1), 1); // 1
+        assert_eq!(h.bucket(2), 2); // 2, 3
+        assert_eq!(h.bucket(3), 1); // 4
+        assert_eq!(h.bucket(64), 1); // u64::MAX
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.max_bucket(), Some(64));
+    }
+
+    #[test]
+    fn registry_namespaces_nest() {
+        let mut r = Registry::new();
+        r.counter("top", 1);
+        r.group("a", |r| {
+            r.counter("x", 2);
+            r.group("b", |r| r.gauge("y", 0.5));
+            r.counter("z", 3);
+        });
+        let snap = r.finish();
+        assert_eq!(snap.counter("top"), Some(1));
+        assert_eq!(snap.counter("a.x"), Some(2));
+        assert_eq!(snap.gauge("a.b.y"), Some(0.5));
+        assert_eq!(snap.counter("a.z"), Some(3));
+        assert_eq!(snap.len(), 4);
+    }
+
+    #[test]
+    fn snapshot_json_is_parseable_and_ordered() {
+        let mut r = Registry::new();
+        r.counter("z.last", 9);
+        r.gauge("bad", f64::NAN);
+        let mut h = Log2Histogram::new();
+        h.record(5);
+        r.histogram("h", h);
+        let snap = r.finish();
+        let text = snap.to_json();
+        let v = crate::json::parse(&text).expect("snapshot JSON parses");
+        assert_eq!(v.get("z.last").unwrap().as_u64(), Some(9));
+        assert_eq!(v.get("bad"), Some(&crate::json::JsonValue::Null));
+        assert_eq!(v.get("h").unwrap().get("count").unwrap().as_u64(), Some(1));
+        // Registration order is preserved in the serialized text.
+        assert!(text.find("z.last").unwrap() < text.find("bad").unwrap());
+    }
+
+    #[test]
+    fn sources_collect_under_their_group() {
+        struct Fake;
+        impl MetricSource for Fake {
+            fn collect(&self, registry: &mut Registry) {
+                registry.counter("n", 7);
+            }
+        }
+        let mut r = Registry::new();
+        r.source("fake", &Fake);
+        assert_eq!(r.finish().counter("fake.n"), Some(7));
+    }
+}

@@ -1,0 +1,194 @@
+//! Konata-style text pipeline diagram: one row per committed
+//! instruction, one column per cycle.
+//!
+//! Legend (also printed in the header):
+//!
+//! | char | meaning                                   |
+//! |------|-------------------------------------------|
+//! | `F`  | fetched into the instruction queue        |
+//! | `D`  | dispatched (renamed) into the RUU         |
+//! | `I`  | issued to a functional unit               |
+//! | `p`  | issued inside a packed group              |
+//! | `=`  | executing (between issue and writeback)   |
+//! | `W`  | result written back                       |
+//! | `C`  | committed                                 |
+//! | `.`  | waiting in a queue                        |
+//! | `>`  | row continues past the clipped window     |
+//!
+//! Rows of instructions that went through a replay squash are marked
+//! with a trailing `*` before the disassembly.
+
+use crate::trace::CommitRecord;
+
+/// Maximum number of cycle columns rendered before a row is clipped.
+const MAX_COLS: u64 = 96;
+
+/// Renders commit records as a text pipeline diagram. `disasm` maps
+/// `(pc, raw encoding)` to display text (pass `|_, raw| format!("{raw:08x}")`
+/// if no decoder is at hand).
+pub fn render(records: &[CommitRecord], disasm: &dyn Fn(u64, u32) -> String) -> String {
+    use std::fmt::Write as _;
+
+    let mut out = String::new();
+    if records.is_empty() {
+        out.push_str("pipeview: no committed instructions traced\n");
+        return out;
+    }
+    let base = records.iter().map(|r| r.fetched_at).min().unwrap_or(0);
+    let last = records.iter().map(|r| r.committed_at).max().unwrap_or(base);
+    let span = (last - base + 1).min(MAX_COLS);
+    let _ = writeln!(
+        out,
+        "pipeview: {} instructions, cycles {}..={} (F fetch, D dispatch, I issue, p packed, = exec, W writeback, C commit, * replayed)",
+        records.len(),
+        base,
+        last,
+    );
+
+    // Cycle ruler, marked every 10 columns.
+    let label_width = 4 + 1 + 8 + 2; // seq + space + pc + gap
+    let mut ruler = " ".repeat(label_width);
+    let mut col = 0;
+    while col < span {
+        let cycle = base + col;
+        if col % 10 == 0 {
+            let mark = cycle.to_string();
+            ruler.push_str(&mark);
+            // Skip the columns the label occupied (at least 1).
+            col += mark.len() as u64;
+        } else {
+            ruler.push(' ');
+            col += 1;
+        }
+    }
+    out.push_str(ruler.trim_end());
+    out.push('\n');
+
+    for r in records {
+        let _ = write!(out, "{:>4} {:08x}  ", r.seq, r.pc);
+        let mut clipped = false;
+        for col in 0..span {
+            let t = base + col;
+            // A row that lives past the window gets the continuation
+            // marker even if it never started inside it.
+            if col == span - 1 && r.committed_at > base + span - 1 {
+                clipped = true;
+                out.push('>');
+                break;
+            }
+            if t > r.committed_at {
+                out.push(' ');
+                continue;
+            }
+            if t < r.fetched_at {
+                out.push(' ');
+                continue;
+            }
+            let c = if t == r.committed_at {
+                'C'
+            } else if t == r.completed_at {
+                'W'
+            } else if t == r.issued_at {
+                if r.packed {
+                    'p'
+                } else {
+                    'I'
+                }
+            } else if t == r.dispatched_at {
+                'D'
+            } else if t == r.fetched_at {
+                'F'
+            } else if t > r.issued_at && t < r.completed_at {
+                '='
+            } else {
+                '.'
+            };
+            out.push(c);
+        }
+        if clipped {
+            // Nothing more to draw; the marker already says so.
+        }
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        let _ = write!(
+            out,
+            "  {}{}",
+            if r.replayed { "*" } else { "" },
+            disasm(r.pc, r.raw)
+        );
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(seq: u64, f: u64, d: u64, i: u64, w: u64, c: u64) -> CommitRecord {
+        CommitRecord {
+            seq,
+            pc: 0x1000 + seq * 4,
+            raw: 0,
+            fetched_at: f,
+            dispatched_at: d,
+            issued_at: i,
+            completed_at: w,
+            committed_at: c,
+            packed: false,
+            replayed: false,
+        }
+    }
+
+    #[test]
+    fn renders_stage_letters_in_order() {
+        let rows = [rec(0, 1, 2, 3, 5, 6)];
+        let text = render(&rows, &|_, _| "addq".to_string());
+        let line = text.lines().last().unwrap();
+        assert!(line.contains("FDI=WC"), "got: {line}");
+        assert!(line.ends_with("addq"));
+    }
+
+    #[test]
+    fn marks_packed_and_replayed() {
+        let mut r = rec(0, 1, 2, 4, 5, 6);
+        r.packed = true;
+        r.replayed = true;
+        let text = render(&[r], &|_, _| "subq".to_string());
+        let line = text.lines().last().unwrap();
+        assert!(line.contains('p'), "packed issue marker missing: {line}");
+        assert!(line.contains("*subq"), "replay marker missing: {line}");
+    }
+
+    #[test]
+    fn waiting_cycles_render_as_dots() {
+        // Dispatch at 2, issue at 6: cycles 3-5 wait in the window.
+        let text = render(&[rec(0, 1, 2, 6, 7, 8)], &|_, _| String::new());
+        let line = text.lines().last().unwrap();
+        assert!(line.contains("FD...IWC"), "got: {line}");
+    }
+
+    #[test]
+    fn clips_very_long_rows() {
+        let text = render(&[rec(0, 1, 2, 3, 4, 500)], &|_, _| String::new());
+        let line = text.lines().last().unwrap();
+        assert!(line.contains('>'), "expected clip marker: {line}");
+    }
+
+    #[test]
+    fn rows_starting_past_the_window_still_marked() {
+        // Row 1 begins after row 0's window has been clipped away; it
+        // must carry the continuation marker, not render blank.
+        let rows = [rec(0, 1, 2, 3, 4, 5), rec(1, 200, 201, 202, 203, 204)];
+        let text = render(&rows, &|_, _| String::new());
+        let line = text.lines().last().unwrap();
+        assert!(line.contains('>'), "expected clip marker: {line}");
+    }
+
+    #[test]
+    fn empty_input_is_graceful() {
+        let text = render(&[], &|_, _| String::new());
+        assert!(text.contains("no committed instructions"));
+    }
+}

@@ -144,6 +144,16 @@ pub struct MemPowerReport {
     pub redundant_byte_fraction: f64,
 }
 
+impl nwo_obs::MetricSource for MemPowerReport {
+    fn collect(&self, registry: &mut nwo_obs::Registry) {
+        registry.gauge("baseline_mw_per_cycle", self.baseline_mw_per_cycle);
+        registry.gauge("gated_mw_per_cycle", self.gated_mw_per_cycle);
+        registry.gauge("reduction_percent", self.reduction_percent);
+        registry.gauge("narrow_access_fraction", self.narrow_access_fraction);
+        registry.gauge("redundant_byte_fraction", self.redundant_byte_fraction);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -20,11 +20,9 @@ use nwo_isa::OpClass;
 /// instructions".
 pub fn device_for_class(class: OpClass) -> Option<Device> {
     match class {
-        OpClass::IntArith
-        | OpClass::Load
-        | OpClass::Store
-        | OpClass::Branch
-        | OpClass::Jump => Some(Device::Adder),
+        OpClass::IntArith | OpClass::Load | OpClass::Store | OpClass::Branch | OpClass::Jump => {
+            Some(Device::Adder)
+        }
         OpClass::Logic => Some(Device::Logic),
         OpClass::Shift => Some(Device::Shifter),
         OpClass::Mult | OpClass::Div => Some(Device::Multiplier),
@@ -106,6 +104,20 @@ pub struct PowerReport {
     pub gated16_fraction: f64,
     /// Fraction of recorded ops gated at 33 bits.
     pub gated33_fraction: f64,
+}
+
+impl nwo_obs::MetricSource for PowerReport {
+    fn collect(&self, registry: &mut nwo_obs::Registry) {
+        registry.gauge("baseline_mw_per_cycle", self.baseline_mw_per_cycle);
+        registry.gauge("gated_mw_per_cycle", self.gated_mw_per_cycle);
+        registry.gauge("saved16_mw_per_cycle", self.saved16_mw_per_cycle);
+        registry.gauge("saved33_mw_per_cycle", self.saved33_mw_per_cycle);
+        registry.gauge("extra_mw_per_cycle", self.extra_mw_per_cycle);
+        registry.gauge("net_saved_mw_per_cycle", self.net_saved_mw_per_cycle);
+        registry.gauge("reduction_percent", self.reduction_percent);
+        registry.gauge("gated16_fraction", self.gated16_fraction);
+        registry.gauge("gated33_fraction", self.gated33_fraction);
+    }
 }
 
 impl PowerAccumulator {
@@ -238,7 +250,10 @@ mod tests {
         let r = acc.report(1);
         assert_eq!(r.baseline_mw_per_cycle, 210.0);
         assert!((r.gated_mw_per_cycle - 214.2).abs() < 1e-9);
-        assert!(r.net_saved_mw_per_cycle < 0.0, "pure overhead when nothing gates");
+        assert!(
+            r.net_saved_mw_per_cycle < 0.0,
+            "pure overhead when nothing gates"
+        );
     }
 
     #[test]

@@ -5,6 +5,11 @@ use nwo_bpred::PredictorConfig;
 use nwo_core::{GatingConfig, PackConfig};
 use nwo_mem::HierarchyConfig;
 
+/// Largest `trace_limit` [`SimConfig::validate`] accepts: in-memory
+/// retention of 2^24 records (~1 GiB) is the point past which only a
+/// streaming sink makes sense.
+pub const MAX_TRACE_LIMIT: usize = 1 << 24;
+
 /// Branch-prediction mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PredictorChoice {
@@ -187,6 +192,16 @@ impl SimConfig {
         assert!(self.int_alus > 0, "need at least one ALU");
         assert!(self.int_muldiv > 0, "need at least one mul/div unit");
         assert!(self.alu_latency >= 1, "ALU latency must be at least 1");
+        assert!(self.max_cycles > 0, "max_cycles must be positive");
+        // `trace_limit` retains every record in memory; past this point
+        // the in-memory trace cannot be honoured without defeating its
+        // purpose — stream with a JsonlSink instead (`--trace-out`).
+        assert!(
+            self.trace_limit <= MAX_TRACE_LIMIT,
+            "trace_limit {} exceeds the in-memory cap {MAX_TRACE_LIMIT}; \
+             use a streaming trace sink for longer traces",
+            self.trace_limit
+        );
     }
 }
 
@@ -253,6 +268,22 @@ mod tests {
     fn zero_ruu_rejected() {
         let mut c = SimConfig::default();
         c.ruu_size = 0;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "trace_limit")]
+    fn oversized_trace_limit_rejected() {
+        let mut c = SimConfig::default();
+        c.trace_limit = MAX_TRACE_LIMIT + 1;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "max_cycles")]
+    fn zero_max_cycles_rejected() {
+        let mut c = SimConfig::default();
+        c.max_cycles = 0;
         c.validate();
     }
 }

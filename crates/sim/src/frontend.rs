@@ -423,7 +423,11 @@ mod tests {
         f.set_pc(br.pc + 4);
         f.step().unwrap(); // wrong-path store of t0 (an address)
         let load = f.step().unwrap();
-        assert_eq!(load.result, Some(f.arch_reg(Reg::new(1))), "forwarded in overlay");
+        assert_eq!(
+            load.result,
+            Some(f.arch_reg(Reg::new(1))),
+            "forwarded in overlay"
+        );
     }
 
     #[test]
@@ -465,6 +469,9 @@ mod tests {
         let mut f = fe(src);
         f.step().unwrap();
         assert!(f.step().is_none());
-        assert!(!f.stalled() && !f.halted(), "caller decides this is an error");
+        assert!(
+            !f.stalled() && !f.halted(),
+            "caller decides this is an error"
+        );
     }
 }

@@ -42,8 +42,9 @@ mod machine;
 mod report;
 mod stats;
 
-pub use config::{Optimization, PredictorChoice, SimConfig};
+pub use config::{Optimization, PredictorChoice, SimConfig, MAX_TRACE_LIMIT};
 pub use machine::{Machine, SimError, TraceRecord};
+pub use nwo_obs as obs;
 pub use report::SimReport;
 pub use stats::{
     class_slot, BranchStats, FluctuationTracker, NarrowBreakdown, PackStats, SimStats,
@@ -88,10 +89,69 @@ impl Simulator {
         Ok(self.report())
     }
 
-    /// The pipeline trace collected so far (empty unless
-    /// [`SimConfig::trace_limit`] is set).
-    pub fn trace(&self) -> &[TraceRecord] {
+    /// The pipeline trace retained so far (empty unless
+    /// [`SimConfig::trace_limit`] is set or a retaining sink is
+    /// installed via [`Simulator::set_trace_sink`]).
+    pub fn trace(&self) -> Vec<TraceRecord> {
         self.machine.trace()
+    }
+
+    /// The raw [`nwo_obs::CommitRecord`]s retained by the trace sink —
+    /// the input of [`nwo_obs::pipeview::render`].
+    pub fn trace_commits(&self) -> Vec<nwo_obs::CommitRecord> {
+        self.machine.trace_commits()
+    }
+
+    /// Replaces the trace sink. Install a [`nwo_obs::JsonlSink`] to
+    /// stream every pipeline event to disk in O(1) resident memory, a
+    /// [`nwo_obs::RingSink`] to retain a bounded window, or a
+    /// [`nwo_obs::TeeSink`] for both. Returns the previous sink,
+    /// flushed.
+    pub fn set_trace_sink(
+        &mut self,
+        sink: Box<dyn nwo_obs::TraceSink>,
+    ) -> Box<dyn nwo_obs::TraceSink> {
+        self.machine.set_trace_sink(sink)
+    }
+
+    /// Collects every counter in the machine — core pipeline, stall
+    /// breakdown, caches and TLBs, branch predictor, power model — into
+    /// one machine-readable [`nwo_obs::Snapshot`] (the payload behind
+    /// `nwo sim --json`).
+    pub fn snapshot(&self) -> nwo_obs::Snapshot {
+        let stats = self.machine.stats();
+        let cycles = stats.cycles.max(self.machine.cycle).max(1);
+        let mut r = nwo_obs::Registry::new();
+        r.group("sim", |r| {
+            r.counter("cycles", stats.cycles);
+            r.counter("fetched", stats.fetched);
+            r.counter("dispatched", stats.dispatched);
+            r.counter("issued", stats.issued);
+            r.counter("committed", stats.committed);
+            r.counter("squashed", stats.squashed);
+            r.gauge("ipc", stats.ipc());
+        });
+        r.source("stall", &stats.stall);
+        r.group("branch", |r| {
+            r.counter("committed", stats.branch.committed);
+            r.counter("cond_committed", stats.branch.cond_committed);
+            r.counter("mispredicts", stats.branch.mispredicts);
+            r.gauge("accuracy", stats.branch.accuracy());
+        });
+        r.group("pack", |r| {
+            r.counter("groups", stats.pack.groups);
+            r.counter("packed_ops", stats.pack.packed_ops);
+            r.counter("slots_saved", stats.pack.slots_saved);
+            r.counter("replay_issued", stats.pack.replay_issued);
+            r.counter("replay_squashed", stats.pack.replay_squashed);
+        });
+        r.source("mem", &self.machine.hierarchy_stats());
+        if let Some(ps) = self.machine.predictor_stats() {
+            r.source("bpred", &ps);
+        }
+        r.source("power", &stats.power.report(cycles));
+        r.source("mem_ext", &stats.mem_ext.report(cycles));
+        r.finish()
     }
 
     /// Builds a report from the current state (also usable mid-run).
@@ -105,6 +165,8 @@ impl Simulator {
             predictor: self.machine.predictor_stats(),
             out_bytes: self.machine.out_bytes().to_vec(),
             out_quads: self.machine.out_quads().to_vec(),
+            stall: stats.stall.clone(),
+            packing_enabled: self.machine.config.pack_config().is_some(),
             stats,
         }
     }

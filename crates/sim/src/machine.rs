@@ -12,11 +12,11 @@ use crate::frontend::Frontend;
 use crate::stats::SimStats;
 use nwo_bpred::{ControlInfo, DirLookup, Predictor, RasCheckpoint};
 use nwo_core::{
-    can_pack, gate_level, replay_candidate, replay_mispredicts, GateLevel, WideOperand,
-    WidthTag,
+    can_pack, gate_level, replay_candidate, replay_mispredicts, GateLevel, WideOperand, WidthTag,
 };
 use nwo_isa::{access_bytes, ExecRecord, Format, OpClass, Opcode, OperandB, Program, Reg};
 use nwo_mem::Hierarchy;
+use nwo_obs::{CommitRecord, NullSink, RingSink, StallCause, TraceEvent, TraceSink};
 use std::collections::VecDeque;
 use std::fmt;
 
@@ -45,7 +45,9 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::BadFetch { pc } => write!(f, "invalid instruction fetch at {pc:#x}"),
-            SimError::Deadlock { cycle } => write!(f, "pipeline deadlock detected at cycle {cycle}"),
+            SimError::Deadlock { cycle } => {
+                write!(f, "pipeline deadlock detected at cycle {cycle}")
+            }
             SimError::CycleLimit { limit } => write!(f, "cycle limit {limit} reached"),
         }
     }
@@ -113,6 +115,10 @@ struct RuuEntry {
     in_group: bool,
     completed: bool,
     complete_at: u64,
+    /// Load that went to the hierarchy and missed in L1D (its in-flight
+    /// cycles are charged to [`StallCause::DcacheMiss`] when it blocks
+    /// commit).
+    dmiss: bool,
     // Control state.
     mispredicted: bool,
     cinfo: Option<ControlInfo>,
@@ -183,13 +189,16 @@ pub struct Machine {
     // Timing state.
     pub(crate) cycle: u64,
     fetch_resume: u64,
+    /// Why fetch is paused until `fetch_resume` — the cause empty-window
+    /// commit cycles are charged to while the pause lasts.
+    fetch_stall: StallCause,
     muldiv_busy_until: u64,
     last_commit_cycle: u64,
     pub(crate) done: bool,
     // Architected output (written at commit).
     out_bytes: Vec<u8>,
     out_quads: Vec<u64>,
-    trace: Vec<TraceRecord>,
+    sink: Box<dyn TraceSink>,
     // Statistics.
     pub(crate) stats: SimStats,
 }
@@ -213,6 +222,13 @@ impl Machine {
             PredictorChoice::Perfect => None,
             PredictorChoice::Real(p) => Some(Predictor::new(p)),
         };
+        // `trace_limit` keeps its historic meaning: retain the first N
+        // committed instructions in memory.
+        let sink: Box<dyn TraceSink> = if config.trace_limit > 0 {
+            Box::new(RingSink::keep_first(config.trace_limit))
+        } else {
+            Box::new(NullSink)
+        };
         Machine {
             frontend: Frontend::new(program),
             predictor,
@@ -227,12 +243,13 @@ impl Machine {
             next_seq: 0,
             cycle: 0,
             fetch_resume: 0,
+            fetch_stall: StallCause::Frontend,
             muldiv_busy_until: 0,
             last_commit_cycle: 0,
             done: false,
             out_bytes: Vec::new(),
             out_quads: Vec::new(),
-            trace: Vec::new(),
+            sink,
             stats: SimStats::default(),
             config,
         }
@@ -253,10 +270,43 @@ impl Machine {
         &self.stats
     }
 
-    /// The pipeline trace collected so far (empty unless
-    /// `SimConfig::trace_limit` is set).
-    pub fn trace(&self) -> &[TraceRecord] {
-        &self.trace
+    /// The pipeline trace retained so far (empty unless
+    /// `SimConfig::trace_limit` is set or a retaining sink is installed),
+    /// decoded into [`TraceRecord`]s.
+    pub fn trace(&self) -> Vec<TraceRecord> {
+        self.trace_commits()
+            .iter()
+            .map(|r| TraceRecord {
+                pc: r.pc,
+                instr: nwo_isa::Instr::decode(r.raw).expect("trace records hold valid encodings"),
+                fetched_at: r.fetched_at,
+                dispatched_at: r.dispatched_at,
+                issued_at: r.issued_at,
+                completed_at: r.completed_at,
+                committed_at: r.committed_at,
+                packed: r.packed,
+                replayed: r.replayed,
+            })
+            .collect()
+    }
+
+    /// The raw commit records retained by the trace sink.
+    pub fn trace_commits(&self) -> Vec<CommitRecord> {
+        self.sink.retained()
+    }
+
+    /// Replaces the trace sink (e.g. with a [`nwo_obs::JsonlSink`] for
+    /// streaming, O(1)-memory tracing of arbitrarily long runs). The
+    /// previous sink is flushed and returned.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) -> Box<dyn TraceSink> {
+        let mut old = std::mem::replace(&mut self.sink, sink);
+        old.flush();
+        old
+    }
+
+    /// Flushes the trace sink (also done at the end of every `run`).
+    pub fn flush_trace(&mut self) {
+        self.sink.flush();
     }
 
     /// Memory hierarchy statistics.
@@ -326,6 +376,7 @@ impl Machine {
             }
         }
         self.stats.cycles = self.cycle;
+        self.sink.flush();
         Ok(())
     }
 
@@ -346,6 +397,7 @@ impl Machine {
         let latency = self.hierarchy.inst_access(pc0);
         if latency > self.config.hierarchy.l1i.hit_latency {
             self.fetch_resume = self.cycle + latency;
+            self.fetch_stall = StallCause::IcacheMiss;
             return Ok(());
         }
         // Table 1 specifies a flat 4-instructions/cycle fetch width; a
@@ -363,6 +415,7 @@ impl Machine {
                 let latency = self.hierarchy.inst_access(pc);
                 if latency > self.config.hierarchy.l1i.hit_latency {
                     self.fetch_resume = self.cycle + latency;
+                    self.fetch_stall = StallCause::IcacheMiss;
                     break;
                 }
                 line = pc_line;
@@ -398,6 +451,15 @@ impl Machine {
                 cinfo = Some(info);
             }
             let mispredicted = is_ctrl && pred_npc != rec.next_pc;
+            if self.sink.enabled() {
+                let ev = TraceEvent::Fetch {
+                    cycle: self.cycle,
+                    pc: rec.pc,
+                    raw: rec.instr.encode(),
+                    spec: was_spec,
+                };
+                self.sink.emit(&ev);
+            }
             self.ifq.push_back(Fetched {
                 rec,
                 spec: was_spec,
@@ -484,8 +546,8 @@ impl Machine {
         let (a_known, a_from_load, a_producer) = resolve(self, src_a);
         let (b_known, b_from_load, _) = resolve(self, src_b);
         let (_, _, _) = resolve(self, extra); // store data: timing only
-        // For stores, src_a is the base register: remember its producer
-        // so loads can tell when this store's address is computable.
+                                              // For stores, src_a is the base register: remember its producer
+                                              // so loads can tell when this store's address is computable.
         let store_base_producer = if op.is_store() { a_producer } else { None };
         for &pseq in &producers {
             idep += 1;
@@ -523,6 +585,7 @@ impl Machine {
             in_group: false,
             completed: false,
             complete_at: u64::MAX,
+            dmiss: false,
             mispredicted: fetched.mispredicted,
             cinfo: fetched.cinfo,
             ras_cp: fetched.ras_cp,
@@ -539,8 +602,16 @@ impl Machine {
         if entry.rec.mem_addr.is_some() {
             self.lsq.push_back(seq);
         }
+        let pc = entry.rec.pc;
         self.window.push_back(entry);
         self.stats.dispatched += 1;
+        if self.sink.enabled() {
+            let ev = TraceEvent::Dispatch {
+                cycle: self.cycle,
+                pc,
+            };
+            self.sink.emit(&ev);
+        }
     }
 
     // ----------------------------------------------------------------
@@ -569,9 +640,9 @@ impl Machine {
 
         for idx in 0..self.window.len() {
             // Stop when neither a fresh slot nor any open group remains.
-            let group_capacity = groups.iter().any(|g| {
-                g.members < pack_config.map(|p| p.degree).unwrap_or(1)
-            });
+            let group_capacity = groups
+                .iter()
+                .any(|g| g.members < pack_config.map(|p| p.degree).unwrap_or(1));
             if slots >= self.config.issue_width && !group_capacity {
                 break;
             }
@@ -614,6 +685,7 @@ impl Machine {
                     LoadAction::Access => {
                         let addr = self.window[idx].rec.mem_addr.expect("load has address");
                         let lat = self.hierarchy.data_access(addr, false);
+                        self.window[idx].dmiss = lat > self.config.hierarchy.l1d.hit_latency;
                         self.cycle + self.config.alu_latency + lat
                     }
                 };
@@ -633,12 +705,7 @@ impl Machine {
                 let e = &self.window[idx];
                 let exact = !e.replay_attempted && can_pack(op, e.tag_a, e.tag_b, &pc_cfg);
                 let confident = !pc_cfg.replay_confidence
-                    || self
-                        .replay_confidence
-                        .get(&e.rec.pc)
-                        .copied()
-                        .unwrap_or(2)
-                        >= 2;
+                    || self.replay_confidence.get(&e.rec.pc).copied().unwrap_or(2) >= 2;
                 let replay = if !exact && pc_cfg.replay && !e.replay_attempted && confident {
                     replay_candidate(op, e.tag_a, e.tag_b)
                 } else {
@@ -713,6 +780,15 @@ impl Machine {
                 self.stats.pack.packed_ops += g.members as u64;
                 self.stats.pack.slots_saved += (g.members - 1) as u64;
                 self.window[g.leader_idx].in_group = true;
+                if self.sink.enabled() {
+                    let ev = TraceEvent::Pack {
+                        cycle: self.cycle,
+                        leader_pc: self.window[g.leader_idx].rec.pc,
+                        members: g.members.min(u8::MAX as usize) as u8,
+                        replay: g.has_replay,
+                    };
+                    self.sink.emit(&ev);
+                }
             } else if self.window[g.leader_idx].replay_wide.is_some() {
                 // A replay candidate that attracted no partner issues
                 // full-width: the lone lane spans the whole adder, so
@@ -765,7 +841,16 @@ impl Machine {
                 self.stats.fluctuation.record(pc, a, b);
             }
         }
-        let _ = cycle;
+        if self.sink.enabled() {
+            let e = &self.window[idx];
+            let ev = TraceEvent::Issue {
+                cycle,
+                pc: e.rec.pc,
+                packed: e.in_group,
+                replay: e.replay_wide.is_some(),
+            };
+            self.sink.emit(&ev);
+        }
     }
 
     /// Decides whether the load at window index `idx` may proceed.
@@ -792,8 +877,8 @@ impl Machine {
             }
             let st_addr = e.rec.mem_addr.expect("store has an address");
             let st_len = access_bytes(e.rec.instr.op);
-            let overlap =
-                st_addr < load_addr.wrapping_add(load_len) && load_addr < st_addr.wrapping_add(st_len);
+            let overlap = st_addr < load_addr.wrapping_add(load_len)
+                && load_addr < st_addr.wrapping_add(st_len);
             if !overlap {
                 continue;
             }
@@ -847,19 +932,35 @@ impl Machine {
                         .config
                         .pack_config()
                         .map(|p| p.replay_penalty)
-                        .unwrap_or(0);
-                    let earliest = self.cycle + penalty.max(1);
+                        .unwrap_or(0)
+                        .max(1);
+                    let earliest = self.cycle + penalty;
                     let e = &mut self.window[idx];
                     e.issued = false;
                     e.complete_at = u64::MAX;
                     e.earliest_issue = earliest;
                     self.stats.pack.replay_squashed += 1;
+                    if self.sink.enabled() {
+                        let ev = TraceEvent::ReplaySquash {
+                            cycle: self.cycle,
+                            pc,
+                            penalty,
+                        };
+                        self.sink.emit(&ev);
+                    }
                     continue;
                 }
             }
 
             let e = &mut self.window[idx];
             e.completed = true;
+            if self.sink.enabled() {
+                let ev = TraceEvent::Writeback {
+                    cycle: self.cycle,
+                    pc: self.window[idx].rec.pc,
+                };
+                self.sink.emit(&ev);
+            }
             // Wake consumers.
             let odeps = std::mem::take(&mut self.window[idx].odeps);
             for dep in odeps {
@@ -874,12 +975,21 @@ impl Machine {
             if e.mispredicted {
                 let bseq = e.seq;
                 let spec = e.spec;
+                let pc = e.rec.pc;
                 let target = e.rec.next_pc;
                 let taken = e.rec.taken;
                 let ras_cp = e.ras_cp;
                 let dir_lookup = e.dir_lookup;
                 if !spec {
                     self.stats.branch.mispredicts += 1;
+                }
+                if self.sink.enabled() {
+                    let ev = TraceEvent::BranchMispredict {
+                        cycle: self.cycle,
+                        pc,
+                        target,
+                    };
+                    self.sink.emit(&ev);
                 }
                 if let (Some(p), Some(lu)) = (&mut self.predictor, &dir_lookup) {
                     // Restore the speculative history to this branch's
@@ -929,6 +1039,7 @@ impl Machine {
         self.fetch_resume = self
             .fetch_resume
             .max(self.cycle + 1 + self.config.mispredict_penalty);
+        self.fetch_stall = StallCause::MispredictRecovery;
     }
 
     // ----------------------------------------------------------------
@@ -936,18 +1047,17 @@ impl Machine {
     // ----------------------------------------------------------------
 
     fn commit(&mut self) {
+        let mut retired = 0u64;
         for _ in 0..self.config.commit_width {
-            let Some(front) = self.window.front() else { break };
+            let Some(front) = self.window.front() else {
+                break;
+            };
             if !front.completed {
                 break;
             }
             debug_assert!(!front.spec, "wrong-path instruction reached commit");
             let e = self.window.pop_front().expect("checked non-empty");
-            if self
-                .lsq
-                .front()
-                .is_some_and(|&s| s == e.seq)
-            {
+            if self.lsq.front().is_some_and(|&s| s == e.seq) {
                 self.lsq.pop_front();
             }
             // Stores write the data cache at commit.
@@ -992,13 +1102,20 @@ impl Machine {
                     self.stats.branch.cond_committed += 1;
                 }
                 if let Some(p) = &mut self.predictor {
-                    p.update(e.rec.pc, cinfo, e.rec.taken, e.rec.next_pc, e.dir_lookup.as_ref());
+                    p.update(
+                        e.rec.pc,
+                        cinfo,
+                        e.rec.taken,
+                        e.rec.next_pc,
+                        e.dir_lookup.as_ref(),
+                    );
                 }
             }
-            if self.trace.len() < self.config.trace_limit {
-                self.trace.push(TraceRecord {
+            if self.sink.enabled() {
+                let ev = TraceEvent::Commit(CommitRecord {
+                    seq: self.stats.committed,
                     pc: e.rec.pc,
-                    instr: e.rec.instr,
+                    raw: e.rec.instr.encode(),
                     fetched_at: e.fetched_at,
                     dispatched_at: e.dispatched_at,
                     issued_at: e.issued_at,
@@ -1007,8 +1124,10 @@ impl Machine {
                     packed: e.in_group,
                     replayed: e.replay_attempted,
                 });
+                self.sink.emit(&ev);
             }
             self.stats.committed += 1;
+            retired += 1;
             self.last_commit_cycle = self.cycle;
             if has_two_operands(e.class) {
                 self.stats.width_committed.record(e.rec.op_a, e.rec.op_b);
@@ -1018,6 +1137,68 @@ impl Machine {
                 break;
             }
         }
+        // Stall attribution: charge every lost commit slot of this cycle
+        // to a single cause, so that over a whole run
+        // `sum(stall slots) == commit_width * cycles - committed` exactly.
+        let width = self.config.commit_width as u64;
+        if retired < width {
+            let cause = self.stall_cause();
+            self.stats.stall.charge(cause, width - retired);
+        }
+    }
+
+    /// Names the bottleneck of a cycle whose commit stage retired fewer
+    /// than `commit_width` instructions. Top-down CPI-stack style: the
+    /// oldest instruction in the window — or the empty window itself —
+    /// speaks for the whole cycle.
+    fn stall_cause(&self) -> StallCause {
+        if self.done {
+            return StallCause::Drain;
+        }
+        let Some(front) = self.window.front() else {
+            // Empty window: the front end owns the stall.
+            if self.frontend.halted() && self.ifq.is_empty() {
+                return StallCause::Drain;
+            }
+            if self.cycle < self.fetch_resume {
+                return self.fetch_stall; // IcacheMiss or MispredictRecovery
+            }
+            return StallCause::Frontend;
+        };
+        if !front.issued {
+            if front.replay_attempted && front.earliest_issue >= self.cycle {
+                return StallCause::ReplayPenalty;
+            }
+            if front.idep_remaining > 0 {
+                return StallCause::TrueDependency;
+            }
+            if front.is_load() && self.load_action(0) == LoadAction::Wait {
+                // Blocked behind an older store: a memory dependency.
+                return StallCause::TrueDependency;
+            }
+            if front.earliest_issue >= self.cycle {
+                // Freshly dispatched: still filling the pipeline.
+                return StallCause::Frontend;
+            }
+            // Ready and old enough, yet not picked: structural.
+            return StallCause::FuContention;
+        }
+        if !front.completed {
+            if front.dmiss {
+                return StallCause::DcacheMiss;
+            }
+            if self.window.len() >= self.config.ruu_size {
+                return StallCause::RuuFull;
+            }
+            if self.lsq.len() >= self.config.lsq_size {
+                return StallCause::LsqFull;
+            }
+            return StallCause::ExecLatency;
+        }
+        // Front completed but the cycle still lost slots: commit stopped
+        // mid-width (a `halt` retired, handled above) or the window ran
+        // dry behind the retired burst.
+        StallCause::Frontend
     }
 
     // ----------------------------------------------------------------
@@ -1163,7 +1344,10 @@ mod tests {
         let perfect = run_src(src, SimConfig::default().with_perfect_prediction());
         let real = run_src(src, SimConfig::default());
         assert_eq!(perfect.out_quads(), real.out_quads(), "outputs must agree");
-        assert!(real.stats().branch.mispredicts > 0, "pattern must mispredict");
+        assert!(
+            real.stats().branch.mispredicts > 0,
+            "pattern must mispredict"
+        );
         assert!(real.stats().squashed > 0);
         assert!(
             real.stats().cycles >= perfect.stats().cycles,
@@ -1272,10 +1456,7 @@ mod tests {
 
     #[test]
     fn run_with_instruction_budget_stops_early() {
-        let src = concat!(
-            "main: clr t0\n",
-            "loop: addq t0, 1, t0\n br loop"
-        );
+        let src = concat!("main: clr t0\n", "loop: addq t0, 1, t0\n br loop");
         let prog = assemble(src).unwrap();
         let mut m = Machine::new(&prog, SimConfig::default());
         m.run(1000).unwrap();
@@ -1322,7 +1503,7 @@ mod tests {
         // not be bypassed.
         let src = concat!(
             "main: li t0, 21\n",
-            " mulq t0, 2, t1\n",  // t1 = 42, 3-cycle latency
+            " mulq t0, 2, t1\n", // t1 = 42, 3-cycle latency
             " clr t2\n",
             " cmovne t2, zero, t1\n", // condition false: t1 stays 42
             " cmoveq t2, t0, t3\n",   // condition true: t3 = 21
@@ -1331,7 +1512,10 @@ mod tests {
         );
         let m = run_src(src, SimConfig::default());
         assert_eq!(m.out_quads(), &[63]);
-        let p = run_src(src, SimConfig::default().with_packing(PackConfig::with_replay()));
+        let p = run_src(
+            src,
+            SimConfig::default().with_packing(PackConfig::with_replay()),
+        );
         assert_eq!(p.out_quads(), &[63]);
     }
 

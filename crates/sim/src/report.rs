@@ -4,6 +4,7 @@
 use crate::stats::SimStats;
 use nwo_bpred::PredictorStats;
 use nwo_mem::HierarchyStats;
+use nwo_obs::StallBreakdown;
 use nwo_power::PowerReport;
 use std::fmt;
 
@@ -12,6 +13,14 @@ use std::fmt;
 pub struct SimReport {
     /// Full statistics (histograms, breakdowns, packing counters, …).
     pub stats: SimStats,
+    /// Lost-commit-slot attribution (a clone of `stats.stall`, kept
+    /// directly on the report for figure code and CSV export).
+    pub stall: StallBreakdown,
+    /// Whether operation packing was configured for the run — the
+    /// `Display` impl prints the packing line whenever the optimization
+    /// was on, even if no group ever formed (a zero row is a result,
+    /// not an absence of one).
+    pub packing_enabled: bool,
     /// Integer-unit power summary (Figures 6 and 7).
     pub power: PowerReport,
     /// Memory-system narrow-width extension summary (Section 6 future
@@ -68,7 +77,7 @@ impl fmt::Display for SimReport {
             self.mem_ext.redundant_byte_fraction * 100.0,
             self.mem_ext.reduction_percent
         )?;
-        if s.pack.groups > 0 {
+        if self.packing_enabled || s.pack.groups > 0 {
             writeln!(
                 f,
                 "packing:              {} groups, {} ops packed, {} slots saved, {} replays ({} squashed)",
@@ -78,6 +87,21 @@ impl fmt::Display for SimReport {
                 s.pack.replay_issued,
                 s.pack.replay_squashed
             )?;
+        }
+        if self.stall.total() > 0 {
+            write!(f, "lost commit slots:    {} (", self.stall.total())?;
+            let mut first = true;
+            for (cause, slots) in self.stall.iter() {
+                if slots == 0 {
+                    continue;
+                }
+                if !first {
+                    write!(f, ", ")?;
+                }
+                first = false;
+                write!(f, "{cause} {:.1}%", self.stall.fraction(cause) * 100.0)?;
+            }
+            writeln!(f, ")")?;
         }
         writeln!(
             f,

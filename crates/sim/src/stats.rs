@@ -10,6 +10,7 @@
 
 use nwo_core::width64;
 use nwo_isa::OpClass;
+use nwo_obs::StallBreakdown;
 use nwo_power::PowerAccumulator;
 use std::collections::HashMap;
 
@@ -328,6 +329,11 @@ pub struct SimStats {
     pub pack: PackStats,
     /// Resource-occupancy accounting.
     pub occupancy: Occupancy,
+    /// Lost-commit-slot attribution: every cycle the commit stage
+    /// retires fewer than `commit_width` instructions, the missing slots
+    /// are charged to one [`nwo_obs::StallCause`]; over a run
+    /// `stall.total() == commit_width * cycles - committed` exactly.
+    pub stall: StallBreakdown,
     /// Branch counters.
     pub branch: BranchStats,
     /// Power-saving (gated) ops with at least one operand straight from

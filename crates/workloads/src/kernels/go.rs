@@ -47,11 +47,7 @@ pub fn program(scale: u32) -> Program {
     let up = neighbor_block("up", "beq  t0, nb_up_done", -SIZE);
     let down = neighbor_block("down", "cmpeq t0, 18, t9\n    bne  t9, nb_down_done", SIZE);
     let left = neighbor_block("left", "beq  t1, nb_left_done", -1);
-    let right = neighbor_block(
-        "right",
-        "cmpeq t1, 18, t9\n    bne  t9, nb_right_done",
-        1,
-    );
+    let right = neighbor_block("right", "cmpeq t1, 18, t9\n    bne  t9, nb_right_done", 1);
     let _ = write!(
         src,
         r#"

@@ -33,13 +33,13 @@ fn guest_program(scale: u32) -> Vec<i64> {
         enc(OP_ADDI, 0, 0, iterations & 0xff),        // vr0 += lo byte
         enc(OP_ADDI, 2, 7, 3),                        // vr2 = 3
         // loop:
-        enc(OP_MUL, 3, 0, 2),  // vr3 = vr0 * vr2
-        enc(OP_ADD, 1, 1, 3),  // vr1 += vr3
-        enc(OP_XOR, 1, 1, 0),  // vr1 ^= vr0
-        enc(OP_SHR, 3, 1, 3),  // vr3 = vr1 >> 3
-        enc(OP_ADD, 1, 1, 3),  // vr1 += vr3
-        enc(OP_ADDI, 4, 0, 1), // vr4 = vr0 + 1 (keeps a narrow value hot)
-        enc(OP_ADDI, 0, 0, 255), // vr0 -= 1 via +255? No: see fixup below.
+        enc(OP_MUL, 3, 0, 2),       // vr3 = vr0 * vr2
+        enc(OP_ADD, 1, 1, 3),       // vr1 += vr3
+        enc(OP_XOR, 1, 1, 0),       // vr1 ^= vr0
+        enc(OP_SHR, 3, 1, 3),       // vr3 = vr1 >> 3
+        enc(OP_ADD, 1, 1, 3),       // vr1 += vr3
+        enc(OP_ADDI, 4, 0, 1),      // vr4 = vr0 + 1 (keeps a narrow value hot)
+        enc(OP_ADDI, 0, 0, 255),    // vr0 -= 1 via +255? No: see fixup below.
         enc(OP_BNZ, 0, 0, 128 - 7), // back to loop head while vr0 != 0
         enc(OP_HALT, 0, 0, 0),
     ]
@@ -62,7 +62,7 @@ fn fixed_guest(scale: u32) -> Vec<i64> {
     out.push(enc(OP_MUL, 0, 0, 5)); // vr0 = hi << 8
     out.push(prog[3]); // vr0 += lo
     out.push(prog[4]); // vr2 = 3
-    // loop body at guest pc 6..=12.
+                       // loop body at guest pc 6..=12.
     out.push(prog[5]);
     out.push(prog[6]);
     out.push(prog[7]);
@@ -73,10 +73,10 @@ fn fixed_guest(scale: u32) -> Vec<i64> {
     out.push(enc(OP_XOR, 3, 3, 3)); // vr3 = 0 (narrow scratch)
     out.push(enc(OP_ADD, 3, 3, 6)); // vr3 = 1
     out.push(enc(OP_MUL, 3, 3, 6)); // vr3 = 1 (keeps mul unit busy)
-    // vr0 -= 1: vr0 = vr0 + (-1) has no negative imm; vr0 ^= ... use
-    // dedicated SUB pattern: vr3 = 1; vr0 = vr0 + (vr3 * -1)? Simplest:
-    // give the guest a SUB via ADD of two's complement built once:
-    // vr7 is hardwired zero in the interpreter, so vrm1 lives in vr6.
+                                    // vr0 -= 1: vr0 = vr0 + (-1) has no negative imm; vr0 ^= ... use
+                                    // dedicated SUB pattern: vr3 = 1; vr0 = vr0 + (vr3 * -1)? Simplest:
+                                    // give the guest a SUB via ADD of two's complement built once:
+                                    // vr7 is hardwired zero in the interpreter, so vrm1 lives in vr6.
     out.push(enc(OP_SUB, 0, 0, 6)); // vr0 -= vr6 (=1)
     out.push(enc(OP_BNZ, 0, 0, 128 - 11)); // while vr0 != 0 jump -11
     out.push(enc(OP_HALT, 0, 0, 0));

@@ -234,7 +234,6 @@ fn coef_blocks(scale: u32) -> Vec<i16> {
     out
 }
 
-
 /// Fully-unrolled pass-1 IDCT inner product: `t0 = x`, `t1 = v`,
 /// block base (bytes) in `s3`; sum left in `t3`.
 fn unrolled_idct1_body() -> String {

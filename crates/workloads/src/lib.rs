@@ -90,8 +90,18 @@ pub fn spec_suite(scale: u32) -> Vec<Benchmark> {
             compress::program(scale),
             compress::reference(scale),
         ),
-        Benchmark::new("gcc", Suite::SpecInt, gcc::program(scale), gcc::reference(scale)),
-        Benchmark::new("go", Suite::SpecInt, go::program(scale), go::reference(scale)),
+        Benchmark::new(
+            "gcc",
+            Suite::SpecInt,
+            gcc::program(scale),
+            gcc::reference(scale),
+        ),
+        Benchmark::new(
+            "go",
+            Suite::SpecInt,
+            go::program(scale),
+            go::reference(scale),
+        ),
         Benchmark::new(
             "ijpeg",
             Suite::SpecInt,
@@ -104,7 +114,12 @@ pub fn spec_suite(scale: u32) -> Vec<Benchmark> {
             m88ksim::program(scale),
             m88ksim::reference(scale),
         ),
-        Benchmark::new("perl", Suite::SpecInt, perl::program(scale), perl::reference(scale)),
+        Benchmark::new(
+            "perl",
+            Suite::SpecInt,
+            perl::program(scale),
+            perl::reference(scale),
+        ),
         Benchmark::new(
             "vortex",
             Suite::SpecInt,
@@ -204,8 +219,18 @@ pub fn benchmark(name: &str, scale: u32) -> Option<Benchmark> {
             compress::program(scale),
             compress::reference(scale),
         ),
-        "gcc" => Benchmark::new("gcc", Suite::SpecInt, gcc::program(scale), gcc::reference(scale)),
-        "go" => Benchmark::new("go", Suite::SpecInt, go::program(scale), go::reference(scale)),
+        "gcc" => Benchmark::new(
+            "gcc",
+            Suite::SpecInt,
+            gcc::program(scale),
+            gcc::reference(scale),
+        ),
+        "go" => Benchmark::new(
+            "go",
+            Suite::SpecInt,
+            go::program(scale),
+            go::reference(scale),
+        ),
         "ijpeg" => Benchmark::new(
             "ijpeg",
             Suite::SpecInt,
@@ -218,7 +243,12 @@ pub fn benchmark(name: &str, scale: u32) -> Option<Benchmark> {
             m88ksim::program(scale),
             m88ksim::reference(scale),
         ),
-        "perl" => Benchmark::new("perl", Suite::SpecInt, perl::program(scale), perl::reference(scale)),
+        "perl" => Benchmark::new(
+            "perl",
+            Suite::SpecInt,
+            perl::program(scale),
+            perl::reference(scale),
+        ),
         "vortex" => Benchmark::new(
             "vortex",
             Suite::SpecInt,
@@ -274,8 +304,20 @@ pub fn benchmark(name: &str, scale: u32) -> Option<Benchmark> {
 
 /// The fourteen benchmark names in canonical (suite, alphabetical) order.
 pub const BENCHMARK_NAMES: [&str; 14] = [
-    "compress", "gcc", "go", "ijpeg", "m88ksim", "perl", "vortex", "xlisp", "gsm-enc", "gsm-dec",
-    "g721-enc", "g721-dec", "mpeg2-enc", "mpeg2-dec",
+    "compress",
+    "gcc",
+    "go",
+    "ijpeg",
+    "m88ksim",
+    "perl",
+    "vortex",
+    "xlisp",
+    "gsm-enc",
+    "gsm-dec",
+    "g721-enc",
+    "g721-dec",
+    "mpeg2-enc",
+    "mpeg2-dec",
 ];
 
 /// All fourteen benchmarks at their calibrated experiment scales, plus
@@ -283,9 +325,7 @@ pub const BENCHMARK_NAMES: [&str; 14] = [
 pub fn experiment_suite(bump: u32) -> Vec<Benchmark> {
     BENCHMARK_NAMES
         .iter()
-        .map(|name| {
-            benchmark(name, experiment_scale(name) + bump).expect("known benchmark name")
-        })
+        .map(|name| benchmark(name, experiment_scale(name) + bump).expect("known benchmark name"))
         .collect()
 }
 

@@ -77,7 +77,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut emu = Emulator::new(&program);
     emu.run(10_000_000)?;
     let expected = emu.outq().to_vec();
-    println!("emulator output: {expected:?} in {} instructions", emu.icount());
+    println!(
+        "emulator output: {expected:?} in {} instructions",
+        emu.icount()
+    );
     println!();
 
     println!(

@@ -61,7 +61,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut base = Simulator::new(&program, SimConfig::default().with_trace(24));
     let base_report = base.run(u64::MAX)?;
-    print_trace("baseline (4-issue, no packing)", base.trace());
+    print_trace("baseline (4-issue, no packing)", &base.trace());
 
     let mut packed = Simulator::new(
         &program,
@@ -70,7 +70,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .with_trace(24),
     );
     let packed_report = packed.run(u64::MAX)?;
-    print_trace("operation packing (P = issued in a shared ALU)", packed.trace());
+    print_trace(
+        "operation packing (P = issued in a shared ALU)",
+        &packed.trace(),
+    );
 
     println!(
         "baseline: {} cycles   packed: {} cycles   groups formed: {}",

@@ -103,7 +103,14 @@ fn build_program(seeds: &[i64], steps: &[Step]) -> Program {
                 );
             }
             Step::OpLit(op, a, lit, c) => {
-                let _ = writeln!(src, "    {} r{}, #{}, r{}", op.mnemonic(), a + 1, lit, c + 1);
+                let _ = writeln!(
+                    src,
+                    "    {} r{}, #{}, r{}",
+                    op.mnemonic(),
+                    a + 1,
+                    lit,
+                    c + 1
+                );
             }
             Step::StoreLoad(srcr, dst, slot) => {
                 let _ = writeln!(src, "    stq  r{}, {}(a0)", srcr + 1, *slot as u32 * 8);

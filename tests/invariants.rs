@@ -16,9 +16,21 @@ fn pipeline_counters_are_ordered() {
     for bench in full_suite(0) {
         let r = run(&bench, SimConfig::default());
         let s = &r.stats;
-        assert!(s.fetched >= s.dispatched, "{}: fetch feeds dispatch", bench.name);
-        assert!(s.dispatched >= s.committed, "{}: dispatch feeds commit", bench.name);
-        assert!(s.issued >= s.committed, "{}: every committed op issued", bench.name);
+        assert!(
+            s.fetched >= s.dispatched,
+            "{}: fetch feeds dispatch",
+            bench.name
+        );
+        assert!(
+            s.dispatched >= s.committed,
+            "{}: dispatch feeds commit",
+            bench.name
+        );
+        assert!(
+            s.issued >= s.committed,
+            "{}: every committed op issued",
+            bench.name
+        );
         // Fetched = committed + squashed (wrong path) exactly: nothing
         // is ever lost or double-counted.
         assert_eq!(
@@ -27,7 +39,11 @@ fn pipeline_counters_are_ordered() {
             "{}: fetched partitions into committed and squashed",
             bench.name
         );
-        assert!(s.ipc() > 0.0 && s.ipc() <= 4.0, "{}: ipc within issue width", bench.name);
+        assert!(
+            s.ipc() > 0.0 && s.ipc() <= 4.0,
+            "{}: ipc within issue width",
+            bench.name
+        );
     }
 }
 
@@ -113,8 +129,14 @@ fn eight_issue_machine_dominates_baseline() {
 #[test]
 fn determinism_across_runs() {
     let bench = &full_suite(0)[0];
-    let a = run(bench, SimConfig::default().with_packing(PackConfig::with_replay()));
-    let b = run(bench, SimConfig::default().with_packing(PackConfig::with_replay()));
+    let a = run(
+        bench,
+        SimConfig::default().with_packing(PackConfig::with_replay()),
+    );
+    let b = run(
+        bench,
+        SimConfig::default().with_packing(PackConfig::with_replay()),
+    );
     assert_eq!(a.stats.cycles, b.stats.cycles);
     assert_eq!(a.stats.issued, b.stats.issued);
     assert_eq!(a.stats.pack, b.stats.pack);
@@ -153,7 +175,7 @@ fn pipeline_trace_is_ordered_and_capped() {
         assert_eq!(report.out_quads, bench.expected, "{}", bench.name);
         let trace = sim.trace();
         assert!(!trace.is_empty() && trace.len() <= 500, "{}", bench.name);
-        for t in trace {
+        for t in &trace {
             assert!(t.fetched_at <= t.dispatched_at, "{}: F<=D", bench.name);
             assert!(t.dispatched_at < t.issued_at, "{}: D<I", bench.name);
             assert!(t.issued_at < t.completed_at, "{}: I<X", bench.name);
@@ -161,7 +183,11 @@ fn pipeline_trace_is_ordered_and_capped() {
         }
         // Commits are in order.
         for pair in trace.windows(2) {
-            assert!(pair[0].committed_at <= pair[1].committed_at, "{}", bench.name);
+            assert!(
+                pair[0].committed_at <= pair[1].committed_at,
+                "{}",
+                bench.name
+            );
         }
     }
 }
@@ -182,7 +208,41 @@ fn packed_flags_appear_only_under_packing() {
             .with_trace(5_000),
     );
     packed.run(u64::MAX).unwrap();
-    assert!(packed.trace().iter().any(|t| t.packed), "mpeg2-enc packs heavily");
+    assert!(
+        packed.trace().iter().any(|t| t.packed),
+        "mpeg2-enc packs heavily"
+    );
+}
+
+#[test]
+fn stall_slots_conserve_exactly() {
+    // Every lost commit slot is charged to exactly one cause, so the
+    // breakdown must satisfy
+    //   sum(slots) == commit_width * cycles - committed
+    // with no tolerance, under every configuration.
+    for bench in full_suite(0) {
+        for config in [
+            SimConfig::default(),
+            SimConfig::default().with_perfect_prediction(),
+            SimConfig::default().with_packing(PackConfig::with_replay()),
+            SimConfig::default().with_eight_issue(),
+        ] {
+            let width = config.commit_width as u64;
+            let r = run(&bench, config);
+            let s = &r.stats;
+            assert_eq!(
+                r.stall.total(),
+                width * s.cycles - s.committed,
+                "{}: stall slots must account for every lost commit slot",
+                bench.name
+            );
+            assert_eq!(
+                r.stall, s.stall,
+                "{}: report carries the stats breakdown",
+                bench.name
+            );
+        }
+    }
 }
 
 #[test]

@@ -1,0 +1,263 @@
+//! Observability pipeline: trace-event ordering over random programs,
+//! JSONL stream parseability, and stability of the `--json` snapshot
+//! against a golden key schema.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use nwo::core::PackConfig;
+use nwo::isa::{assemble, Opcode, Program};
+use nwo::sim::obs::{json, JsonlSink};
+use nwo::sim::{SimConfig, Simulator};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Step {
+    /// Operate-format op over two of the low registers.
+    Op(Opcode, u8, u8, u8),
+    /// Operate-literal form.
+    OpLit(Opcode, u8, u8, u8),
+    /// Store a register to the scratch buffer, then load it back.
+    StoreLoad(u8, u8, u8),
+}
+
+fn alu_opcode() -> impl Strategy<Value = Opcode> {
+    prop::sample::select(vec![
+        Opcode::Addq,
+        Opcode::Subq,
+        Opcode::Addl,
+        Opcode::And,
+        Opcode::Bis,
+        Opcode::Xor,
+        Opcode::Sll,
+        Opcode::Srl,
+        Opcode::Cmplt,
+        Opcode::Mulq,
+        Opcode::Sextb,
+        Opcode::Sextw,
+    ])
+}
+
+fn step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (alu_opcode(), 0u8..8, 0u8..8, 0u8..8).prop_map(|(op, a, b, c)| Step::Op(op, a, b, c)),
+        (alu_opcode(), 0u8..8, 0u8..=255, 0u8..8)
+            .prop_map(|(op, a, l, c)| Step::OpLit(op, a, l, c)),
+        (0u8..8, 0u8..8, 0u8..8).prop_map(|(src, dst, slot)| Step::StoreLoad(src, dst, slot)),
+    ]
+}
+
+/// Builds a looped program: seed r1..r8, run the body `iters` times
+/// (the backward branch exercises prediction and recovery events),
+/// then outq every register.
+fn build_program(seeds: &[i32], steps: &[Step], iters: u8) -> Program {
+    let mut src = String::from(".data\nscratch: .space 128\n.text\nmain:\n");
+    let _ = writeln!(src, "    la   a0, scratch");
+    for (i, &v) in seeds.iter().enumerate() {
+        let _ = writeln!(src, "    li   r{reg}, {v}", reg = i + 1);
+    }
+    let _ = writeln!(src, "    li   r9, {iters}");
+    src.push_str("loop:\n");
+    for s in steps {
+        match s {
+            Step::Op(op, a, b, c) => {
+                let _ = writeln!(
+                    src,
+                    "    {} r{}, r{}, r{}",
+                    op.mnemonic(),
+                    a + 1,
+                    b + 1,
+                    c + 1
+                );
+            }
+            Step::OpLit(op, a, lit, c) => {
+                let _ = writeln!(
+                    src,
+                    "    {} r{}, #{}, r{}",
+                    op.mnemonic(),
+                    a + 1,
+                    lit,
+                    c + 1
+                );
+            }
+            Step::StoreLoad(srcr, dst, slot) => {
+                let _ = writeln!(src, "    stq  r{}, {}(a0)", srcr + 1, *slot as u32 * 8);
+                let _ = writeln!(src, "    ldq  r{}, {}(a0)", dst + 1, *slot as u32 * 8);
+            }
+        }
+    }
+    src.push_str("    subq r9, 1, r9\n    bgt  r9, loop\n");
+    for i in 1..=8 {
+        let _ = writeln!(src, "    outq r{i}");
+    }
+    src.push_str("    halt\n");
+    assemble(&src).expect("generated program must assemble")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every committed instruction's stage timestamps are ordered
+    /// `fetched <= dispatched <= issued <= completed <= committed`,
+    /// commits retire in order, and sequence numbers are dense — on
+    /// arbitrary programs under every machine configuration.
+    #[test]
+    fn commit_records_are_stage_ordered(
+        seeds in prop::collection::vec(-100_000i32..100_000, 8),
+        steps in prop::collection::vec(step(), 1..40),
+        iters in 1u8..6,
+    ) {
+        let program = build_program(&seeds, &steps, iters);
+        for config in [
+            SimConfig::default(),
+            SimConfig::default().with_packing(PackConfig::with_replay()),
+            SimConfig::default().with_eight_issue(),
+        ] {
+            let mut sim = Simulator::new(&program, config.with_trace(1 << 14));
+            let report = sim.run(u64::MAX).expect("simulator halts");
+            let commits = sim.trace_commits();
+            prop_assert_eq!(commits.len() as u64, report.stats.committed.min(1 << 14));
+            for (i, r) in commits.iter().enumerate() {
+                prop_assert_eq!(r.seq, i as u64, "sequence numbers are dense");
+                prop_assert!(r.fetched_at <= r.dispatched_at, "F<=D at seq {}", r.seq);
+                prop_assert!(r.dispatched_at <= r.issued_at, "D<=I at seq {}", r.seq);
+                prop_assert!(r.issued_at <= r.completed_at, "I<=X at seq {}", r.seq);
+                prop_assert!(r.completed_at <= r.committed_at, "X<=C at seq {}", r.seq);
+            }
+            for pair in commits.windows(2) {
+                prop_assert!(pair[0].committed_at <= pair[1].committed_at, "in-order commit");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Streaming a run through a [`JsonlSink`] yields one parseable JSON
+    /// object per line, with known event discriminators, non-decreasing
+    /// cycles, and exactly one `commit` line per committed instruction.
+    #[test]
+    fn jsonl_stream_is_parseable(
+        seeds in prop::collection::vec(-100_000i32..100_000, 8),
+        steps in prop::collection::vec(step(), 1..30),
+        iters in 1u8..5,
+    ) {
+        const KNOWN: [&str; 8] = [
+            "fetch", "dispatch", "issue", "pack", "replay_squash",
+            "writeback", "branch_mispredict", "commit",
+        ];
+        let program = build_program(&seeds, &steps, iters);
+        let path = std::env::temp_dir().join(format!("nwo-obs-prop-{}.jsonl", std::process::id()));
+        let mut sim = Simulator::new(&program, SimConfig::default().with_packing(PackConfig::with_replay()));
+        sim.set_trace_sink(Box::new(JsonlSink::create(&path).expect("temp file")));
+        let report = sim.run(u64::MAX).expect("simulator halts");
+        drop(sim); // flush on drop, like the CLI at exit
+
+        let text = std::fs::read_to_string(&path).expect("trace file readable");
+        let _ = std::fs::remove_file(&path);
+        let mut last_cycle = 0u64;
+        let mut commits = 0u64;
+        for (n, line) in text.lines().enumerate() {
+            let v = json::parse(line)
+                .unwrap_or_else(|e| panic!("line {}: {e}: {line}", n + 1));
+            let ev = v.get("ev").and_then(|e| e.as_str()).expect("ev field");
+            prop_assert!(KNOWN.contains(&ev), "unknown event {ev:?}");
+            let cycle = v.get("cycle").and_then(|c| c.as_u64()).expect("cycle field");
+            prop_assert!(cycle >= last_cycle, "cycles never rewind in the stream");
+            last_cycle = cycle;
+            if ev == "commit" {
+                commits += 1;
+                prop_assert!(v.get("seq").and_then(|s| s.as_u64()).is_some());
+            }
+        }
+        prop_assert_eq!(commits, report.stats.committed, "one commit line per retired op");
+    }
+}
+
+/// A fixed, fully deterministic kernel for the golden snapshot test.
+fn golden_program() -> Program {
+    assemble(
+        r#"
+        .data
+        buf: .space 256
+        .text
+        main:
+            la   a0, buf
+            li   t0, 0
+            li   t1, 32
+        loop:
+            and  t0, 255, t2
+            stq  t2, 0(a0)
+            ldq  t3, 0(a0)
+            addq t0, t3, t0
+            addq a0, 8, a0
+            subq t1, 1, t1
+            bgt  t1, loop
+            outq t0
+            halt
+    "#,
+    )
+    .expect("golden kernel assembles")
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/snapshot.keys")
+}
+
+/// The `--json` snapshot is byte-stable across identical runs, parses
+/// with the crate's own JSON parser, agrees with the report, and its
+/// key schema matches the checked-in golden list.
+#[test]
+fn snapshot_json_is_stable_and_parseable() {
+    let program = golden_program();
+    let run_once = || {
+        let mut sim = Simulator::new(&program, SimConfig::default());
+        let report = sim.run(u64::MAX).expect("halts");
+        (sim.snapshot(), report)
+    };
+    let (snap, report) = run_once();
+    let (snap2, _) = run_once();
+    let js = snap.to_json();
+    assert_eq!(
+        js,
+        snap2.to_json(),
+        "identical runs must serialize identically"
+    );
+
+    let v = json::parse(&js).expect("snapshot JSON parses");
+    let s = &report.stats;
+    assert_eq!(v.get("sim.cycles").and_then(|x| x.as_u64()), Some(s.cycles));
+    assert_eq!(
+        v.get("sim.committed").and_then(|x| x.as_u64()),
+        Some(s.committed)
+    );
+    assert_eq!(
+        v.get("stall.total").and_then(|x| x.as_u64()),
+        Some(4 * s.cycles - s.committed),
+        "snapshot carries the exact lost-slot conservation total"
+    );
+    assert!(v.get("mem.l1d.hits").and_then(|x| x.as_u64()).unwrap_or(0) > 0);
+    assert!(
+        v.get("power.baseline_mw_per_cycle")
+            .and_then(|x| x.as_f64())
+            .unwrap_or(0.0)
+            > 0.0
+    );
+
+    // The key schema is the machine-readable contract: consumers index
+    // by name, so adding keys is fine but renaming/removing is a break.
+    // Regenerate with the command in the assertion message.
+    let actual: String = snap.iter().map(|(k, _)| format!("{k}\n")).collect();
+    if std::env::var_os("NWO_REGEN_GOLDEN").is_some() {
+        std::fs::create_dir_all(golden_path().parent().expect("has parent")).expect("mkdir");
+        std::fs::write(golden_path(), &actual).expect("write golden");
+    }
+    let golden = std::fs::read_to_string(golden_path())
+        .unwrap_or_else(|e| panic!("{}: {e}", golden_path().display()));
+    assert_eq!(
+        actual, golden,
+        "snapshot key schema drifted from tests/golden/snapshot.keys; if \
+         intentional, update the golden file to the keys printed above"
+    );
+}

@@ -165,7 +165,10 @@ fn wide_decode_amplifies_packing() {
 fn fig2_shape_wrong_paths_add_fluctuation() {
     let mut perfect_sum = 0.0;
     let mut real_sum = 0.0;
-    for bench in full_suite(0).into_iter().filter(|b| b.suite == Suite::SpecInt) {
+    for bench in full_suite(0)
+        .into_iter()
+        .filter(|b| b.suite == Suite::SpecInt)
+    {
         let p = run(&bench, SimConfig::default().with_perfect_prediction());
         let r = run(&bench, SimConfig::default());
         perfect_sum += p.stats.fluctuation.fluctuating_fraction();

@@ -1,0 +1,212 @@
+#![warn(missing_docs)]
+
+//! Offline stand-in for the `criterion` benchmarking crate.
+//!
+//! The workspace must build with no network access, so this crate
+//! provides the subset of the criterion API our bench targets use
+//! (`criterion_group!`/`criterion_main!`, `Criterion::benchmark_group`,
+//! `throughput`, `sample_size`, `bench_function`, `Bencher::iter` and
+//! `iter_batched`) with a simple wall-clock measurement loop instead of
+//! criterion's statistical machinery. Numbers it prints are indicative,
+//! not rigorous — good enough to spot order-of-magnitude regressions
+//! while keeping `cargo bench` runnable offline.
+
+use std::time::{Duration, Instant};
+
+/// Work-per-iteration declaration, used to derive a rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortises setup; ignored by this stand-in.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Re-run setup for every iteration.
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 100,
+            throughput: None,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing throughput/sample settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Declares the work performed by one iteration.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Caps the number of measured iterations.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark and prints its timing.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            measurement: None,
+        };
+        f(&mut bencher);
+        let (iters, elapsed) = bencher
+            .measurement
+            .expect("benchmark closure must call iter/iter_batched");
+        let ns_per_iter = elapsed.as_nanos() as f64 / iters as f64;
+        let rate = self.throughput.map(|t| match t {
+            Throughput::Elements(n) => format!("  {:>12.0} elem/s", n as f64 / (ns_per_iter / 1e9)),
+            Throughput::Bytes(n) => format!("  {:>12.0} B/s", n as f64 / (ns_per_iter / 1e9)),
+        });
+        println!(
+            "{}/{:<24} {:>14.0} ns/iter ({} iters){}",
+            self.name,
+            id,
+            ns_per_iter,
+            iters,
+            rate.unwrap_or_default()
+        );
+        self
+    }
+
+    /// Ends the group (the stand-in keeps no summary state).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; runs and times the routine.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    measurement: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Times `routine`, repeating it up to the sample size (bounded to
+    /// roughly a second of wall clock).
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        std::hint::black_box(routine()); // warm-up, untimed
+        let budget = Duration::from_secs(1);
+        let mut iters = 0u64;
+        let start = Instant::now();
+        while iters < self.sample_size as u64 {
+            std::hint::black_box(routine());
+            iters += 1;
+            if start.elapsed() > budget {
+                break;
+            }
+        }
+        self.measurement = Some((iters, start.elapsed()));
+    }
+
+    /// Times `routine` over inputs built by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        std::hint::black_box(routine(setup())); // warm-up, untimed
+        let budget = Duration::from_secs(1);
+        let mut iters = 0u64;
+        let mut elapsed = Duration::ZERO;
+        while iters < self.sample_size as u64 {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            elapsed += start.elapsed();
+            iters += 1;
+            if elapsed > budget {
+                break;
+            }
+        }
+        self.measurement = Some((iters, elapsed));
+    }
+}
+
+/// Bundles benchmark functions into a single runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_prints() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(4)).sample_size(3);
+        let mut calls = 0u32;
+        group.bench_function("f", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        group.finish();
+        // warm-up + up to sample_size measured iterations
+        assert!((2..=4).contains(&calls), "calls = {calls}");
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.bench_function("b", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}

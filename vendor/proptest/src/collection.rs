@@ -1,0 +1,66 @@
+//! `prop::collection` — vector strategies.
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+/// Anything usable as the size argument of [`vec`]: an exact `usize`
+/// or a `usize` range.
+pub trait SizeRange {
+    /// Picks a concrete length.
+    fn pick(&self, rng: &mut TestRng) -> usize;
+}
+
+impl SizeRange for usize {
+    fn pick(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+impl SizeRange for std::ops::Range<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        self.clone().generate(rng)
+    }
+}
+
+impl SizeRange for std::ops::RangeInclusive<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        self.clone().generate(rng)
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with a length drawn from `R`.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S, R> {
+    element: S,
+    size: R,
+}
+
+/// `prop::collection::vec(element, size)` — a vector of generated
+/// elements whose length is drawn from `size`.
+pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.pick(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_and_ranged_lengths() {
+        let mut rng = TestRng::from_seed(3);
+        assert_eq!(vec(0u64..10, 8usize).generate(&mut rng).len(), 8);
+        for _ in 0..100 {
+            let v = vec(0u64..10, 1..5).generate(&mut rng);
+            assert!((1..5).contains(&v.len()));
+        }
+    }
+}

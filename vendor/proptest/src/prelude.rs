@@ -1,0 +1,11 @@
+//! One-stop imports mirroring `proptest::prelude`.
+
+pub use crate::strategy::{any, Just, Strategy};
+pub use crate::ProptestConfig;
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+/// Mirrors `proptest::prelude::prop`, the module-style entry point
+/// (`prop::collection::vec`, `prop::sample::select`).
+pub mod prop {
+    pub use crate::{collection, sample};
+}

@@ -1,0 +1,39 @@
+//! `prop::sample` — choosing from explicit value lists.
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+/// Strategy returned by [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+/// Uniformly selects one of the given values.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select needs at least one option");
+    Select { options }
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = (rng.next_u64() % self.options.len() as u64) as usize;
+        self.options[i].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_draws_only_listed_values() {
+        let mut rng = TestRng::from_seed(5);
+        let s = select(vec!['a', 'b', 'c']);
+        for _ in 0..100 {
+            assert!(['a', 'b', 'c'].contains(&s.generate(&mut rng)));
+        }
+    }
+}
