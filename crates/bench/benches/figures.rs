@@ -4,10 +4,16 @@
 //! cargo bench -p nwo-bench --bench figures            # everything
 //! cargo bench -p nwo-bench --bench figures -- fig10   # one experiment
 //! NWO_SCALE=2 cargo bench -p nwo-bench --bench figures # 4x larger inputs
+//! NWO_JOBS=1  cargo bench -p nwo-bench --bench figures # serial run
 //! ```
+//!
+//! Simulations run on a memoizing worker pool (see
+//! `docs/benchmarking.md`); each experiment prints a `[name  wall …]`
+//! summary line, and the whole run is persisted to
+//! `BENCH_harness.json` for perf-trajectory tracking.
 
-use nwo_bench::figures::{run_experiment, EXPERIMENTS};
-use std::time::Instant;
+use nwo_bench::figures::experiment_names;
+use nwo_bench::harness::run_harness;
 
 fn main() {
     let args: Vec<String> = std::env::args()
@@ -15,24 +21,26 @@ fn main() {
         .filter(|a| !a.starts_with('-')) // ignore cargo-bench flags like --bench
         .collect();
     let selected: Vec<&str> = if args.is_empty() {
-        EXPERIMENTS.to_vec()
+        experiment_names()
     } else {
         args.iter().map(String::as_str).collect()
     };
     println!("nwo experiment harness — reproducing Brooks & Martonosi, HPCA 1999");
-    let start = Instant::now();
-    for name in &selected {
-        let t = Instant::now();
-        if !run_experiment(name) {
-            eprintln!("unknown experiment `{name}`; known: {EXPERIMENTS:?}");
+    match run_harness(&selected) {
+        Ok(summary) => {
+            println!();
+            println!(
+                "all {} experiments completed in {:.1}s ({} sims, {} memo hits, {} workers)",
+                summary.experiments.len(),
+                summary.wall_s,
+                summary.sims_run,
+                summary.memo_hits,
+                summary.jobs
+            );
+        }
+        Err(message) => {
+            eprintln!("{message}");
             std::process::exit(2);
         }
-        println!("[{name} completed in {:.1}s]", t.elapsed().as_secs_f64());
     }
-    println!();
-    println!(
-        "all {} experiments completed in {:.1}s",
-        selected.len(),
-        start.elapsed().as_secs_f64()
-    );
 }

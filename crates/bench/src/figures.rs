@@ -1,74 +1,91 @@
 //! One function per table/figure of the paper's evaluation, plus the
-//! ablations called out in DESIGN.md. Each prints a paper-style table
-//! and, with `NWO_CSV=<dir>`, exports the data as CSV.
+//! ablations called out in DESIGN.md. Each *builds* a paper-style
+//! [`Table`]; [`run_experiment`] emits it (and, with `NWO_CSV=<dir>`,
+//! exports the data as CSV).
+//!
+//! Every experiment submits all of its simulations up front to the
+//! [`crate::runner`] worker pool and collects the reports in
+//! submission order, so runs parallelize across benchmarks and
+//! configurations while the emitted tables stay byte-identical to a
+//! serial (`NWO_JOBS=1`) run. Repeated `(benchmark, config)` pairs —
+//! the baseline machine appears in most experiments — are served from
+//! the runner's memo cache and simulate only once per harness
+//! invocation.
 
+use crate::runner::reports;
 use crate::table::{f1, pct, spct, Table};
 use crate::{
     base_config, by_suite, gating_config, mean, mean_speedup_percent, packing_config,
-    replay_config, run, suite,
+    replay_config, suite,
 };
 use nwo_core::{GatingConfig, PackConfig};
 use nwo_power::{device_power, Device, MUX_MW, ZERO_DETECT_MW};
 use nwo_sim::obs::StallCause;
 use nwo_sim::{SimConfig, SimReport};
-use nwo_workloads::Suite;
+use nwo_workloads::{Benchmark, Suite};
 
-/// All experiment names, in presentation order.
-pub const EXPERIMENTS: [&str; 21] = [
-    "table1",
-    "table4",
-    "fig1",
-    "fig2",
-    "fig4",
-    "fig5",
-    "fig6",
-    "fig7",
-    "loadstat",
-    "fig10",
-    "fig10wide",
-    "fig11",
-    "stalls",
-    "ablation-gate",
-    "ablation-degree",
-    "ablation-neg",
-    "ablation-zdl",
-    "ablation-bpred",
-    "ablation-window",
-    "ext-cache",
-    "ablation-spechist",
+/// An experiment: builds (but does not emit) its table.
+pub type ExperimentFn = fn() -> Table;
+
+/// Name → builder for every experiment, in presentation order. This
+/// single table drives listing, validation and dispatch, so the name
+/// list and the dispatch logic cannot drift apart.
+pub const EXPERIMENTS: [(&str, ExperimentFn); 21] = [
+    ("table1", table1),
+    ("table4", table4),
+    ("fig1", fig1),
+    ("fig2", fig2),
+    ("fig4", fig4),
+    ("fig5", fig5),
+    ("fig6", fig6),
+    ("fig7", fig7),
+    ("loadstat", loadstat),
+    ("fig10", fig10_narrow),
+    ("fig10wide", fig10_wide),
+    ("fig11", fig11),
+    ("stalls", stalls),
+    ("ablation-gate", ablation_gate),
+    ("ablation-degree", ablation_degree),
+    ("ablation-neg", ablation_neg),
+    ("ablation-zdl", ablation_zdl),
+    ("ablation-bpred", ablation_bpred),
+    ("ablation-window", ablation_window),
+    ("ext-cache", ext_cache),
+    ("ablation-spechist", ablation_spechist),
 ];
 
-/// Dispatches one experiment by name. Returns false for unknown names.
+/// All experiment names, in presentation order.
+pub fn experiment_names() -> Vec<&'static str> {
+    EXPERIMENTS.iter().map(|(name, _)| *name).collect()
+}
+
+/// Looks an experiment up by name without running it.
+pub fn find_experiment(name: &str) -> Option<ExperimentFn> {
+    EXPERIMENTS
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, f)| *f)
+}
+
+/// Builds one experiment's table by name without emitting it.
+pub fn build_experiment(name: &str) -> Option<Table> {
+    find_experiment(name).map(|f| f())
+}
+
+/// Dispatches one experiment by name and emits its table. Returns
+/// false for unknown names.
 pub fn run_experiment(name: &str) -> bool {
-    match name {
-        "table1" => table1(),
-        "table4" => table4(),
-        "fig1" => fig1(),
-        "fig2" => fig2(),
-        "fig4" => fig4(),
-        "fig5" => fig5(),
-        "fig6" => fig6(),
-        "fig7" => fig7(),
-        "loadstat" => loadstat(),
-        "fig10" => fig10(false),
-        "fig10wide" => fig10(true),
-        "fig11" => fig11(),
-        "stalls" => stalls(),
-        "ablation-gate" => ablation_gate(),
-        "ablation-degree" => ablation_degree(),
-        "ablation-neg" => ablation_neg(),
-        "ablation-zdl" => ablation_zdl(),
-        "ablation-bpred" => ablation_bpred(),
-        "ablation-window" => ablation_window(),
-        "ext-cache" => ext_cache(),
-        "ablation-spechist" => ablation_spechist(),
-        _ => return false,
+    match build_experiment(name) {
+        Some(table) => {
+            table.emit();
+            true
+        }
+        None => false,
     }
-    true
 }
 
 /// Table 1: the baseline configuration (verbatim from `SimConfig`).
-pub fn table1() {
+pub fn table1() -> Table {
     let c = base_config();
     let h = c.hierarchy;
     let l2 = h.l2.expect("baseline has an L2");
@@ -153,11 +170,11 @@ pub fn table1() {
             h.itlb.entries, h.itlb.miss_latency
         ),
     );
-    t.emit();
+    t
 }
 
 /// Table 4: functional-unit power at 3.3V / 500MHz (mW).
-pub fn table4() {
+pub fn table4() -> Table {
     let mut t = Table::new(
         "Table 4 - Estimated power consumption of functional units (mW)",
         "table4",
@@ -183,17 +200,17 @@ pub fn table4() {
         f1(MUX_MW),
         String::new(),
     ]);
-    t.emit();
+    t
 }
 
 /// Figure 1: cumulative % of operations with both operands <= N bits.
-pub fn fig1() {
+pub fn fig1() -> Table {
     let benches = suite();
-    let spec: Vec<_> = benches
+    let spec: Vec<&Benchmark> = benches
         .iter()
         .filter(|b| b.suite == Suite::SpecInt)
         .collect();
-    let reports: Vec<SimReport> = spec.iter().map(|b| run(b, base_config())).collect();
+    let reports = reports(spec.iter().map(|b| (*b, base_config())));
     let mut columns: Vec<&str> = vec!["bits"];
     let names: Vec<String> = spec.iter().map(|b| b.name.to_string()).collect();
     columns.extend(names.iter().map(String::as_str));
@@ -215,13 +232,23 @@ pub fn fig1() {
     }
     t.note("(paper: ~50% of operations at 16 bits; a jump at 33 bits from");
     t.note(" heap/stack address calculations)");
-    t.emit();
+    t
 }
 
 /// Figure 2: % of static instructions whose operand precision crosses
 /// the 16-bit line during a run, perfect vs realistic prediction.
-pub fn fig2() {
+pub fn fig2() -> Table {
     let benches = suite();
+    let spec: Vec<&Benchmark> = benches
+        .iter()
+        .filter(|b| b.suite == Suite::SpecInt)
+        .collect();
+    let reports = reports(spec.iter().flat_map(|b| {
+        [
+            (*b, base_config().with_perfect_prediction()),
+            (*b, base_config()),
+        ]
+    }));
     let mut t = Table::new(
         "Figure 2 - Operand-precision fluctuation across a run (% of static instructions)",
         "fig2",
@@ -229,11 +256,9 @@ pub fn fig2() {
     );
     let mut perfect_all = Vec::new();
     let mut real_all = Vec::new();
-    for b in benches.iter().filter(|b| b.suite == Suite::SpecInt) {
-        let perfect = run(b, base_config().with_perfect_prediction());
-        let real = run(b, base_config());
-        let p = perfect.stats.fluctuation.fluctuating_fraction() * 100.0;
-        let r = real.stats.fluctuation.fluctuating_fraction() * 100.0;
+    for (b, pair) in spec.iter().zip(reports.chunks(2)) {
+        let p = pair[0].stats.fluctuation.fluctuating_fraction() * 100.0;
+        let r = pair[1].stats.fluctuation.fluctuating_fraction() * 100.0;
         perfect_all.push(p);
         real_all.push(r);
         t.row(vec![b.name.to_string(), pct(p), pct(r)]);
@@ -245,11 +270,12 @@ pub fn fig2() {
     ]);
     t.note("(paper: realistic prediction sees more fluctuation because");
     t.note(" wrong-path executions visit uncommon operand values)");
-    t.emit();
+    t
 }
 
-fn class_fraction_table(title: &str, csv: &str, threshold33: bool) {
+fn class_fraction_table(title: &str, csv: &str, threshold33: bool) -> Table {
     let benches = suite();
+    let reports = reports(benches.iter().map(|b| (b, base_config())));
     let mut t = Table::new(
         title,
         csv,
@@ -265,8 +291,7 @@ fn class_fraction_table(title: &str, csv: &str, threshold33: bool) {
         ],
     );
     let mut totals = Vec::new();
-    for b in &benches {
-        let r = run(b, base_config());
+    for (b, r) in benches.iter().zip(&reports) {
         let bd = &r.stats.breakdown;
         let frac = |slot: usize| {
             if threshold33 {
@@ -298,30 +323,31 @@ fn class_fraction_table(title: &str, csv: &str, threshold33: bool) {
         pct(mean(&spec)),
         pct(mean(&media))
     ));
-    t.emit();
+    t
 }
 
 /// Figure 4: % of operations with both operands <= 16 bits, by class.
-pub fn fig4() {
+pub fn fig4() -> Table {
     class_fraction_table(
         "Figure 4 - Operations with both operands 16 bits or less (% of all instructions)",
         "fig4",
         false,
-    );
+    )
 }
 
 /// Figure 5: % of operations with both operands <= 33 bits, by class.
-pub fn fig5() {
+pub fn fig5() -> Table {
     class_fraction_table(
         "Figure 5 - Operations with both operands 33 bits or less (% of all instructions)",
         "fig5",
         true,
-    );
+    )
 }
 
 /// Figure 6: net power saved per cycle by clock gating at 16 and 33 bits.
-pub fn fig6() {
+pub fn fig6() -> Table {
     let benches = suite();
+    let reports = reports(benches.iter().map(|b| (b, gating_config())));
     let mut t = Table::new(
         "Figure 6 - Net power saved by clock gating at 16 and 33 bits (mW per cycle)",
         "fig6",
@@ -334,8 +360,7 @@ pub fn fig6() {
         ],
     );
     let mut nets = Vec::new();
-    for b in &benches {
-        let r = run(b, gating_config());
+    for (b, r) in benches.iter().zip(&reports) {
         let p = &r.power;
         nets.push(p.net_saved_mw_per_cycle);
         t.row(vec![
@@ -354,20 +379,20 @@ pub fn fig6() {
     ));
     t.note("(paper: zero-detect power is small and nearly constant; it never");
     t.note(" exceeds the savings)");
-    t.emit();
+    t
 }
 
 /// Figure 7: integer-unit power per cycle, baseline vs gated.
-pub fn fig7() {
+pub fn fig7() -> Table {
     let benches = suite();
+    let reports = reports(benches.iter().map(|b| (b, gating_config())));
     let mut t = Table::new(
         "Figure 7 - Power usage of integer unit (mW per cycle)",
         "fig7",
         &["benchmark", "baseline", "gated", "reduction"],
     );
     let mut reductions = Vec::new();
-    for b in &benches {
-        let r = run(b, gating_config());
+    for (b, r) in benches.iter().zip(&reports) {
         let p = &r.power;
         reductions.push(p.reduction_percent);
         t.row(vec![
@@ -380,21 +405,21 @@ pub fn fig7() {
     let (spec, media) = by_suite(&benches, &reductions);
     t.note(format!("SPEC avg {}   (paper: 54.1%)", pct(mean(&spec))));
     t.note(format!("media avg {}  (paper: 57.9%)", pct(mean(&media))));
-    t.emit();
+    t
 }
 
 /// Section 4.2: gated operations fed directly by a load — the cost of
 /// omitting zero-detect on cache fills.
-pub fn loadstat() {
+pub fn loadstat() -> Table {
     let benches = suite();
+    let reports = reports(benches.iter().map(|b| (b, gating_config())));
     let mut t = Table::new(
         "Section 4.2 - Power-saving instructions with an operand straight from a load",
         "loadstat",
         &["benchmark", "load-fed"],
     );
     let mut fracs = Vec::new();
-    for b in &benches {
-        let r = run(b, gating_config());
+    for (b, r) in benches.iter().zip(&reports) {
         let f = r.stats.load_operand_fraction() * 100.0;
         fracs.push(f);
         t.row(vec![b.name.to_string(), pct(f)]);
@@ -402,12 +427,20 @@ pub fn loadstat() {
     let (spec, media) = by_suite(&benches, &fracs);
     t.note(format!("SPEC avg {}   (paper: 13.1%)", pct(mean(&spec))));
     t.note(format!("media avg {}  (paper:  1.5%)", pct(mean(&media))));
-    t.emit();
+    t
+}
+
+fn fig10_narrow() -> Table {
+    fig10(false)
+}
+
+fn fig10_wide() -> Table {
+    fig10(true)
 }
 
 /// Figure 10 (and the Section 5.4 8-wide variant): speedup from
 /// operation packing under perfect and realistic prediction.
-pub fn fig10(wide: bool) {
+pub fn fig10(wide: bool) -> Table {
     let (title, csv) = if wide {
         (
             "Section 5.4 - Packing speedup with 8-wide decode (%)",
@@ -421,6 +454,17 @@ pub fn fig10(wide: bool) {
     };
     let benches = suite();
     let adapt = |c: SimConfig| if wide { c.with_wide_decode() } else { c };
+    // Six machines per benchmark, collected as one chunk.
+    let reports = reports(benches.iter().flat_map(|b| {
+        [
+            (b, adapt(base_config().with_perfect_prediction())),
+            (b, adapt(base_config())),
+            (b, adapt(packing_config().with_perfect_prediction())),
+            (b, adapt(replay_config().with_perfect_prediction())),
+            (b, adapt(packing_config())),
+            (b, adapt(replay_config())),
+        ]
+    }));
     let mut t = Table::new(
         title,
         csv,
@@ -429,21 +473,18 @@ pub fn fig10(wide: bool) {
     let mut rows: Vec<[f64; 4]> = Vec::new();
     let mut pairs_real = Vec::new();
     let mut pairs_perf = Vec::new();
-    for b in &benches {
-        let base_perf = run(b, adapt(base_config().with_perfect_prediction()));
-        let base_real = run(b, adapt(base_config()));
-        let pack_perf = run(b, adapt(packing_config().with_perfect_prediction()));
-        let rep_perf = run(b, adapt(replay_config().with_perfect_prediction()));
-        let pack_real = run(b, adapt(packing_config()));
-        let rep_real = run(b, adapt(replay_config()));
+    for (b, chunk) in benches.iter().zip(reports.chunks(6)) {
+        let [base_perf, base_real, pack_perf, rep_perf, pack_real, rep_real] = chunk else {
+            unreachable!("six jobs per benchmark");
+        };
         let sp = |base: &SimReport, opt: &SimReport| {
             (base.stats.cycles as f64 / opt.stats.cycles as f64 - 1.0) * 100.0
         };
         let row = [
-            sp(&base_perf, &pack_perf),
-            sp(&base_perf, &rep_perf),
-            sp(&base_real, &pack_real),
-            sp(&base_real, &rep_real),
+            sp(base_perf, pack_perf),
+            sp(base_perf, rep_perf),
+            sp(base_real, pack_real),
+            sp(base_real, rep_real),
         ];
         pairs_perf.push((base_perf.stats.cycles, pack_perf.stats.cycles));
         pairs_real.push((base_real.stats.cycles, pack_real.stats.cycles));
@@ -475,7 +516,7 @@ pub fn fig10(wide: bool) {
     } else {
         t.note("(paper, 4-wide: SPEC 7.1%/4.3% and media 7.6%/8.0% for perfect/realistic)");
     }
-    t.emit();
+    t
 }
 
 /// The dominant stall cause of a run, with its share of lost slots.
@@ -495,8 +536,15 @@ fn top_stall(r: &SimReport) -> String {
 /// Figure 11: IPC of baseline, packed, and 8-issue/8-ALU machines,
 /// with the dominant stall cause of each machine alongside (packing
 /// pays off exactly where the baseline is FU- or dependence-bound).
-pub fn fig11() {
+pub fn fig11() -> Table {
     let benches = suite();
+    let reports = reports(benches.iter().flat_map(|b| {
+        [
+            (b, base_config()),
+            (b, packing_config()),
+            (b, base_config().with_eight_issue()),
+        ]
+    }));
     let mut t = Table::new(
         "Figure 11 - IPC: baseline vs packing vs 8-issue/8-ALU (combining predictor)",
         "fig11",
@@ -511,10 +559,10 @@ pub fn fig11() {
             "8i stall",
         ],
     );
-    for b in &benches {
-        let base = run(b, base_config());
-        let pack = run(b, packing_config());
-        let eight = run(b, base_config().with_eight_issue());
+    for (b, chunk) in benches.iter().zip(reports.chunks(3)) {
+        let [base, pack, eight] = chunk else {
+            unreachable!("three jobs per benchmark");
+        };
         // How much of the 8-issue machine's gain the packed 4-issue
         // machine captures.
         let gain_eight = eight.ipc() - base.ipc();
@@ -533,15 +581,15 @@ pub fn fig11() {
             format!("{:.3}", pack.ipc()),
             format!("{:.3}", eight.ipc()),
             capture,
-            top_stall(&base),
-            top_stall(&pack),
-            top_stall(&eight),
+            top_stall(base),
+            top_stall(pack),
+            top_stall(eight),
         ]);
     }
     t.note("(paper: ijpeg, vortex and the media benchmarks come very close");
     t.note(" to the 8-issue/8-ALU machine's IPC; stall columns show each");
     t.note(" machine's dominant lost-slot cause and its share)");
-    t.emit();
+    t
 }
 
 /// Stall attribution: where every lost commit slot of the baseline
@@ -550,8 +598,9 @@ pub fn fig11() {
 /// cause, so the cause columns sum to 100% per row and the absolute
 /// counts satisfy `sum = commit_width * cycles - committed` (see
 /// docs/observability.md for the taxonomy).
-pub fn stalls() {
+pub fn stalls() -> Table {
     let benches = suite();
+    let reports = reports(benches.iter().map(|b| (b, base_config())));
     let mut columns = vec!["benchmark".to_string(), "lost/cycle".to_string()];
     columns.extend(StallCause::ALL.iter().map(|c| c.name().to_string()));
     let cols: Vec<&str> = columns.iter().map(String::as_str).collect();
@@ -560,8 +609,7 @@ pub fn stalls() {
         "stalls",
         &cols,
     );
-    for b in &benches {
-        let r = run(b, base_config());
+    for (b, r) in benches.iter().zip(&reports) {
         let mut row = vec![
             b.name.to_string(),
             format!(
@@ -581,11 +629,11 @@ pub fn stalls() {
         base_config().commit_width
     ));
     t.note(" are shares of lost slots and sum to 100% per row)");
-    t.emit();
+    t
 }
 
 /// Ablation: gate at 16 only vs 16+33, with and without ones-detect.
-pub fn ablation_gate() {
+pub fn ablation_gate() -> Table {
     let benches = suite();
     let variants: [(&str, GatingConfig); 4] = [
         ("16+33+ones", GatingConfig::default()),
@@ -611,6 +659,11 @@ pub fn ablation_gate() {
             },
         ),
     ];
+    let reports = reports(benches.iter().flat_map(|b| {
+        variants
+            .iter()
+            .map(move |(_, g)| (b, SimConfig::default().with_gating(*g)))
+    }));
     let mut columns = vec!["benchmark"];
     columns.extend(variants.iter().map(|(n, _)| *n));
     let mut t = Table::new(
@@ -618,93 +671,109 @@ pub fn ablation_gate() {
         "ablation-gate",
         &columns,
     );
-    for b in &benches {
+    for (b, chunk) in benches.iter().zip(reports.chunks(variants.len())) {
         let mut row = vec![b.name.to_string()];
-        for (_, g) in &variants {
-            let r = run(b, SimConfig::default().with_gating(*g));
+        for r in chunk {
             row.push(pct(r.power.reduction_percent));
         }
         t.row(row);
     }
-    t.emit();
+    t
 }
 
 /// Ablation: packing degree 2 vs 4.
-pub fn ablation_degree() {
+pub fn ablation_degree() -> Table {
     let benches = suite();
+    let reports = reports(benches.iter().flat_map(|b| {
+        [
+            (b, base_config()),
+            (
+                b,
+                SimConfig::default().with_packing(PackConfig {
+                    degree: 2,
+                    ..PackConfig::default()
+                }),
+            ),
+            (b, packing_config()),
+        ]
+    }));
     let mut t = Table::new(
         "Ablation - packing degree (speedup over baseline, %)",
         "ablation-degree",
         &["benchmark", "degree 2", "degree 4"],
     );
-    for b in &benches {
-        let base = run(b, base_config());
+    for (b, chunk) in benches.iter().zip(reports.chunks(3)) {
+        let [base, d2, d4] = chunk else {
+            unreachable!("three jobs per benchmark");
+        };
         let sp = |r: &SimReport| (base.stats.cycles as f64 / r.stats.cycles as f64 - 1.0) * 100.0;
-        let d2 = run(
-            b,
-            SimConfig::default().with_packing(PackConfig {
-                degree: 2,
-                ..PackConfig::default()
-            }),
-        );
-        let d4 = run(b, packing_config());
-        t.row(vec![b.name.to_string(), spct(sp(&d2)), spct(sp(&d4))]);
+        t.row(vec![b.name.to_string(), spct(sp(d2)), spct(sp(d4))]);
     }
-    t.emit();
+    t
 }
 
 /// Ablation: packing with and without negative (ones-detected) operands.
-pub fn ablation_neg() {
+pub fn ablation_neg() -> Table {
     let benches = suite();
+    let reports = reports(benches.iter().flat_map(|b| {
+        [
+            (b, packing_config()),
+            (
+                b,
+                SimConfig::default().with_packing(PackConfig {
+                    allow_negative: false,
+                    ..PackConfig::default()
+                }),
+            ),
+        ]
+    }));
     let mut t = Table::new(
         "Ablation - packing negative operands (packed ops per 1000 issued)",
         "ablation-neg",
         &["benchmark", "with neg", "without neg"],
     );
-    for b in &benches {
-        let with = run(b, packing_config());
-        let without = run(
-            b,
-            SimConfig::default().with_packing(PackConfig {
-                allow_negative: false,
-                ..PackConfig::default()
-            }),
-        );
+    for (b, chunk) in benches.iter().zip(reports.chunks(2)) {
         let rate =
             |r: &SimReport| r.stats.pack.packed_ops as f64 / r.stats.issued.max(1) as f64 * 1000.0;
         t.row(vec![
             b.name.to_string(),
-            f1(rate(&with)),
-            f1(rate(&without)),
+            f1(rate(&chunk[0])),
+            f1(rate(&chunk[1])),
         ]);
     }
-    t.emit();
+    t
 }
 
 /// Ablation: zero-detect on loads on/off (Section 4.2).
-pub fn ablation_zdl() {
+pub fn ablation_zdl() -> Table {
     let benches = suite();
+    let without_zdl = || {
+        let mut cfg = gating_config();
+        cfg.zero_detect_loads = false;
+        cfg
+    };
+    let reports = reports(
+        benches
+            .iter()
+            .flat_map(|b| [(b, gating_config()), (b, without_zdl())]),
+    );
     let mut t = Table::new(
         "Ablation - zero-detect on loads (power reduction, %)",
         "ablation-zdl",
         &["benchmark", "with", "without"],
     );
-    for b in &benches {
-        let with = run(b, gating_config());
-        let mut cfg = gating_config();
-        cfg.zero_detect_loads = false;
-        let without = run(b, cfg);
+    for (b, chunk) in benches.iter().zip(reports.chunks(2)) {
         t.row(vec![
             b.name.to_string(),
-            pct(with.power.reduction_percent),
-            pct(without.power.reduction_percent),
+            pct(chunk[0].power.reduction_percent),
+            pct(chunk[1].power.reduction_percent),
         ]);
     }
-    t.emit();
+    t
 }
 
 /// Ablation: branch predictors (baseline IPC).
-pub fn ablation_bpred() {
+pub fn ablation_bpred() -> Table {
     use nwo_bpred::{DirKind, PredictorConfig};
     use nwo_sim::PredictorChoice;
     let benches = suite();
@@ -721,6 +790,22 @@ pub fn ablation_bpred() {
         ("combining", Some(DirKind::Combining)),
         ("perfect", None),
     ];
+    let shape = |kind: &Option<DirKind>| {
+        let mut cfg = base_config();
+        cfg.predictor = match kind {
+            None => PredictorChoice::Perfect,
+            Some(k) => PredictorChoice::Real(PredictorConfig {
+                dir: *k,
+                ..PredictorConfig::default()
+            }),
+        };
+        cfg
+    };
+    let reports = reports(
+        benches
+            .iter()
+            .flat_map(|b| kinds.iter().map(move |(_, kind)| (b, shape(kind)))),
+    );
     let mut columns = vec!["benchmark"];
     columns.extend(kinds.iter().map(|(n, _)| *n));
     let mut t = Table::new(
@@ -728,23 +813,14 @@ pub fn ablation_bpred() {
         "ablation-bpred",
         &columns,
     );
-    for b in &benches {
+    for (b, chunk) in benches.iter().zip(reports.chunks(kinds.len())) {
         let mut row = vec![b.name.to_string()];
-        for (_, kind) in &kinds {
-            let mut cfg = base_config();
-            cfg.predictor = match kind {
-                None => PredictorChoice::Perfect,
-                Some(k) => PredictorChoice::Real(PredictorConfig {
-                    dir: *k,
-                    ..PredictorConfig::default()
-                }),
-            };
-            let r = run(b, cfg);
+        for r in chunk {
             row.push(format!("{:.3}", r.ipc()));
         }
         t.row(row);
     }
-    t.emit();
+    t
 }
 
 /// Ablation: instruction-window (RUU) size vs packing benefit — the
@@ -752,9 +828,36 @@ pub fn ablation_bpred() {
 /// more useful instructions". Speedup of packing over the same-sized
 /// baseline at each window size, 8-wide decode (where issue pressure
 /// exists).
-pub fn ablation_window() {
+pub fn ablation_window() -> Table {
     let benches = suite();
     let sizes: [(usize, usize); 4] = [(16, 8), (32, 16), (80, 40), (160, 80)];
+    let shape = |mut c: SimConfig, ruu: usize, lsq: usize| {
+        c.ruu_size = ruu;
+        c.lsq_size = lsq;
+        c.with_wide_decode()
+    };
+    let selected: Vec<&Benchmark> = benches
+        .iter()
+        .filter(|b| {
+            [
+                "go",
+                "ijpeg",
+                "gsm-enc",
+                "g721-dec",
+                "mpeg2-enc",
+                "mpeg2-dec",
+            ]
+            .contains(&b.name)
+        })
+        .collect();
+    let reports = reports(selected.iter().flat_map(|b| {
+        sizes.iter().flat_map(move |&(ruu, lsq)| {
+            [
+                (*b, shape(base_config(), ruu, lsq)),
+                (*b, shape(packing_config(), ruu, lsq)),
+            ]
+        })
+    }));
     let mut columns = vec!["benchmark".to_string()];
     columns.extend(sizes.iter().map(|(r, _)| format!("RUU {r}")));
     let column_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
@@ -763,41 +866,26 @@ pub fn ablation_window() {
         "ablation-window",
         &column_refs,
     );
-    for b in benches.iter().filter(|b| {
-        [
-            "go",
-            "ijpeg",
-            "gsm-enc",
-            "g721-dec",
-            "mpeg2-enc",
-            "mpeg2-dec",
-        ]
-        .contains(&b.name)
-    }) {
+    for (b, chunk) in selected.iter().zip(reports.chunks(2 * sizes.len())) {
         let mut row = vec![b.name.to_string()];
-        for &(ruu, lsq) in &sizes {
-            let shape = |mut c: SimConfig| {
-                c.ruu_size = ruu;
-                c.lsq_size = lsq;
-                c.with_wide_decode()
-            };
-            let base = run(b, shape(base_config()));
-            let pack = run(b, shape(packing_config()));
+        for pair in chunk.chunks(2) {
+            let (base, pack) = (&pair[0], &pair[1]);
             let speedup = (base.stats.cycles as f64 / pack.stats.cycles as f64 - 1.0) * 100.0;
             row.push(spct(speedup));
         }
         t.row(row);
     }
     t.note("(the paper: a fuller RUU gives more opportunities for packing)");
-    t.emit();
+    t
 }
 
 /// Extension (the paper's Section 6 future work): narrow-width power
 /// savings in the data cache and result bus. Store values with known
 /// narrow tags gate the array write and bus; load values gate the
 /// result bus after the fill-path zero-detect.
-pub fn ext_cache() {
+pub fn ext_cache() -> Table {
     let benches = suite();
+    let reports = reports(benches.iter().map(|b| (b, gating_config())));
     let mut t = Table::new(
         "Extension (Section 6) - narrow-width savings in the memory system",
         "ext-cache",
@@ -811,8 +899,7 @@ pub fn ext_cache() {
         ],
     );
     let mut reductions = Vec::new();
-    for b in &benches {
-        let r = run(b, gating_config());
+    for (b, r) in benches.iter().zip(&reports) {
         let m = &r.mem_ext;
         reductions.push(m.reduction_percent);
         t.row(vec![
@@ -832,15 +919,28 @@ pub fn ext_cache() {
     ));
     t.note("(extension model; constants documented in nwo-power::memext,");
     t.note(" not taken from the paper)");
-    t.emit();
+    t
 }
 
 /// Ablation: commit-time vs speculative history updating in the
 /// combining predictor (accuracy and IPC).
-pub fn ablation_spechist() {
+pub fn ablation_spechist() -> Table {
     use nwo_bpred::PredictorConfig;
     use nwo_sim::PredictorChoice;
     let benches = suite();
+    let shape = |speculative: bool| {
+        let mut cfg = base_config();
+        cfg.predictor = PredictorChoice::Real(PredictorConfig {
+            speculative_history: speculative,
+            ..PredictorConfig::default()
+        });
+        cfg
+    };
+    let reports = reports(
+        benches
+            .iter()
+            .flat_map(|b| [(b, shape(false)), (b, shape(true))]),
+    );
     let mut t = Table::new(
         "Ablation - speculative branch history (combining predictor)",
         "ablation-spechist",
@@ -852,17 +952,8 @@ pub fn ablation_spechist() {
             "ipc spec",
         ],
     );
-    for b in &benches {
-        let shape = |speculative: bool| {
-            let mut cfg = base_config();
-            cfg.predictor = PredictorChoice::Real(PredictorConfig {
-                speculative_history: speculative,
-                ..PredictorConfig::default()
-            });
-            cfg
-        };
-        let commit = run(b, shape(false));
-        let spec = run(b, shape(true));
+    for (b, chunk) in benches.iter().zip(reports.chunks(2)) {
+        let (commit, spec) = (&chunk[0], &chunk[1]);
         t.row(vec![
             b.name.to_string(),
             pct(commit.stats.branch.accuracy() * 100.0),
@@ -873,5 +964,5 @@ pub fn ablation_spechist() {
     }
     t.note("(speculative history keeps the global history fresh across the");
     t.note(" many in-flight branches of an 80-entry window)");
-    t.emit();
+    t
 }

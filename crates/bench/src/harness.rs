@@ -1,0 +1,209 @@
+//! Experiment-harness driver: runs a selection of experiments on the
+//! global [`crate::runner::Runner`], prints one summary line per
+//! experiment (wall-clock, simulations run, memo hits), and persists a
+//! machine-readable timing summary to `BENCH_harness.json` so future
+//! changes have a perf trajectory to regress against.
+//!
+//! The JSON schema (`schema` bumps on incompatible change):
+//!
+//! ```json
+//! {
+//!   "schema": 1,
+//!   "jobs": 8,            // worker threads (NWO_JOBS)
+//!   "scale": 0,           // NWO_SCALE workload bump
+//!   "wall_s": 12.34,      // whole-run wall-clock
+//!   "sims_run": 120,      // distinct simulations executed
+//!   "memo_hits": 96,      // submissions served from the memo cache
+//!   "experiments": [
+//!     {"name": "fig1", "wall_s": 0.81, "sims_run": 8, "memo_hits": 0}
+//!   ]
+//! }
+//! ```
+//!
+//! Override the output path with `NWO_HARNESS_JSON=<path>`; set it to
+//! `0` (or empty) to skip writing.
+
+use crate::figures;
+use crate::runner::Runner;
+use nwo_sim::obs::json;
+use std::time::Instant;
+
+/// Timing and memo accounting for one experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentTiming {
+    /// Experiment name (one of [`figures::EXPERIMENTS`]).
+    pub name: String,
+    /// Wall-clock seconds spent in the experiment.
+    pub wall_s: f64,
+    /// Simulations executed by workers during the experiment.
+    pub sims_run: u64,
+    /// Submissions served from the memo cache during the experiment.
+    pub memo_hits: u64,
+}
+
+/// Whole-run accounting, serializable to `BENCH_harness.json`.
+#[derive(Debug, Clone)]
+pub struct HarnessSummary {
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Workload scale bump (`NWO_SCALE`).
+    pub scale: u32,
+    /// Whole-run wall-clock seconds.
+    pub wall_s: f64,
+    /// Total simulations executed.
+    pub sims_run: u64,
+    /// Total memo hits.
+    pub memo_hits: u64,
+    /// Per-experiment breakdown, in execution order.
+    pub experiments: Vec<ExperimentTiming>,
+}
+
+impl HarnessSummary {
+    /// Serializes the summary (the `BENCH_harness.json` payload).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + 96 * self.experiments.len());
+        out.push_str("{\n  \"schema\": 1,\n  \"jobs\": ");
+        out.push_str(&self.jobs.to_string());
+        out.push_str(",\n  \"scale\": ");
+        out.push_str(&self.scale.to_string());
+        out.push_str(",\n  \"wall_s\": ");
+        json::write_f64(&mut out, self.wall_s);
+        out.push_str(",\n  \"sims_run\": ");
+        out.push_str(&self.sims_run.to_string());
+        out.push_str(",\n  \"memo_hits\": ");
+        out.push_str(&self.memo_hits.to_string());
+        out.push_str(",\n  \"experiments\": [\n");
+        for (i, e) in self.experiments.iter().enumerate() {
+            out.push_str("    {\"name\": ");
+            json::write_str(&mut out, &e.name);
+            out.push_str(", \"wall_s\": ");
+            json::write_f64(&mut out, e.wall_s);
+            out.push_str(", \"sims_run\": ");
+            out.push_str(&e.sims_run.to_string());
+            out.push_str(", \"memo_hits\": ");
+            out.push_str(&e.memo_hits.to_string());
+            out.push('}');
+            if i + 1 < self.experiments.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Where to persist the run summary: `NWO_HARNESS_JSON` when set
+/// (`0`/empty disables), else `BENCH_harness.json` in the working
+/// directory.
+fn summary_path() -> Option<std::path::PathBuf> {
+    match std::env::var_os("NWO_HARNESS_JSON") {
+        Some(v) if v.is_empty() || v == *"0" => None,
+        Some(v) => Some(v.into()),
+        None => Some("BENCH_harness.json".into()),
+    }
+}
+
+/// Runs `names` in order on the global runner, printing each
+/// experiment's table followed by a `[name  wall …]` summary line,
+/// then a whole-run total, and persists the summary JSON.
+///
+/// # Errors
+///
+/// Returns an error (before running anything) if any name is unknown.
+pub fn run_harness(names: &[&str]) -> Result<HarnessSummary, String> {
+    for name in names {
+        if !figures::EXPERIMENTS.iter().any(|(n, _)| n == name) {
+            return Err(format!(
+                "unknown experiment `{name}`; known: {:?}",
+                figures::experiment_names()
+            ));
+        }
+    }
+    let runner = Runner::global();
+    let start = Instant::now();
+    let mut experiments = Vec::with_capacity(names.len());
+    for name in names {
+        let before = runner.counters();
+        let t = Instant::now();
+        let ran = figures::run_experiment(name);
+        debug_assert!(ran, "names were validated above");
+        let wall_s = t.elapsed().as_secs_f64();
+        let after = runner.counters();
+        let timing = ExperimentTiming {
+            name: name.to_string(),
+            wall_s,
+            sims_run: after.sims_run - before.sims_run,
+            memo_hits: after.memo_hits - before.memo_hits,
+        };
+        println!(
+            "[{}  wall {:.2}s  sims {}  memo-hits {}]",
+            timing.name, timing.wall_s, timing.sims_run, timing.memo_hits
+        );
+        experiments.push(timing);
+    }
+    let totals = runner.counters();
+    let summary = HarnessSummary {
+        jobs: runner.jobs(),
+        scale: crate::harness_scale(),
+        wall_s: start.elapsed().as_secs_f64(),
+        sims_run: experiments.iter().map(|e| e.sims_run).sum(),
+        memo_hits: experiments.iter().map(|e| e.memo_hits).sum(),
+        experiments,
+    };
+    println!(
+        "[total  wall {:.2}s  sims {}  memo-hits {}  jobs {}]",
+        summary.wall_s, summary.sims_run, summary.memo_hits, summary.jobs
+    );
+    debug_assert!(totals.submitted >= totals.memo_hits);
+    if let Some(path) = summary_path() {
+        match std::fs::write(&path, summary.to_json()) {
+            Ok(()) => eprintln!("wrote harness timing summary to {}", path.display()),
+            Err(e) => eprintln!("NWO_HARNESS_JSON: cannot write {}: {e}", path.display()),
+        }
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_json_parses_with_the_crate_parser() {
+        let summary = HarnessSummary {
+            jobs: 4,
+            scale: 1,
+            wall_s: 2.5,
+            sims_run: 10,
+            memo_hits: 3,
+            experiments: vec![
+                ExperimentTiming {
+                    name: "fig1".into(),
+                    wall_s: 1.25,
+                    sims_run: 8,
+                    memo_hits: 0,
+                },
+                ExperimentTiming {
+                    name: "stalls".into(),
+                    wall_s: 1.25,
+                    sims_run: 2,
+                    memo_hits: 3,
+                },
+            ],
+        };
+        let text = summary.to_json();
+        let v = json::parse(&text).expect("summary JSON parses");
+        assert_eq!(v.get("schema").and_then(|x| x.as_u64()), Some(1));
+        assert_eq!(v.get("jobs").and_then(|x| x.as_u64()), Some(4));
+        assert_eq!(v.get("sims_run").and_then(|x| x.as_u64()), Some(10));
+        assert_eq!(v.get("memo_hits").and_then(|x| x.as_u64()), Some(3));
+        assert!((v.get("wall_s").and_then(|x| x.as_f64()).unwrap() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_names_are_rejected_before_running() {
+        let err = run_harness(&["definitely-not-real"]).expect_err("must reject");
+        assert!(err.contains("definitely-not-real"));
+    }
+}

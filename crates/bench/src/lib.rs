@@ -12,13 +12,19 @@
 //! cargo bench -p nwo-bench --bench figures -- fig10 fig11
 //! ```
 //!
-//! Set `NWO_SCALE=n` to double every benchmark's input size `n` times.
+//! Set `NWO_SCALE=n` to double every benchmark's input size `n` times,
+//! and `NWO_JOBS=n` to size the worker pool (default: available
+//! parallelism). See `docs/benchmarking.md` for the harness
+//! architecture, memoization semantics and the `BENCH_harness.json`
+//! timing-summary schema.
 
 use nwo_core::{GatingConfig, PackConfig};
 use nwo_sim::{SimConfig, SimReport, Simulator};
 use nwo_workloads::{experiment_suite, Benchmark, Suite};
 
 pub mod figures;
+pub mod harness;
+pub mod runner;
 pub mod table;
 
 /// Runs `bench` under `config`, verifying architected output against the
@@ -41,13 +47,18 @@ pub fn run(bench: &Benchmark, config: SimConfig) -> SimReport {
     report
 }
 
-/// The benchmark suite at the harness scale (`NWO_SCALE` env bump).
-pub fn suite() -> Vec<Benchmark> {
-    let bump = std::env::var("NWO_SCALE")
+/// The harness workload scale: the `NWO_SCALE` env bump (0 when unset
+/// or unparseable). Also the scale component of the runner's memo key.
+pub fn harness_scale() -> u32 {
+    std::env::var("NWO_SCALE")
         .ok()
         .and_then(|s| s.parse().ok())
-        .unwrap_or(0);
-    experiment_suite(bump)
+        .unwrap_or(0)
+}
+
+/// The benchmark suite at the harness scale (`NWO_SCALE` env bump).
+pub fn suite() -> Vec<Benchmark> {
+    experiment_suite(harness_scale())
 }
 
 /// Geometric-mean speedup in percent over pairs of (baseline, variant)
@@ -124,7 +135,22 @@ mod tests {
     #[test]
     fn unknown_experiments_are_rejected() {
         assert!(!crate::figures::run_experiment("not-an-experiment"));
-        assert_eq!(crate::figures::EXPERIMENTS.len(), 21);
+        assert!(crate::figures::build_experiment("not-an-experiment").is_none());
+    }
+
+    #[test]
+    fn every_listed_experiment_dispatches() {
+        // Dispatch is driven by the same table as the name list, so a
+        // listed name can never fail to resolve — and names stay unique.
+        let names = crate::figures::experiment_names();
+        let unique: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(unique.len(), names.len(), "experiment names are unique");
+        for name in names {
+            assert!(
+                crate::figures::find_experiment(name).is_some(),
+                "listed experiment `{name}` must dispatch"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,391 @@
+//! Parallel, memoizing simulation runner.
+//!
+//! The experiment harness used to execute every `run(bench, config)`
+//! eagerly and serially, re-simulating identical `(benchmark, config)`
+//! pairs for every figure that asked for them. This module replaces
+//! that with:
+//!
+//! * a **worker pool** of std threads (`NWO_JOBS` env override,
+//!   default: available parallelism) executing simulation jobs, and
+//! * a **memo cache** keyed on `(benchmark name, scale, config
+//!   fingerprint)` — see [`nwo_sim::SimConfig::fingerprint`] — so each
+//!   distinct simulation runs exactly once per harness invocation no
+//!   matter how many experiments request it.
+//!
+//! Experiments submit all of their jobs up front via [`reports`] and
+//! collect the results in submission order, which keeps table and CSV
+//! output byte-identical to a serial (`NWO_JOBS=1`) run: the simulator
+//! is deterministic, so a memoized report is indistinguishable from a
+//! fresh one, and ordering is fixed by the caller rather than by
+//! completion time.
+
+use crate::run;
+use nwo_sim::{SimConfig, SimReport};
+use nwo_workloads::Benchmark;
+use std::collections::{HashMap, VecDeque};
+use std::panic::AssertUnwindSafe;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// Memo-cache key: benchmark name, workload scale, config fingerprint.
+///
+/// The benchmark *name* stands in for the program: the harness always
+/// derives a given `(name, scale)` pair from
+/// [`nwo_workloads::benchmark`], so the pair identifies the program
+/// bytes exactly.
+type Key = (&'static str, u32, u64);
+
+/// One job's result slot, shared by the worker and any waiters.
+/// `None` until the worker finishes; an `Err` carries a panic message
+/// from the simulation (e.g. reference-output divergence).
+#[derive(Default)]
+struct JobSlot {
+    result: Mutex<Option<Result<Arc<SimReport>, String>>>,
+    done: Condvar,
+}
+
+impl JobSlot {
+    fn fill(&self, value: Result<Arc<SimReport>, String>) {
+        let mut guard = self.result.lock().unwrap();
+        *guard = Some(value);
+        self.done.notify_all();
+    }
+}
+
+/// A handle to a submitted (possibly memoized) simulation.
+pub struct JobHandle {
+    slot: Arc<JobSlot>,
+    /// True when submission found the key already present — the
+    /// simulation is (or will be) shared with an earlier submission.
+    pub memo_hit: bool,
+}
+
+impl JobHandle {
+    /// Blocks until the simulation finishes and returns its report, or
+    /// the failure message if the simulation panicked.
+    ///
+    /// # Errors
+    ///
+    /// Returns the panic payload of a failed simulation (divergence
+    /// from the reference output, simulator deadlock, …).
+    pub fn result(&self) -> Result<Arc<SimReport>, String> {
+        let mut guard = self.slot.result.lock().unwrap();
+        while guard.is_none() {
+            guard = self.slot.done.wait(guard).unwrap();
+        }
+        guard.as_ref().expect("loop exits only when filled").clone()
+    }
+
+    /// Blocks until the simulation finishes and returns its report.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a failed simulation's panic message in the waiting
+    /// thread, so experiment code keeps its fail-fast behaviour.
+    pub fn wait(&self) -> Arc<SimReport> {
+        self.result().unwrap_or_else(|e| panic!("{e}"))
+    }
+}
+
+/// Monotonic counters, snapshot-diffed by the harness to report
+/// per-experiment work.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunnerCounters {
+    /// Jobs submitted (hits + misses).
+    pub submitted: u64,
+    /// Submissions answered from the memo cache (or coalesced onto an
+    /// in-flight job).
+    pub memo_hits: u64,
+    /// Simulations actually executed by a worker.
+    pub sims_run: u64,
+}
+
+/// A queued simulation.
+struct QueuedJob {
+    bench: Arc<Benchmark>,
+    config: SimConfig,
+    slot: Arc<JobSlot>,
+}
+
+/// State shared between submitters and workers.
+#[derive(Default)]
+struct Shared {
+    queue: Mutex<QueueState>,
+    available: Condvar,
+    counters: Mutex<RunnerCounters>,
+}
+
+#[derive(Default)]
+struct QueueState {
+    jobs: VecDeque<QueuedJob>,
+    shutdown: bool,
+}
+
+/// The worker pool plus its memo cache.
+pub struct Runner {
+    shared: Arc<Shared>,
+    memo: Mutex<HashMap<Key, Arc<JobSlot>>>,
+    workers: Vec<JoinHandle<()>>,
+    jobs: usize,
+}
+
+impl std::fmt::Debug for Runner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runner")
+            .field("jobs", &self.jobs)
+            .field("counters", &self.counters())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Runner {
+    /// A pool of exactly `jobs` worker threads (clamped to at least 1).
+    pub fn with_jobs(jobs: usize) -> Runner {
+        let jobs = jobs.max(1);
+        let shared = Arc::new(Shared::default());
+        let workers = (0..jobs)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("nwo-runner-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn runner worker")
+            })
+            .collect();
+        Runner {
+            shared,
+            memo: Mutex::new(HashMap::new()),
+            workers,
+            jobs,
+        }
+    }
+
+    /// The process-wide runner used by the experiment harness, sized
+    /// from `NWO_JOBS` (default: available parallelism). The memo cache
+    /// therefore spans all experiments of one harness invocation.
+    pub fn global() -> &'static Runner {
+        static GLOBAL: OnceLock<Runner> = OnceLock::new();
+        GLOBAL.get_or_init(|| Runner::with_jobs(jobs_from_env()))
+    }
+
+    /// Number of worker threads.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Current counter values.
+    pub fn counters(&self) -> RunnerCounters {
+        *self.shared.counters.lock().unwrap()
+    }
+
+    /// Submits one simulation. If a job with the same `(benchmark name,
+    /// scale, fingerprint)` key was already submitted — finished or
+    /// still in flight — the returned handle shares its result and no
+    /// new simulation is enqueued.
+    pub fn submit(&self, bench: &Benchmark, scale: u32, config: SimConfig) -> JobHandle {
+        let key: Key = (bench.name, scale, config.fingerprint());
+        let (slot, memo_hit) = {
+            let mut memo = self.memo.lock().unwrap();
+            match memo.get(&key) {
+                Some(slot) => (Arc::clone(slot), true),
+                None => {
+                    let slot = Arc::new(JobSlot::default());
+                    memo.insert(key, Arc::clone(&slot));
+                    (slot, false)
+                }
+            }
+        };
+        {
+            let mut counters = self.shared.counters.lock().unwrap();
+            counters.submitted += 1;
+            if memo_hit {
+                counters.memo_hits += 1;
+            }
+        }
+        if !memo_hit {
+            let mut queue = self.shared.queue.lock().unwrap();
+            queue.jobs.push_back(QueuedJob {
+                bench: Arc::new(bench.clone()),
+                config,
+                slot: Arc::clone(&slot),
+            });
+            drop(queue);
+            self.shared.available.notify_one();
+        }
+        JobHandle { slot, memo_hit }
+    }
+
+    /// Submits every `(benchmark, config)` pair in order and waits for
+    /// all of them, returning reports in submission order.
+    pub fn collect<'a>(
+        &self,
+        scale: u32,
+        jobs: impl IntoIterator<Item = (&'a Benchmark, SimConfig)>,
+    ) -> Vec<Arc<SimReport>> {
+        let handles: Vec<JobHandle> = jobs
+            .into_iter()
+            .map(|(bench, config)| self.submit(bench, scale, config))
+            .collect();
+        handles.iter().map(JobHandle::wait).collect()
+    }
+}
+
+impl Drop for Runner {
+    fn drop(&mut self) {
+        {
+            let mut queue = self.shared.queue.lock().unwrap();
+            queue.shutdown = true;
+        }
+        self.shared.available.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().unwrap();
+            loop {
+                if let Some(job) = queue.jobs.pop_front() {
+                    break job;
+                }
+                if queue.shutdown {
+                    return;
+                }
+                queue = shared.available.wait(queue).unwrap();
+            }
+        };
+        let bench = Arc::clone(&job.bench);
+        let config = job.config;
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| run(&bench, config)))
+            .map(Arc::new)
+            .map_err(|payload| panic_message(&job.bench, &payload));
+        shared.counters.lock().unwrap().sims_run += 1;
+        job.slot.fill(outcome);
+    }
+}
+
+/// Extracts a readable message from a worker panic payload.
+fn panic_message(bench: &Benchmark, payload: &(dyn std::any::Any + Send)) -> String {
+    let detail = payload
+        .downcast_ref::<String>()
+        .map(String::as_str)
+        .or_else(|| payload.downcast_ref::<&str>().copied())
+        .unwrap_or("simulation panicked");
+    format!("{}: {detail}", bench.name)
+}
+
+/// Worker count from the environment: `NWO_JOBS` when set to a positive
+/// integer, otherwise the machine's available parallelism.
+pub fn jobs_from_env() -> usize {
+    std::env::var("NWO_JOBS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+/// Submits `(benchmark, config)` pairs on the [global](Runner::global)
+/// runner at the harness scale and returns reports in submission order
+/// — the workhorse behind every experiment's figure loop.
+pub fn reports<'a>(
+    jobs: impl IntoIterator<Item = (&'a Benchmark, SimConfig)>,
+) -> Vec<Arc<SimReport>> {
+    Runner::global().collect(crate::harness_scale(), jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::base_config;
+    use nwo_workloads::benchmark;
+
+    /// A small, fast benchmark for runner tests.
+    fn small_bench() -> Benchmark {
+        benchmark("mpeg2-enc", 0).expect("known benchmark")
+    }
+
+    #[test]
+    fn memo_hits_identical_fingerprints_and_misses_different_ones() {
+        let runner = Runner::with_jobs(2);
+        let bench = small_bench();
+        let first = runner.submit(&bench, 0, base_config());
+        let second = runner.submit(&bench, 0, base_config());
+        assert!(!first.memo_hit, "first submission simulates");
+        assert!(second.memo_hit, "identical fingerprint is served from memo");
+        let a = first.wait();
+        let b = second.wait();
+        assert!(
+            Arc::ptr_eq(&a, &b),
+            "memo hit returns the cached SimReport, not a re-run"
+        );
+
+        // Any differing field produces a different fingerprint -> miss.
+        let mut tweaked = base_config();
+        tweaked.ruu_size += 1;
+        let third = runner.submit(&bench, 0, tweaked);
+        assert!(!third.memo_hit, "a changed field must re-simulate");
+        let c = third.wait();
+        assert!(!Arc::ptr_eq(&a, &c));
+
+        // A different scale is a different workload -> miss.
+        let fourth = runner.submit(&bench, 1, base_config());
+        assert!(!fourth.memo_hit, "a changed scale must re-simulate");
+
+        let counters = runner.counters();
+        assert_eq!(counters.submitted, 4);
+        assert_eq!(counters.memo_hits, 1);
+        let _ = fourth.wait();
+        assert_eq!(runner.counters().sims_run, 3);
+    }
+
+    #[test]
+    fn collect_preserves_submission_order() {
+        let runner = Runner::with_jobs(4);
+        let bench = small_bench();
+        let configs = [
+            base_config(),
+            base_config().with_perfect_prediction(),
+            base_config(),
+        ];
+        let reports = runner.collect(0, configs.iter().map(|c| (&bench, c.clone())));
+        assert_eq!(reports.len(), 3);
+        assert!(
+            Arc::ptr_eq(&reports[0], &reports[2]),
+            "duplicate jobs collapse onto one simulation"
+        );
+        assert_eq!(
+            reports[0].stats.committed, reports[1].stats.committed,
+            "prediction mode must not change architected work"
+        );
+        assert_eq!(runner.counters().sims_run, 2);
+    }
+
+    #[test]
+    fn worker_panics_propagate_to_the_waiter() {
+        let runner = Runner::with_jobs(1);
+        // Corrupt the expected output so `run` panics in the worker.
+        let mut bench = small_bench();
+        bench.expected.push(0xdead);
+        let handle = runner.submit(&bench, 0, base_config());
+        let err = handle.result().expect_err("divergence must surface");
+        assert!(
+            err.contains("mpeg2-enc"),
+            "error names the benchmark: {err}"
+        );
+    }
+
+    #[test]
+    fn jobs_from_env_parses_and_defaults() {
+        // Not exercised via the env var itself (tests run in parallel in
+        // one process); with_jobs clamps instead.
+        assert_eq!(Runner::with_jobs(0).jobs(), 1);
+        assert!(jobs_from_env() >= 1);
+    }
+}

@@ -27,8 +27,12 @@ usage:
        --trace-out <path>  stream pipeline events as JSON lines (O(1) memory)
        --pipeview <N>      draw a text pipeline diagram of the first N commits
   nwo dbg  <file.s|file.nwo>          interactive debugger (step/break/dump)
-  nwo bench [name ...] [--scale N]    run benchmark kernels (verified)
-  nwo experiments [name ...]          regenerate the paper's tables/figures
+  nwo bench [name ...] [--scale N] [--jobs N]
+       run benchmark kernels (verified) on the worker pool
+  nwo experiments [name ...] [--jobs N]
+       regenerate the paper's tables/figures in parallel, with memoized
+       simulations, per-experiment timing lines and a BENCH_harness.json
+       summary (--jobs N == NWO_JOBS=N; see docs/benchmarking.md)
 ";
 
 /// Loads a program from assembly source (`.s`) or an NWO1 image.
@@ -234,8 +238,24 @@ pub fn dbg(args: &[String]) -> Result<(), String> {
     crate::debugger::repl(&program, stdin.lock(), &mut stdout).map_err(|e| e.to_string())
 }
 
-/// `nwo bench [name ...] [--scale N]`
+/// Applies a `--jobs N` flag by exporting `NWO_JOBS` before the global
+/// worker pool spins up (the pool reads the variable once, on first
+/// use, so the flag must come before any simulation is submitted).
+fn set_jobs(value: &str) -> Result<(), String> {
+    let n: usize = value
+        .parse()
+        .map_err(|_| "--jobs needs a positive number".to_string())?;
+    if n == 0 {
+        return Err("--jobs needs a positive number".to_string());
+    }
+    std::env::set_var("NWO_JOBS", n.to_string());
+    Ok(())
+}
+
+/// `nwo bench [name ...] [--scale N] [--jobs N]`
 pub fn bench(args: &[String]) -> Result<(), String> {
+    use nwo_bench::runner::Runner;
+
     let mut names: Vec<String> = Vec::new();
     let mut scale_override = None;
     let mut it = args.iter();
@@ -249,6 +269,7 @@ pub fn bench(args: &[String]) -> Result<(), String> {
                         .map_err(|_| "--scale needs a number")?,
                 )
             }
+            "--jobs" => set_jobs(it.next().ok_or("--jobs needs a number")?)?,
             _ if !a.starts_with('-') => names.push(a.clone()),
             other => return Err(format!("unexpected argument `{other}`")),
         }
@@ -256,17 +277,25 @@ pub fn bench(args: &[String]) -> Result<(), String> {
     if names.is_empty() {
         names = BENCHMARK_NAMES.iter().map(|s| s.to_string()).collect();
     }
-    println!(
-        "{:<11} {:>6} {:>10} {:>9} {:>7} {:>8} {:>9}",
-        "benchmark", "scale", "instrs", "cycles", "ipc", "narrow16", "verified"
-    );
+    // Submit everything up front so the kernels simulate in parallel,
+    // then print rows in request order (identical output at any job
+    // count). The memo key uses each benchmark's actual scale.
+    let mut jobs = Vec::with_capacity(names.len());
     for name in &names {
         let scale = scale_override.unwrap_or_else(|| experiment_scale(name));
         let bench = benchmark(name, scale)
             .ok_or_else(|| format!("unknown benchmark `{name}`; known: {BENCHMARK_NAMES:?}"))?;
-        let mut simulator = Simulator::new(&bench.program, SimConfig::default());
-        let report = simulator.run(u64::MAX).map_err(|e| e.to_string())?;
-        let ok = report.out_quads == bench.expected;
+        let handle = Runner::global().submit(&bench, scale, SimConfig::default());
+        jobs.push((name, scale, handle));
+    }
+    println!(
+        "{:<11} {:>6} {:>10} {:>9} {:>7} {:>8} {:>9}",
+        "benchmark", "scale", "instrs", "cycles", "ipc", "narrow16", "verified"
+    );
+    for (name, scale, handle) in &jobs {
+        // The runner verifies each report against the reference output
+        // and surfaces a divergence as an error.
+        let report = handle.result()?;
         println!(
             "{:<11} {:>6} {:>10} {:>9} {:>7.3} {:>7.1}% {:>9}",
             name,
@@ -275,31 +304,32 @@ pub fn bench(args: &[String]) -> Result<(), String> {
             report.stats.cycles,
             report.ipc(),
             report.stats.breakdown.narrow16_total_fraction() * 100.0,
-            if ok { "ok" } else { "MISMATCH" }
+            "ok"
         );
-        if !ok {
-            return Err(format!("{name} diverged from its reference output"));
-        }
     }
     Ok(())
 }
 
-/// `nwo experiments [name ...]`
+/// `nwo experiments [name ...] [--jobs N]`
 pub fn experiments(args: &[String]) -> Result<(), String> {
-    use nwo_bench::figures::{run_experiment, EXPERIMENTS};
-    let selected: Vec<&str> = if args.is_empty() {
-        EXPERIMENTS.to_vec()
-    } else {
-        args.iter().map(String::as_str).collect()
-    };
-    for name in selected {
-        if !run_experiment(name) {
-            return Err(format!(
-                "unknown experiment `{name}`; known: {EXPERIMENTS:?}"
-            ));
+    use nwo_bench::figures::experiment_names;
+    use nwo_bench::harness::run_harness;
+
+    let mut names: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--jobs" => set_jobs(it.next().ok_or("--jobs needs a number")?)?,
+            _ if !a.starts_with('-') => names.push(a.as_str()),
+            other => return Err(format!("unexpected argument `{other}`")),
         }
     }
-    Ok(())
+    let selected: Vec<&str> = if names.is_empty() {
+        experiment_names()
+    } else {
+        names
+    };
+    run_harness(&selected).map(|_| ())
 }
 
 #[cfg(test)]

@@ -6,8 +6,9 @@
 //! nwo run  <file.s|file.nwo>            functional emulation
 //! nwo sim  <file.s|file.nwo> [flags]    cycle-level simulation
 //! nwo dbg  <file.s|file.nwo>            interactive debugger
-//! nwo bench [name ...] [--scale N]      run benchmark kernels, verified
-//! nwo experiments [name ...]            regenerate the paper's figures
+//! nwo bench [name ...] [--scale N] [--jobs N]
+//!                                       run benchmark kernels, verified
+//! nwo experiments [name ...] [--jobs N] regenerate the paper's figures
 //! ```
 
 mod commands;

@@ -1,0 +1,105 @@
+//! End-to-end determinism of the parallel experiment runner: the table
+//! printed to stdout and the CSV export must be byte-identical whether
+//! the harness runs serially (`NWO_JOBS=1`) or on a multi-worker pool.
+//!
+//! The harness prints per-experiment timing summaries as lines starting
+//! with `[` (wall-clock is inherently nondeterministic); those are
+//! filtered before comparison, exactly as a consumer diffing two runs
+//! would.
+
+use std::path::Path;
+use std::process::Command;
+
+use nwo_sim::obs::json::{self, JsonValue};
+
+struct Run {
+    tables: String,
+    csv: String,
+    harness_json: String,
+}
+
+/// Runs `nwo-cli experiments fig1` with the given worker count and
+/// returns the deterministic table output, the exported CSV and the
+/// harness timing JSON.
+fn run_fig1(jobs: &str, dir: &Path) -> Run {
+    let csv_dir = dir.join("csv");
+    let json_path = dir.join("harness.json");
+    let output = Command::new(env!("CARGO_BIN_EXE_nwo-cli"))
+        .args(["experiments", "fig1"])
+        .env("NWO_JOBS", jobs)
+        .env("NWO_CSV", &csv_dir)
+        .env("NWO_HARNESS_JSON", &json_path)
+        .output()
+        .expect("nwo-cli spawns");
+    assert!(
+        output.status.success(),
+        "experiments fig1 (NWO_JOBS={jobs}) failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8(output.stdout).expect("stdout is UTF-8");
+    // Timing summary lines are bracketed so they can be stripped from
+    // otherwise-deterministic output.
+    let tables: String = stdout
+        .lines()
+        .filter(|l| !l.starts_with('['))
+        .flat_map(|l| [l, "\n"])
+        .collect();
+    let csv = std::fs::read_to_string(csv_dir.join("fig1.csv")).expect("fig1.csv written");
+    let harness_json = std::fs::read_to_string(&json_path).expect("harness JSON written");
+    Run {
+        tables,
+        csv,
+        harness_json,
+    }
+}
+
+#[test]
+fn parallel_experiment_output_is_byte_identical_to_serial() {
+    let base = std::env::temp_dir().join(format!("nwo-determinism-{}", std::process::id()));
+    let serial_dir = base.join("serial");
+    let parallel_dir = base.join("parallel");
+    for d in [&serial_dir, &parallel_dir] {
+        std::fs::create_dir_all(d).expect("temp dir");
+    }
+
+    let serial = run_fig1("1", &serial_dir);
+    let parallel = run_fig1("4", &parallel_dir);
+
+    assert!(
+        serial.tables.contains("Figure 1"),
+        "fig1 table was emitted:\n{}",
+        serial.tables
+    );
+    assert_eq!(
+        serial.tables, parallel.tables,
+        "stdout tables must be byte-identical across worker counts"
+    );
+    assert_eq!(
+        serial.csv, parallel.csv,
+        "CSV export must be byte-identical across worker counts"
+    );
+
+    // The harness summary JSON is machine-readable and reflects the
+    // requested pool size; wall-clock fields differ between runs, so
+    // only the schema-stable fields are compared.
+    for (run, jobs) in [(&serial, 1), (&parallel, 4)] {
+        let v = json::parse(&run.harness_json).expect("harness JSON parses");
+        assert_eq!(v.get("schema").and_then(|x| x.as_u64()), Some(1));
+        assert_eq!(v.get("jobs").and_then(|x| x.as_u64()), Some(jobs));
+        assert_eq!(
+            v.get("sims_run").and_then(|x| x.as_u64()),
+            Some(8),
+            "fig1 simulates each of the 8 SPECint-like benchmarks exactly once"
+        );
+        let Some(JsonValue::Array(experiments)) = v.get("experiments") else {
+            panic!("experiments array missing from harness JSON");
+        };
+        assert_eq!(experiments.len(), 1);
+        assert_eq!(
+            experiments[0].get("name").and_then(|x| x.as_str()),
+            Some("fig1")
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&base);
+}

@@ -41,6 +41,23 @@ impl Log2Histogram {
         self.sum = self.sum.saturating_add(value);
     }
 
+    /// Records `count` occurrences of values with `bits` significant
+    /// bits directly into bucket `bits`, contributing `bits * count` to
+    /// the sum — so `mean()` reads as the mean bit-width. This is the
+    /// import path for width histograms collected elsewhere (the
+    /// simulator's Figure 1 operand-width distribution), where the
+    /// per-bucket counts are known but the original values are not.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits > 64` (a `u64` has at most 64 significant bits).
+    pub fn record_bits(&mut self, bits: usize, count: u64) {
+        assert!(bits <= 64, "a u64 value has at most 64 significant bits");
+        self.buckets[bits] += count;
+        self.count += count;
+        self.sum = self.sum.saturating_add((bits as u64).saturating_mul(count));
+    }
+
     /// Total number of recorded values.
     pub fn count(&self) -> u64 {
         self.count
@@ -278,6 +295,33 @@ mod tests {
         assert_eq!(h.bucket(64), 1); // u64::MAX
         assert_eq!(h.count(), 6);
         assert_eq!(h.max_bucket(), Some(64));
+    }
+
+    #[test]
+    fn record_bits_matches_record() {
+        let mut by_value = Log2Histogram::new();
+        by_value.record(0);
+        by_value.record(1);
+        by_value.record(0b101); // 3 significant bits
+        by_value.record(0b110);
+        let mut by_bits = Log2Histogram::new();
+        by_bits.record_bits(0, 1);
+        by_bits.record_bits(1, 1);
+        by_bits.record_bits(3, 2);
+        for k in 0..=64 {
+            assert_eq!(by_value.bucket(k), by_bits.bucket(k), "bucket {k}");
+        }
+        assert_eq!(by_bits.count(), 4);
+        // Sum semantics differ by design: record_bits sums bit-widths
+        // (0 + 1 + 3 + 3).
+        assert_eq!(by_bits.sum(), 7);
+        assert!((by_bits.mean() - 7.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64")]
+    fn record_bits_rejects_impossible_widths() {
+        Log2Histogram::new().record_bits(65, 1);
     }
 
     #[test]

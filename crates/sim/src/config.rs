@@ -176,6 +176,29 @@ impl SimConfig {
         }
     }
 
+    /// A stable 64-bit fingerprint of the full configuration — equal
+    /// fingerprints mean every field (including the nested gating,
+    /// packing, predictor and hierarchy configurations) is equal, so a
+    /// simulation result for one config can stand in for the other.
+    ///
+    /// The experiment harness keys its memo cache on this value
+    /// (`(benchmark, scale, fingerprint)`), deduplicating the many
+    /// figures that re-simulate the same machine. Implemented as FNV-1a
+    /// over the `Debug` rendering: every field is integer, bool or
+    /// enum, so the rendering is deterministic and injective for the
+    /// configurations the harness constructs. The value is stable
+    /// within a build but is not a cross-version serialization contract.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = FNV_OFFSET;
+        for byte in format!("{self:?}").bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+        hash
+    }
+
     /// Validates structural parameters.
     ///
     /// # Panics
@@ -261,6 +284,45 @@ mod tests {
         let gated = SimConfig::default().with_gating(custom);
         assert_eq!(gated.gating_config(), custom);
         assert!(gated.pack_config().is_none());
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_field_sensitive() {
+        assert_eq!(
+            SimConfig::default().fingerprint(),
+            SimConfig::default().fingerprint(),
+            "identical configs share a fingerprint"
+        );
+        let base = SimConfig::default().fingerprint();
+        let mut ruu = SimConfig::default();
+        ruu.ruu_size += 1;
+        assert_ne!(base, ruu.fingerprint(), "scalar fields are hashed");
+        let mut zdl = SimConfig::default();
+        zdl.zero_detect_loads = false;
+        assert_ne!(base, zdl.fingerprint(), "bool fields are hashed");
+        assert_ne!(
+            base,
+            SimConfig::default().with_perfect_prediction().fingerprint(),
+            "predictor choice is hashed"
+        );
+        assert_ne!(
+            base,
+            SimConfig::default()
+                .with_gating(GatingConfig::default())
+                .fingerprint(),
+            "the optimization variant is hashed"
+        );
+        let custom_gate = GatingConfig {
+            gate33: false,
+            ..GatingConfig::default()
+        };
+        assert_ne!(
+            SimConfig::default()
+                .with_gating(GatingConfig::default())
+                .fingerprint(),
+            SimConfig::default().with_gating(custom_gate).fingerprint(),
+            "nested config fields are hashed"
+        );
     }
 
     #[test]

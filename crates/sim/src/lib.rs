@@ -131,6 +131,10 @@ impl Simulator {
             r.counter("squashed", stats.squashed);
             r.gauge("ipc", stats.ipc());
         });
+        r.group("width", |r| {
+            r.histogram("committed", stats.width_committed.to_log2());
+            r.histogram("executed", stats.width_executed.to_log2());
+        });
         r.source("stall", &stats.stall);
         r.group("branch", |r| {
             r.counter("committed", stats.branch.committed);

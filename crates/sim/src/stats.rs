@@ -72,6 +72,20 @@ impl WidthHistogram {
         }
         self.total += other.total;
     }
+
+    /// Exports the distribution as a [`nwo_obs::Log2Histogram`] for the
+    /// metrics snapshot: bucket `k` is the count of operations whose
+    /// wider operand has exactly `k` significant bits, and `mean` is the
+    /// mean bit-width — the raw Figure 1 curve, machine-readable.
+    pub fn to_log2(&self) -> nwo_obs::Log2Histogram {
+        let mut h = nwo_obs::Log2Histogram::new();
+        for (bits, &count) in self.counts.iter().enumerate() {
+            if count > 0 {
+                h.record_bits(bits, count);
+            }
+        }
+        h
+    }
 }
 
 /// Tracks, per static instruction (PC), whether its "both operands
@@ -388,6 +402,20 @@ mod tests {
         assert_eq!(a.total(), 2);
         assert_eq!(a.at(1), 1);
         assert_eq!(a.at(17), 1);
+    }
+
+    #[test]
+    fn histogram_log2_export_preserves_buckets() {
+        let mut h = WidthHistogram::new();
+        h.record(17, 2); // width 5
+        h.record(17, 3); // width 5
+        h.record(0x1_0000_0000, 4); // width 33
+        let log2 = h.to_log2();
+        assert_eq!(log2.count(), 3);
+        assert_eq!(log2.bucket(5), 2);
+        assert_eq!(log2.bucket(33), 1);
+        assert_eq!(log2.max_bucket(), Some(33));
+        assert!((log2.mean() - (5.0 + 5.0 + 33.0) / 3.0).abs() < 1e-12);
     }
 
     #[test]

@@ -238,6 +238,16 @@ fn snapshot_json_is_stable_and_parseable() {
         "snapshot carries the exact lost-slot conservation total"
     );
     assert!(v.get("mem.l1d.hits").and_then(|x| x.as_u64()).unwrap_or(0) > 0);
+    // The Fig 1 operand-width distribution rides along as a histogram.
+    let width = v.get("width.committed").expect("width histogram exported");
+    assert!(
+        width.get("count").and_then(|x| x.as_u64()).unwrap_or(0) > 0,
+        "committed-width histogram must carry the Fig 1 distribution"
+    );
+    assert!(
+        width.get("buckets").is_some(),
+        "histogram JSON exposes per-bit-width buckets"
+    );
     assert!(
         v.get("power.baseline_mw_per_cycle")
             .and_then(|x| x.as_f64())
