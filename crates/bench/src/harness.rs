@@ -14,8 +14,12 @@
 //!   "wall_s": 12.34,      // whole-run wall-clock
 //!   "sims_run": 120,      // distinct simulations executed
 //!   "memo_hits": 96,      // submissions served from the memo cache
+//!   "disk_hits": 0,       // submissions served from NWO_CACHE_DIR
+//!   "warmups_run": 0,     // functional warmups executed (NWO_WARMUP)
+//!   "warm_hits": 0,       // simulations reusing a warm checkpoint
 //!   "experiments": [
-//!     {"name": "fig1", "wall_s": 0.81, "sims_run": 8, "memo_hits": 0}
+//!     {"name": "fig1", "wall_s": 0.81, "sims_run": 8, "memo_hits": 0,
+//!      "disk_hits": 0}
 //!   ]
 //! }
 //! ```
@@ -39,6 +43,8 @@ pub struct ExperimentTiming {
     pub sims_run: u64,
     /// Submissions served from the memo cache during the experiment.
     pub memo_hits: u64,
+    /// Submissions served from the disk cache during the experiment.
+    pub disk_hits: u64,
 }
 
 /// Whole-run accounting, serializable to `BENCH_harness.json`.
@@ -54,6 +60,12 @@ pub struct HarnessSummary {
     pub sims_run: u64,
     /// Total memo hits.
     pub memo_hits: u64,
+    /// Total disk-cache hits (`NWO_CACHE_DIR`).
+    pub disk_hits: u64,
+    /// Total functional warmups executed (`NWO_WARMUP`).
+    pub warmups_run: u64,
+    /// Total simulations that reused a warm checkpoint.
+    pub warm_hits: u64,
     /// Per-experiment breakdown, in execution order.
     pub experiments: Vec<ExperimentTiming>,
 }
@@ -72,6 +84,12 @@ impl HarnessSummary {
         out.push_str(&self.sims_run.to_string());
         out.push_str(",\n  \"memo_hits\": ");
         out.push_str(&self.memo_hits.to_string());
+        out.push_str(",\n  \"disk_hits\": ");
+        out.push_str(&self.disk_hits.to_string());
+        out.push_str(",\n  \"warmups_run\": ");
+        out.push_str(&self.warmups_run.to_string());
+        out.push_str(",\n  \"warm_hits\": ");
+        out.push_str(&self.warm_hits.to_string());
         out.push_str(",\n  \"experiments\": [\n");
         for (i, e) in self.experiments.iter().enumerate() {
             out.push_str("    {\"name\": ");
@@ -82,6 +100,8 @@ impl HarnessSummary {
             out.push_str(&e.sims_run.to_string());
             out.push_str(", \"memo_hits\": ");
             out.push_str(&e.memo_hits.to_string());
+            out.push_str(", \"disk_hits\": ");
+            out.push_str(&e.disk_hits.to_string());
             out.push('}');
             if i + 1 < self.experiments.len() {
                 out.push(',');
@@ -135,10 +155,11 @@ pub fn run_harness(names: &[&str]) -> Result<HarnessSummary, String> {
             wall_s,
             sims_run: after.sims_run - before.sims_run,
             memo_hits: after.memo_hits - before.memo_hits,
+            disk_hits: after.disk_hits - before.disk_hits,
         };
         println!(
-            "[{}  wall {:.2}s  sims {}  memo-hits {}]",
-            timing.name, timing.wall_s, timing.sims_run, timing.memo_hits
+            "[{}  wall {:.2}s  sims {}  memo-hits {}  disk-hits {}]",
+            timing.name, timing.wall_s, timing.sims_run, timing.memo_hits, timing.disk_hits
         );
         experiments.push(timing);
     }
@@ -149,11 +170,19 @@ pub fn run_harness(names: &[&str]) -> Result<HarnessSummary, String> {
         wall_s: start.elapsed().as_secs_f64(),
         sims_run: experiments.iter().map(|e| e.sims_run).sum(),
         memo_hits: experiments.iter().map(|e| e.memo_hits).sum(),
+        disk_hits: experiments.iter().map(|e| e.disk_hits).sum(),
+        warmups_run: totals.warmups_run,
+        warm_hits: totals.warm_hits,
         experiments,
     };
     println!(
-        "[total  wall {:.2}s  sims {}  memo-hits {}  jobs {}]",
-        summary.wall_s, summary.sims_run, summary.memo_hits, summary.jobs
+        "[total  wall {:.2}s  sims {}  memo-hits {}  disk-hits {}  warmups {}  jobs {}]",
+        summary.wall_s,
+        summary.sims_run,
+        summary.memo_hits,
+        summary.disk_hits,
+        summary.warmups_run,
+        summary.jobs
     );
     debug_assert!(totals.submitted >= totals.memo_hits);
     if let Some(path) = summary_path() {
@@ -177,18 +206,23 @@ mod tests {
             wall_s: 2.5,
             sims_run: 10,
             memo_hits: 3,
+            disk_hits: 5,
+            warmups_run: 2,
+            warm_hits: 8,
             experiments: vec![
                 ExperimentTiming {
                     name: "fig1".into(),
                     wall_s: 1.25,
                     sims_run: 8,
                     memo_hits: 0,
+                    disk_hits: 5,
                 },
                 ExperimentTiming {
                     name: "stalls".into(),
                     wall_s: 1.25,
                     sims_run: 2,
                     memo_hits: 3,
+                    disk_hits: 0,
                 },
             ],
         };
@@ -198,6 +232,9 @@ mod tests {
         assert_eq!(v.get("jobs").and_then(|x| x.as_u64()), Some(4));
         assert_eq!(v.get("sims_run").and_then(|x| x.as_u64()), Some(10));
         assert_eq!(v.get("memo_hits").and_then(|x| x.as_u64()), Some(3));
+        assert_eq!(v.get("disk_hits").and_then(|x| x.as_u64()), Some(5));
+        assert_eq!(v.get("warmups_run").and_then(|x| x.as_u64()), Some(2));
+        assert_eq!(v.get("warm_hits").and_then(|x| x.as_u64()), Some(8));
         assert!((v.get("wall_s").and_then(|x| x.as_f64()).unwrap() - 2.5).abs() < 1e-12);
     }
 

@@ -35,7 +35,25 @@ pub mod table;
 /// Panics if the simulation fails or the output diverges — a diverging
 /// optimization would invalidate every number it produces.
 pub fn run(bench: &Benchmark, config: SimConfig) -> SimReport {
+    run_with_warm_state(bench, config, None)
+}
+
+/// Runs `bench` under `config`, optionally restoring pre-warmed machine
+/// state (a blob from [`warm_checkpoint`]) in place of functional
+/// warmup. Output verification covers the whole program either way:
+/// warmed-over instructions contribute their architected output to the
+/// checkpoint, so `out_quads` still equals the reference.
+///
+/// # Panics
+///
+/// Panics if the checkpoint does not match this `(bench, config)` pair,
+/// the simulation fails, or the output diverges.
+pub fn run_with_warm_state(bench: &Benchmark, config: SimConfig, warm: Option<&[u8]>) -> SimReport {
     let mut sim = Simulator::new(&bench.program, config);
+    if let Some(bytes) = warm {
+        sim.restore_checkpoint(bytes)
+            .unwrap_or_else(|e| panic!("{}: warm checkpoint rejected: {e}", bench.name));
+    }
     let report = sim
         .run(u64::MAX)
         .unwrap_or_else(|e| panic!("{} failed: {e}", bench.name));
@@ -45,6 +63,31 @@ pub fn run(bench: &Benchmark, config: SimConfig) -> SimReport {
         bench.name
     );
     report
+}
+
+/// Functionally warms a fresh machine for `insts` instructions and
+/// serializes the result — the shareable fast-forward image the runner
+/// reuses across every config with the same
+/// [`SimConfig::warm_fingerprint`].
+///
+/// # Panics
+///
+/// Panics if the warmup itself fails (ill-formed program).
+pub fn warm_checkpoint(bench: &Benchmark, config: &SimConfig, insts: u64) -> Vec<u8> {
+    let mut sim = Simulator::new(&bench.program, config.clone());
+    sim.warmup(insts)
+        .unwrap_or_else(|e| panic!("{}: warmup failed: {e}", bench.name));
+    sim.checkpoint()
+}
+
+/// The harness warmup budget: `NWO_WARMUP` instructions fast-forwarded
+/// before timed simulation (0 when unset — timing results are then
+/// byte-identical to a harness without warmup support).
+pub fn warmup_insts() -> u64 {
+    std::env::var("NWO_WARMUP")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
 }
 
 /// The harness workload scale: the `NWO_SCALE` env bump (0 when unset

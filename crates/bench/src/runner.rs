@@ -18,8 +18,21 @@
 //! is deterministic, so a memoized report is indistinguishable from a
 //! fresh one, and ordering is fixed by the caller rather than by
 //! completion time.
+//!
+//! Two further caches sit under the in-memory memo:
+//!
+//! * a **disk-persistent result cache** (`NWO_CACHE_DIR` env, off by
+//!   default) holding serialized [`SimReport`]s keyed on `(benchmark,
+//!   scale, config fingerprint, code salt)` — a repeated harness run
+//!   answers every simulation from disk, and a rebuilt binary (new
+//!   [`nwo_ckpt::code_salt`]) transparently invalidates all of it; and
+//! * a **warm-checkpoint cache** (`NWO_WARMUP=n` env, off by default)
+//!   sharing one functional fast-forward image per `(benchmark, scale,
+//!   [`SimConfig::warm_fingerprint`])` — a config sweep warms each
+//!   kernel exactly once, however many machine variants it times.
 
-use crate::run;
+use crate::run_with_warm_state;
+use nwo_ckpt::CacheDir;
 use nwo_sim::{SimConfig, SimReport};
 use nwo_workloads::Benchmark;
 use std::collections::{HashMap, VecDeque};
@@ -98,14 +111,32 @@ pub struct RunnerCounters {
     pub memo_hits: u64,
     /// Simulations actually executed by a worker.
     pub sims_run: u64,
+    /// Submissions answered from the `NWO_CACHE_DIR` disk cache.
+    pub disk_hits: u64,
+    /// Functional warmups actually executed (`NWO_WARMUP` mode).
+    pub warmups_run: u64,
+    /// Simulations that reused an already-built warm checkpoint.
+    pub warm_hits: u64,
 }
 
 /// A queued simulation.
 struct QueuedJob {
     bench: Arc<Benchmark>,
+    scale: u32,
     config: SimConfig,
     slot: Arc<JobSlot>,
+    /// Disk-cache key to store the finished report under (`None` when
+    /// the disk cache is off).
+    disk_key: Option<String>,
 }
+
+/// Warm-checkpoint cache key: benchmark name, scale, warm fingerprint.
+type WarmKey = (&'static str, u32, u64);
+
+/// A slot in the warm-checkpoint cache: workers race to initialize the
+/// `OnceLock`, and the losers block on (rather than duplicate) the
+/// winner's warmup.
+type WarmSlot = Arc<OnceLock<Arc<Vec<u8>>>>;
 
 /// State shared between submitters and workers.
 #[derive(Default)]
@@ -113,6 +144,13 @@ struct Shared {
     queue: Mutex<QueueState>,
     available: Condvar,
     counters: Mutex<RunnerCounters>,
+    /// Disk-persistent report cache (`NWO_CACHE_DIR`), off by default.
+    disk: Option<CacheDir>,
+    /// Functional-warmup instruction budget (`NWO_WARMUP`), 0 = off.
+    warm_insts: u64,
+    /// One warm checkpoint per [`WarmKey`]; the `OnceLock` makes
+    /// concurrent workers block on (rather than duplicate) a warmup.
+    warm: Mutex<HashMap<WarmKey, WarmSlot>>,
 }
 
 #[derive(Default)]
@@ -139,10 +177,24 @@ impl std::fmt::Debug for Runner {
 }
 
 impl Runner {
-    /// A pool of exactly `jobs` worker threads (clamped to at least 1).
+    /// A pool of exactly `jobs` worker threads (clamped to at least 1),
+    /// with no disk cache and no warmup — the fully deterministic
+    /// configuration unit tests rely on.
     pub fn with_jobs(jobs: usize) -> Runner {
+        Runner::with_options(jobs, None, 0)
+    }
+
+    /// A pool with explicit cache/warmup policy: `disk` enables the
+    /// persistent report cache, `warm_insts > 0` fast-forwards that many
+    /// instructions (sharing one checkpoint per warm fingerprint) before
+    /// every timed simulation.
+    pub fn with_options(jobs: usize, disk: Option<CacheDir>, warm_insts: u64) -> Runner {
         let jobs = jobs.max(1);
-        let shared = Arc::new(Shared::default());
+        let shared = Arc::new(Shared {
+            disk,
+            warm_insts,
+            ..Shared::default()
+        });
         let workers = (0..jobs)
             .map(|i| {
                 let shared = Arc::clone(&shared);
@@ -161,11 +213,19 @@ impl Runner {
     }
 
     /// The process-wide runner used by the experiment harness, sized
-    /// from `NWO_JOBS` (default: available parallelism). The memo cache
-    /// therefore spans all experiments of one harness invocation.
+    /// from `NWO_JOBS` (default: available parallelism), with the disk
+    /// cache from `NWO_CACHE_DIR` and the warmup budget from
+    /// `NWO_WARMUP`. The memo cache therefore spans all experiments of
+    /// one harness invocation.
     pub fn global() -> &'static Runner {
         static GLOBAL: OnceLock<Runner> = OnceLock::new();
-        GLOBAL.get_or_init(|| Runner::with_jobs(jobs_from_env()))
+        GLOBAL.get_or_init(|| {
+            Runner::with_options(
+                jobs_from_env(),
+                CacheDir::from_env("NWO_CACHE_DIR"),
+                crate::warmup_insts(),
+            )
+        })
     }
 
     /// Number of worker threads.
@@ -203,16 +263,37 @@ impl Runner {
             }
         }
         if !memo_hit {
-            let mut queue = self.shared.queue.lock().unwrap();
-            queue.jobs.push_back(QueuedJob {
-                bench: Arc::new(bench.clone()),
-                config,
-                slot: Arc::clone(&slot),
-            });
-            drop(queue);
-            self.shared.available.notify_one();
+            let disk_key = self
+                .shared
+                .disk
+                .as_ref()
+                .map(|_| disk_key(bench.name, scale, &config, self.shared.warm_insts));
+            if let Some(report) = self.load_from_disk(disk_key.as_deref()) {
+                self.shared.counters.lock().unwrap().disk_hits += 1;
+                slot.fill(Ok(Arc::new(report)));
+            } else {
+                let mut queue = self.shared.queue.lock().unwrap();
+                queue.jobs.push_back(QueuedJob {
+                    bench: Arc::new(bench.clone()),
+                    scale,
+                    config,
+                    slot: Arc::clone(&slot),
+                    disk_key,
+                });
+                drop(queue);
+                self.shared.available.notify_one();
+            }
         }
         JobHandle { slot, memo_hit }
+    }
+
+    /// Attempts to answer a submission from the disk cache. Any failure
+    /// — missing file, I/O error, stale code salt, corruption — is a
+    /// miss: the simulation re-runs and overwrites the entry.
+    fn load_from_disk(&self, key: Option<&str>) -> Option<SimReport> {
+        let disk = self.shared.disk.as_ref()?;
+        let bytes = disk.load(key?).ok().flatten()?;
+        SimReport::from_ckpt_bytes(&bytes).ok()
     }
 
     /// Submits every `(benchmark, config)` pair in order and waits for
@@ -258,13 +339,57 @@ fn worker_loop(shared: &Shared) {
             }
         };
         let bench = Arc::clone(&job.bench);
+        let scale = job.scale;
         let config = job.config;
-        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| run(&bench, config)))
-            .map(Arc::new)
-            .map_err(|payload| panic_message(&job.bench, &payload));
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let warm = (shared.warm_insts > 0).then(|| warm_bytes(shared, &bench, scale, &config));
+            run_with_warm_state(&bench, config, warm.as_ref().map(|w| w.as_slice()))
+        }))
+        .map(Arc::new)
+        .map_err(|payload| panic_message(&job.bench, &payload));
+        if let (Some(disk), Some(key), Ok(report)) = (&shared.disk, &job.disk_key, &outcome) {
+            if let Err(e) = disk.store(key, &report.to_ckpt_bytes()) {
+                eprintln!("NWO_CACHE_DIR: cannot store {key}: {e}");
+            }
+        }
         shared.counters.lock().unwrap().sims_run += 1;
         job.slot.fill(outcome);
     }
+}
+
+/// The warm checkpoint for `(bench, scale, warm fingerprint)`, building
+/// it on first use. Concurrent requests for the same key block on one
+/// warmup instead of duplicating it.
+fn warm_bytes(shared: &Shared, bench: &Benchmark, scale: u32, config: &SimConfig) -> Arc<Vec<u8>> {
+    let key: WarmKey = (bench.name, scale, config.warm_fingerprint());
+    let cell = {
+        let mut warm = shared.warm.lock().unwrap();
+        Arc::clone(warm.entry(key).or_default())
+    };
+    let mut built = false;
+    let bytes = Arc::clone(cell.get_or_init(|| {
+        built = true;
+        Arc::new(crate::warm_checkpoint(bench, config, shared.warm_insts))
+    }));
+    let mut counters = shared.counters.lock().unwrap();
+    if built {
+        counters.warmups_run += 1;
+    } else {
+        counters.warm_hits += 1;
+    }
+    bytes
+}
+
+/// Disk-cache key: every component that can change the report —
+/// program identity (name, scale), full config fingerprint, warmup
+/// budget, and the binary's code salt (also embedded in the blob and
+/// re-verified on load).
+fn disk_key(name: &str, scale: u32, config: &SimConfig, warm_insts: u64) -> String {
+    format!(
+        "report-{name}-s{scale}-{:016x}-w{warm_insts}-{:016x}",
+        config.fingerprint(),
+        nwo_ckpt::code_salt()
+    )
 }
 
 /// Extracts a readable message from a worker panic payload.
@@ -379,6 +504,108 @@ mod tests {
             err.contains("mpeg2-enc"),
             "error names the benchmark: {err}"
         );
+    }
+
+    /// A scratch cache directory unique to one test, removed on drop.
+    struct ScratchCache(std::path::PathBuf);
+
+    impl ScratchCache {
+        fn new(tag: &str) -> ScratchCache {
+            let root =
+                std::env::temp_dir().join(format!("nwo-runner-test-{tag}-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&root);
+            ScratchCache(root)
+        }
+
+        fn dir(&self) -> CacheDir {
+            CacheDir::new(&self.0)
+        }
+    }
+
+    impl Drop for ScratchCache {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn disk_cache_persists_reports_across_runners() {
+        let scratch = ScratchCache::new("persist");
+        let bench = small_bench();
+
+        let cold = Runner::with_options(1, Some(scratch.dir()), 0);
+        let first = cold.submit(&bench, 0, base_config()).wait();
+        let counters = cold.counters();
+        assert_eq!(counters.sims_run, 1);
+        assert_eq!(counters.disk_hits, 0, "cold cache cannot hit");
+        drop(cold);
+
+        // A fresh runner (fresh memo) answers the same job from disk.
+        let warm = Runner::with_options(1, Some(scratch.dir()), 0);
+        let handle = warm.submit(&bench, 0, base_config());
+        assert!(!handle.memo_hit, "fresh memo cache has no entry");
+        let second = handle.wait();
+        let counters = warm.counters();
+        assert_eq!(counters.disk_hits, 1, "warm cache answers from disk");
+        assert_eq!(counters.sims_run, 0, "no simulation re-runs");
+        assert_eq!(second.to_ckpt_bytes(), first.to_ckpt_bytes());
+
+        // A different fingerprint misses the disk cache too.
+        let other = warm.submit(&bench, 0, base_config().with_perfect_prediction());
+        let _ = other.wait();
+        assert_eq!(warm.counters().sims_run, 1);
+    }
+
+    #[test]
+    fn corrupted_disk_entry_is_a_miss_not_a_panic() {
+        let scratch = ScratchCache::new("corrupt");
+        let bench = small_bench();
+        let key = disk_key(bench.name, 0, &base_config(), 0);
+        let dir = scratch.dir();
+        dir.store(&key, b"not a checkpoint")
+            .expect("stores garbage");
+
+        let runner = Runner::with_options(1, Some(dir), 0);
+        let report = runner.submit(&bench, 0, base_config()).wait();
+        let counters = runner.counters();
+        assert_eq!(counters.disk_hits, 0, "garbage never counts as a hit");
+        assert_eq!(counters.sims_run, 1, "the simulation re-runs");
+        assert!(report.stats.committed > 0);
+
+        // The re-run overwrote the entry with a valid blob.
+        let bytes = scratch
+            .dir()
+            .load(&key)
+            .expect("readable")
+            .expect("present");
+        assert!(SimReport::from_ckpt_bytes(&bytes).is_ok());
+    }
+
+    #[test]
+    fn config_sweep_warms_each_kernel_exactly_once() {
+        let runner = Runner::with_options(2, None, 500);
+        let bench = small_bench();
+        // Three machine variants that share warm state (hierarchy and
+        // predictor identical; only the optimization mode differs).
+        let configs = [
+            crate::base_config(),
+            crate::gating_config(),
+            crate::packing_config(),
+        ];
+        assert_eq!(
+            configs[0].warm_fingerprint(),
+            configs[1].warm_fingerprint(),
+            "sweep members share warm state"
+        );
+        let reports = runner.collect(0, configs.iter().map(|c| (&bench, c.clone())));
+        assert_eq!(reports.len(), 3);
+        let counters = runner.counters();
+        assert_eq!(counters.sims_run, 3, "three distinct fingerprints");
+        assert_eq!(counters.warmups_run, 1, "one shared fast-forward");
+        assert_eq!(counters.warm_hits, 2, "the other two reuse it");
+        // run_with_warm_state verified architected output internally;
+        // the warmed runs also agree with each other.
+        assert_eq!(reports[0].out_quads, reports[1].out_quads);
     }
 
     #[test]

@@ -115,6 +115,52 @@ impl Btb {
     }
 }
 
+impl nwo_ckpt::Checkpointable for Btb {
+    fn save(&self, w: &mut nwo_ckpt::SectionWriter) {
+        w.put_u64(self.sets.len() as u64);
+        w.put_u64(self.sets.first().map_or(0, |s| s.len()) as u64);
+        w.put_u64(self.tick);
+        for set in &self.sets {
+            for e in set {
+                w.put_bool(e.valid);
+                w.put_u64(e.tag);
+                w.put_u64(e.target);
+                w.put_u64(e.lru);
+            }
+        }
+    }
+
+    fn restore(&mut self, r: &mut nwo_ckpt::SectionReader) -> Result<(), nwo_ckpt::CkptError> {
+        let sets = r.take_u64("btb set count")?;
+        if sets != self.sets.len() as u64 {
+            return Err(nwo_ckpt::CkptError::Mismatch {
+                what: "btb set count",
+                found: sets,
+                expected: self.sets.len() as u64,
+            });
+        }
+        let assoc = r.take_u64("btb associativity")?;
+        let expected_assoc = self.sets.first().map_or(0, |s| s.len()) as u64;
+        if assoc != expected_assoc {
+            return Err(nwo_ckpt::CkptError::Mismatch {
+                what: "btb associativity",
+                found: assoc,
+                expected: expected_assoc,
+            });
+        }
+        self.tick = r.take_u64("btb tick")?;
+        for set in &mut self.sets {
+            for e in set {
+                e.valid = r.take_bool("btb entry valid")?;
+                e.tag = r.take_u64("btb entry tag")?;
+                e.target = r.take_u64("btb entry target")?;
+                e.lru = r.take_u64("btb entry lru")?;
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -42,6 +42,12 @@ impl SatCounter {
         self.value
     }
 
+    /// Sets the raw value, clamped to the counter's range (used by
+    /// checkpoint restore).
+    pub(crate) fn set_value(&mut self, value: u8) {
+        self.value = value.min(self.max);
+    }
+
     /// The taken/not-taken prediction.
     #[inline]
     pub fn taken(&self) -> bool {

@@ -474,6 +474,148 @@ impl DirPredictor {
     }
 }
 
+fn save_counters(table: &[SatCounter], w: &mut nwo_ckpt::SectionWriter) {
+    w.put_u64(table.len() as u64);
+    for c in table {
+        w.put_u8(c.value());
+    }
+}
+
+fn restore_counters(
+    table: &mut [SatCounter],
+    r: &mut nwo_ckpt::SectionReader,
+    what: &'static str,
+) -> Result<(), nwo_ckpt::CkptError> {
+    let len = r.take_u64(what)?;
+    if len != table.len() as u64 {
+        return Err(nwo_ckpt::CkptError::Mismatch {
+            what,
+            found: len,
+            expected: table.len() as u64,
+        });
+    }
+    for c in table.iter_mut() {
+        c.set_value(r.take_u8("counter value")?);
+    }
+    Ok(())
+}
+
+impl GShare {
+    fn save_state(&self, w: &mut nwo_ckpt::SectionWriter) {
+        save_counters(&self.table, w);
+        w.put_u64(self.history);
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut nwo_ckpt::SectionReader,
+    ) -> Result<(), nwo_ckpt::CkptError> {
+        restore_counters(&mut self.table, r, "gshare table size")?;
+        self.history = r.take_u64("gshare history")? & self.history_mask;
+        Ok(())
+    }
+}
+
+impl Local {
+    fn save_state(&self, w: &mut nwo_ckpt::SectionWriter) {
+        w.put_u64(self.histories.len() as u64);
+        for &h in &self.histories {
+            w.put_u64(h);
+        }
+        save_counters(&self.counters, w);
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut nwo_ckpt::SectionReader,
+    ) -> Result<(), nwo_ckpt::CkptError> {
+        let len = r.take_u64("local history table size")?;
+        if len != self.histories.len() as u64 {
+            return Err(nwo_ckpt::CkptError::Mismatch {
+                what: "local history table size",
+                found: len,
+                expected: self.histories.len() as u64,
+            });
+        }
+        let mask = (1u64 << self.history_bits) - 1;
+        for h in self.histories.iter_mut() {
+            *h = r.take_u64("local history")? & mask;
+        }
+        restore_counters(&mut self.counters, r, "local counter table size")
+    }
+}
+
+impl nwo_ckpt::Checkpointable for DirPredictor {
+    /// Serializes the predictor tables behind a variant tag; restore
+    /// requires the receiver to be configured with the same [`DirKind`]
+    /// and geometry (checkpoints carry state, not configuration).
+    fn save(&self, w: &mut nwo_ckpt::SectionWriter) {
+        match &self.imp {
+            Impl::Static(taken) => {
+                w.put_u8(0);
+                w.put_bool(*taken);
+            }
+            Impl::Bimodal(b) => {
+                w.put_u8(1);
+                save_counters(&b.table, w);
+            }
+            Impl::GShare(g) => {
+                w.put_u8(2);
+                g.save_state(w);
+            }
+            Impl::Local(l) => {
+                w.put_u8(3);
+                l.save_state(w);
+            }
+            Impl::Combining(c) => {
+                w.put_u8(4);
+                save_counters(&c.selector, w);
+                c.local.save_state(w);
+                c.global.save_state(w);
+            }
+        }
+    }
+
+    fn restore(&mut self, r: &mut nwo_ckpt::SectionReader) -> Result<(), nwo_ckpt::CkptError> {
+        let tag = r.take_u8("direction predictor tag")?;
+        let expected = match &self.imp {
+            Impl::Static(_) => 0,
+            Impl::Bimodal(_) => 1,
+            Impl::GShare(_) => 2,
+            Impl::Local(_) => 3,
+            Impl::Combining(_) => 4,
+        };
+        if tag != expected {
+            return Err(nwo_ckpt::CkptError::Mismatch {
+                what: "direction predictor kind",
+                found: tag as u64,
+                expected: expected as u64,
+            });
+        }
+        match &mut self.imp {
+            Impl::Static(taken) => {
+                let saved = r.take_bool("static direction")?;
+                if saved != *taken {
+                    return Err(nwo_ckpt::CkptError::Mismatch {
+                        what: "static predictor direction",
+                        found: saved as u64,
+                        expected: *taken as u64,
+                    });
+                }
+            }
+            Impl::Bimodal(b) => restore_counters(&mut b.table, r, "bimodal table size")?,
+            Impl::GShare(g) => g.restore_state(r)?,
+            Impl::Local(l) => l.restore_state(r)?,
+            Impl::Combining(c) => {
+                restore_counters(&mut c.selector, r, "combining selector size")?;
+                c.local.restore_state(r)?;
+                c.global.restore_state(r)?;
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

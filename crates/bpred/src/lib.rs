@@ -250,6 +250,53 @@ impl Predictor {
     }
 }
 
+impl nwo_ckpt::Checkpointable for PredictorStats {
+    fn save(&self, w: &mut nwo_ckpt::SectionWriter) {
+        w.put_u64(self.dir_lookups);
+        w.put_u64(self.btb_lookups);
+        w.put_u64(self.btb_hits);
+        w.put_u64(self.ras_pops);
+        w.put_u64(self.updates);
+    }
+
+    fn restore(&mut self, r: &mut nwo_ckpt::SectionReader) -> Result<(), nwo_ckpt::CkptError> {
+        self.dir_lookups = r.take_u64("predictor dir_lookups")?;
+        self.btb_lookups = r.take_u64("predictor btb_lookups")?;
+        self.btb_hits = r.take_u64("predictor btb_hits")?;
+        self.ras_pops = r.take_u64("predictor ras_pops")?;
+        self.updates = r.take_u64("predictor updates")?;
+        Ok(())
+    }
+}
+
+impl nwo_ckpt::Checkpointable for Predictor {
+    fn save(&self, w: &mut nwo_ckpt::SectionWriter) {
+        use nwo_ckpt::Checkpointable as Ckpt;
+        Ckpt::save(&self.dir, w);
+        Ckpt::save(&self.btb, w);
+        Ckpt::save(&self.ras, w);
+        Ckpt::save(&self.stats, w);
+        w.put_bool(self.speculative_history);
+    }
+
+    fn restore(&mut self, r: &mut nwo_ckpt::SectionReader) -> Result<(), nwo_ckpt::CkptError> {
+        use nwo_ckpt::Checkpointable as Ckpt;
+        Ckpt::restore(&mut self.dir, r)?;
+        Ckpt::restore(&mut self.btb, r)?;
+        Ckpt::restore(&mut self.ras, r)?;
+        Ckpt::restore(&mut self.stats, r)?;
+        let spec = r.take_bool("predictor speculative_history")?;
+        if spec != self.speculative_history {
+            return Err(nwo_ckpt::CkptError::Mismatch {
+                what: "predictor speculative_history",
+                found: spec as u64,
+                expected: self.speculative_history as u64,
+            });
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

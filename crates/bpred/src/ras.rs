@@ -89,6 +89,41 @@ impl Ras {
     }
 }
 
+impl nwo_ckpt::Checkpointable for Ras {
+    fn save(&self, w: &mut nwo_ckpt::SectionWriter) {
+        w.put_u64(self.entries.len() as u64);
+        w.put_u64(self.top as u64);
+        w.put_u64(self.depth as u64);
+        for &e in &self.entries {
+            w.put_u64(e);
+        }
+    }
+
+    fn restore(&mut self, r: &mut nwo_ckpt::SectionReader) -> Result<(), nwo_ckpt::CkptError> {
+        let cap = r.take_u64("ras capacity")?;
+        if cap != self.entries.len() as u64 {
+            return Err(nwo_ckpt::CkptError::Mismatch {
+                what: "ras capacity",
+                found: cap,
+                expected: self.entries.len() as u64,
+            });
+        }
+        let top = r.take_u64("ras top")?;
+        let depth = r.take_u64("ras depth")?;
+        if top >= cap || depth > cap {
+            return Err(nwo_ckpt::CkptError::Malformed(format!(
+                "ras top {top} / depth {depth} out of range for capacity {cap}"
+            )));
+        }
+        self.top = top as usize;
+        self.depth = depth as usize;
+        for e in self.entries.iter_mut() {
+            *e = r.take_u64("ras entry")?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

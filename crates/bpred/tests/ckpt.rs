@@ -1,0 +1,174 @@
+//! Checkpoint round-trip properties for every predictor structure: a
+//! trained predictor restored into a fresh receiver predicts identically,
+//! re-saving is byte-identical, and shape mismatches are typed errors.
+
+use nwo_bpred::{
+    Btb, BtbConfig, ControlInfo, DirKind, DirPredictor, Predictor, PredictorConfig, Ras,
+};
+use nwo_ckpt::{Checkpointable, CkptError, SectionReader, SectionWriter};
+use proptest::prelude::*;
+
+fn save_bytes(state: &dyn Checkpointable) -> Vec<u8> {
+    let mut w = SectionWriter::new();
+    state.save(&mut w);
+    w.into_bytes()
+}
+
+fn restore_from(receiver: &mut dyn Checkpointable, payload: &[u8]) -> Result<(), CkptError> {
+    let mut r = SectionReader::new(payload.to_vec());
+    receiver.restore(&mut r)?;
+    r.finish("test payload")
+}
+
+fn cond_branch(pc: u64) -> ControlInfo {
+    ControlInfo {
+        is_cond: true,
+        is_call: false,
+        is_return: false,
+        is_indirect: false,
+        direct_target: Some(pc.wrapping_add(64)),
+        return_addr: pc.wrapping_add(4),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every direction-predictor kind round-trips: the restored copy
+    /// agrees with the original on future predictions.
+    #[test]
+    fn dir_predictors_round_trip(
+        history in prop::collection::vec(((0u64..64).prop_map(|p| p * 4), any::<bool>()), 1..128),
+        probes in prop::collection::vec((0u64..64).prop_map(|p| p * 4), 1..32),
+    ) {
+        for kind in [
+            DirKind::Bimodal { entries: 256 },
+            DirKind::GShare { entries: 512, history_bits: 8 },
+            DirKind::Local { l1_entries: 64, history_bits: 6, counter_bits: 3 },
+            DirKind::Combining,
+        ] {
+            let mut p = DirPredictor::new(kind);
+            for &(pc, taken) in &history {
+                p.update(pc, taken);
+            }
+            let payload = save_bytes(&p);
+            let mut restored = DirPredictor::new(kind);
+            restore_from(&mut restored, &payload).expect("restores");
+            prop_assert_eq!(save_bytes(&restored), payload, "{:?} re-save", kind);
+            for &pc in &probes {
+                prop_assert_eq!(restored.predict(pc), p.predict(pc), "{:?} at {pc:#x}", kind);
+            }
+        }
+    }
+
+    /// The BTB round-trips: same future lookups, byte-identical re-save.
+    #[test]
+    fn btb_round_trips(
+        updates in prop::collection::vec(((0u64..256).prop_map(|p| 0x1000 + p * 4), any::<u64>()), 1..64),
+    ) {
+        let config = BtbConfig { entries: 128, assoc: 2 };
+        let mut btb = Btb::new(config);
+        for &(pc, target) in &updates {
+            btb.update(pc, target);
+        }
+        let payload = save_bytes(&btb);
+        let mut restored = Btb::new(config);
+        restore_from(&mut restored, &payload).expect("restores");
+        prop_assert_eq!(save_bytes(&restored), payload.clone());
+        for &(pc, _) in &updates {
+            prop_assert_eq!(restored.lookup(pc), btb.lookup(pc));
+        }
+    }
+
+    /// The RAS round-trips mid-stream: pops after restore match pops on
+    /// the original, including wrap-around overflows.
+    #[test]
+    fn ras_round_trips(
+        pushes in prop::collection::vec(any::<u64>(), 0..40),
+        pops in 0usize..8,
+    ) {
+        let mut ras = Ras::new(16);
+        for &a in &pushes {
+            ras.push(a);
+        }
+        for _ in 0..pops {
+            ras.pop();
+        }
+        let payload = save_bytes(&ras);
+        let mut restored = Ras::new(16);
+        restore_from(&mut restored, &payload).expect("restores");
+        prop_assert_eq!(save_bytes(&restored), payload.clone());
+        for _ in 0..20 {
+            prop_assert_eq!(restored.pop(), ras.pop());
+        }
+    }
+
+    /// The composed predictor (direction + BTB + RAS + stats)
+    /// round-trips through one payload and keeps predicting identically.
+    #[test]
+    fn full_predictor_round_trips(
+        branches in prop::collection::vec(
+            ((0u64..128).prop_map(|p| 0x2000 + p * 4), any::<bool>()),
+            1..96,
+        ),
+    ) {
+        let config = PredictorConfig::default();
+        let mut p = Predictor::new(config);
+        for &(pc, taken) in &branches {
+            let info = cond_branch(pc);
+            let _ = p.predict(pc, &info);
+            p.update(pc, &info, taken, if taken { pc + 64 } else { pc + 4 }, None);
+        }
+        let payload = save_bytes(&p);
+        let mut restored = Predictor::new(config);
+        restore_from(&mut restored, &payload).expect("restores");
+        prop_assert_eq!(restored.stats(), p.stats());
+        prop_assert_eq!(save_bytes(&restored), payload.clone());
+        for &(pc, _) in &branches {
+            let info = cond_branch(pc);
+            prop_assert_eq!(restored.predict(pc, &info), p.predict(pc, &info));
+        }
+    }
+
+    /// Truncating a full-predictor payload anywhere is an error, never a
+    /// panic or a partial restore that passes `finish`.
+    #[test]
+    fn truncated_predictor_payload_is_rejected(cut_seed in any::<u64>()) {
+        let mut p = Predictor::new(PredictorConfig::default());
+        let info = cond_branch(0x2000);
+        let _ = p.predict(0x2000, &info);
+        p.update(0x2000, &info, true, 0x2040, None);
+        let payload = save_bytes(&p);
+        let cut = (cut_seed % payload.len() as u64) as usize;
+        let mut receiver = Predictor::new(PredictorConfig::default());
+        prop_assert!(restore_from(&mut receiver, &payload[..cut]).is_err());
+    }
+}
+
+#[test]
+fn dir_kind_mismatch_is_typed() {
+    let trained = DirPredictor::new(DirKind::Bimodal { entries: 256 });
+    let payload = save_bytes(&trained);
+    let mut receiver = DirPredictor::new(DirKind::Combining);
+    match restore_from(&mut receiver, &payload) {
+        Err(CkptError::Mismatch { .. }) => {}
+        other => panic!("expected Mismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn btb_geometry_mismatch_is_typed() {
+    let btb = Btb::new(BtbConfig {
+        entries: 128,
+        assoc: 2,
+    });
+    let payload = save_bytes(&btb);
+    let mut receiver = Btb::new(BtbConfig {
+        entries: 64,
+        assoc: 2,
+    });
+    match restore_from(&mut receiver, &payload) {
+        Err(CkptError::Mismatch { .. }) => {}
+        other => panic!("expected Mismatch, got {other:?}"),
+    }
+}

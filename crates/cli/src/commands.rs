@@ -15,6 +15,8 @@ usage:
   nwo dis  <file.s|file.nwo>          disassemble
   nwo run  <file.s|file.nwo>          functional emulation
   nwo sim  <file.s|file.nwo> [flags]  cycle-level out-of-order simulation
+       --bench <name>      simulate a built-in benchmark kernel instead of a file
+       --scale <N>         workload scale for --bench (default: experiment scale)
        --gating     operand-based clock gating (Section 4)
        --packing    operation packing (Section 5.2)
        --replay     replay packing (Section 5.3)
@@ -26,6 +28,14 @@ usage:
        --json <path>       write every machine counter as a JSON snapshot
        --trace-out <path>  stream pipeline events as JSON lines (O(1) memory)
        --pipeview <N>      draw a text pipeline diagram of the first N commits
+       --warmup <N>        fast-forward N instructions before timing (Sec 3.2)
+       --ckpt-out <path>   save warmed state as a checkpoint and exit
+       --ckpt-in <path>    restore warmed state from a checkpoint (skips warmup)
+       --interval-stats <N>  write a metrics snapshot every N cycles
+       --interval-out <path> interval snapshot JSONL path (default:
+                             nwo-intervals.jsonl)
+       --stall-detail      attribute lost commit slots per PC, print top offenders
+  nwo ckpt info <file>                inspect a checkpoint (sections, CRCs, salt)
   nwo dbg  <file.s|file.nwo>          interactive debugger (step/break/dump)
   nwo bench [name ...] [--scale N] [--jobs N]
        run benchmark kernels (verified) on the worker pool
@@ -109,14 +119,51 @@ pub fn sim(args: &[String]) -> Result<(), String> {
     use nwo_sim::obs::{JsonlSink, RingSink, TeeSink, TraceSink};
 
     let mut input = None;
+    let mut bench_name: Option<String> = None;
+    let mut bench_scale: Option<u32> = None;
     let mut config = SimConfig::default();
     let mut max = u64::MAX;
     let mut json_out: Option<String> = None;
     let mut trace_out: Option<String> = None;
     let mut pipeview: usize = 0;
+    let mut warmup: u64 = 0;
+    let mut ckpt_out: Option<String> = None;
+    let mut ckpt_in: Option<String> = None;
+    let mut interval: u64 = 0;
+    let mut interval_out: Option<String> = None;
+    let mut stall_detail = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--bench" => bench_name = Some(it.next().ok_or("--bench needs a name")?.clone()),
+            "--scale" => {
+                bench_scale = Some(
+                    it.next()
+                        .ok_or("--scale needs a number")?
+                        .parse()
+                        .map_err(|_| "--scale needs a number")?,
+                )
+            }
+            "--warmup" => {
+                warmup = it
+                    .next()
+                    .ok_or("--warmup needs a number")?
+                    .parse()
+                    .map_err(|_| "--warmup needs a number")?
+            }
+            "--ckpt-out" => ckpt_out = Some(it.next().ok_or("--ckpt-out needs a path")?.clone()),
+            "--ckpt-in" => ckpt_in = Some(it.next().ok_or("--ckpt-in needs a path")?.clone()),
+            "--interval-stats" => {
+                interval = it
+                    .next()
+                    .ok_or("--interval-stats needs a number")?
+                    .parse()
+                    .map_err(|_| "--interval-stats needs a number")?
+            }
+            "--interval-out" => {
+                interval_out = Some(it.next().ok_or("--interval-out needs a path")?.clone())
+            }
+            "--stall-detail" => stall_detail = true,
             "--gating" => config = config.with_gating(GatingConfig::default()),
             "--packing" => config = config.with_packing(PackConfig::default()),
             "--replay" => config = config.with_packing(PackConfig::with_replay()),
@@ -150,10 +197,50 @@ pub fn sim(args: &[String]) -> Result<(), String> {
             other => return Err(format!("unexpected argument `{other}`")),
         }
     }
-    let input = input.ok_or("sim needs an input file")?;
-    let program = load_program(&input)?;
+    let program = match (&bench_name, &input) {
+        (Some(_), Some(_)) => return Err("--bench and an input file are exclusive".into()),
+        (Some(name), None) => {
+            let scale = bench_scale.unwrap_or_else(|| experiment_scale(name));
+            benchmark(name, scale)
+                .ok_or_else(|| format!("unknown benchmark `{name}`; known: {BENCHMARK_NAMES:?}"))?
+                .program
+        }
+        (None, Some(path)) => load_program(path)?,
+        (None, None) => return Err("sim needs an input file or --bench <name>".into()),
+    };
+    if ckpt_in.is_some() && (warmup > 0 || ckpt_out.is_some()) {
+        return Err("--ckpt-in replaces warmup; it excludes --warmup and --ckpt-out".into());
+    }
     let trace_limit = config.trace_limit;
     let mut simulator = Simulator::new(&program, config);
+
+    // Warm-state phase: restore a checkpoint, or fast-forward and
+    // optionally persist the result (then exit without timing anything).
+    if let Some(path) = &ckpt_in {
+        let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+        simulator
+            .restore_checkpoint(&bytes)
+            .map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("restored warmed state from {path}");
+    } else if warmup > 0 {
+        let warmed = simulator.warmup(warmup).map_err(|e| e.to_string())?;
+        eprintln!("warmed {warmed} instructions");
+    }
+    if let Some(path) = &ckpt_out {
+        let bytes = simulator.checkpoint();
+        std::fs::write(path, &bytes).map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote checkpoint to {path} ({} bytes)", bytes.len());
+        return Ok(());
+    }
+    if stall_detail {
+        simulator.enable_stall_detail();
+    }
+    let interval_path = interval_out.unwrap_or_else(|| "nwo-intervals.jsonl".to_string());
+    if interval > 0 {
+        let file =
+            std::fs::File::create(&interval_path).map_err(|e| format!("{interval_path}: {e}"))?;
+        simulator.set_interval_stats(interval, Box::new(std::io::BufWriter::new(file)));
+    }
 
     // Compose the trace sink: in-memory retention for --trace/--pipeview,
     // a streaming JSONL file for --trace-out, or both behind a tee.
@@ -217,12 +304,75 @@ pub fn sim(args: &[String]) -> Result<(), String> {
     }
     println!();
     print!("{report}");
+    if stall_detail {
+        if let Some(detail) = simulator.stall_detail() {
+            let mut rows: Vec<_> = detail
+                .iter()
+                .map(|(&pc, b)| (pc, b.total(), b))
+                .filter(|&(_, total, _)| total > 0)
+                .collect();
+            rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            println!();
+            println!("top stall PCs (lost commit slots):");
+            println!("{:<12} {:>12}  dominant cause", "pc", "lost slots");
+            for (pc, total, breakdown) in rows.iter().take(10) {
+                let dominant = breakdown
+                    .iter()
+                    .max_by_key(|&(_, slots)| slots)
+                    .map(|(cause, _)| cause.name())
+                    .unwrap_or("-");
+                println!("{pc:<#12x} {total:>12}  {dominant}");
+            }
+        }
+    }
+    if interval > 0 {
+        eprintln!("wrote interval snapshots to {interval_path}");
+    }
     if let Some(path) = &json_out {
         std::fs::write(path, simulator.snapshot().to_json()).map_err(|e| format!("{path}: {e}"))?;
         eprintln!("wrote metrics snapshot to {path}");
     }
     if let Some(path) = &trace_out {
         eprintln!("wrote pipeline event stream to {path}");
+    }
+    Ok(())
+}
+
+/// `nwo ckpt info <file>` — header, salt and per-section summary of a
+/// checkpoint, tolerating stale salts and corrupted payloads (they are
+/// reported, not fatal) so rejected files can be diagnosed.
+pub fn ckpt(args: &[String]) -> Result<(), String> {
+    let [sub, path] = args else {
+        return Err("usage: nwo ckpt info <file>".to_string());
+    };
+    if sub != "info" {
+        return Err(format!("unknown ckpt subcommand `{sub}`; try `info`"));
+    }
+    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    let info = nwo_sim::ckpt::inspect(&bytes).map_err(|e| format!("{path}: {e}"))?;
+    println!("{path}: checkpoint format v{}", info.version);
+    println!(
+        "salt: {:#018x} ({})",
+        info.salt,
+        if info.salt_current {
+            "current build"
+        } else {
+            "STALE — restore will reject this file"
+        }
+    );
+    println!("{:<12} {:>12}  crc", "section", "bytes");
+    let mut all_ok = true;
+    for s in &info.sections {
+        all_ok &= s.crc_ok;
+        println!(
+            "{:<12} {:>12}  {}",
+            s.name,
+            s.len,
+            if s.crc_ok { "ok" } else { "CORRUPT" }
+        );
+    }
+    if !all_ok {
+        return Err("one or more sections are corrupted".to_string());
     }
     Ok(())
 }

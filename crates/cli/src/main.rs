@@ -5,6 +5,7 @@
 //! nwo dis  <file.s|file.nwo>            disassemble
 //! nwo run  <file.s|file.nwo>            functional emulation
 //! nwo sim  <file.s|file.nwo> [flags]    cycle-level simulation
+//! nwo ckpt info <file>                  inspect a machine checkpoint
 //! nwo dbg  <file.s|file.nwo>            interactive debugger
 //! nwo bench [name ...] [--scale N] [--jobs N]
 //!                                       run benchmark kernels, verified
@@ -30,6 +31,7 @@ fn main() -> ExitCode {
         "dis" => commands::dis(rest),
         "run" => commands::run(rest),
         "sim" => commands::sim(rest),
+        "ckpt" => commands::ckpt(rest),
         "dbg" => commands::dbg(rest),
         "bench" => commands::bench(rest),
         "experiments" => commands::experiments(rest),

@@ -1,0 +1,184 @@
+//! End-to-end checkpoint workflow through the CLI binary: a
+//! `--ckpt-out` warmup image resumed with `--ckpt-in` must produce the
+//! same report — down to the `--json` metrics snapshot — as an
+//! uninterrupted `--warmup` run; corrupted files must fail with a typed
+//! message and a nonzero exit; and `ckpt info` must describe the file.
+
+use std::path::Path;
+use std::process::Command;
+
+use nwo_sim::obs::json;
+
+fn nwo(args: &[&str], dir: &Path) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_nwo-cli"))
+        .args(args)
+        .current_dir(dir)
+        .output()
+        .expect("nwo-cli spawns")
+}
+
+fn assert_ok(out: &std::process::Output, what: &str) -> String {
+    assert!(
+        out.status.success(),
+        "{what} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout.clone()).expect("stdout is UTF-8")
+}
+
+#[test]
+fn checkpoint_resumed_sim_matches_uninterrupted_run() {
+    let dir = std::env::temp_dir().join(format!("nwo-ckpt-cli-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    // Uninterrupted: warm 2000 instructions, run, snapshot to JSON.
+    let base = assert_ok(
+        &nwo(
+            &[
+                "sim",
+                "--bench",
+                "mpeg2-enc",
+                "--warmup",
+                "2000",
+                "--json",
+                "base.json",
+            ],
+            &dir,
+        ),
+        "uninterrupted run",
+    );
+
+    // Split: warm 2000, save, exit; then restore and run.
+    assert_ok(
+        &nwo(
+            &[
+                "sim",
+                "--bench",
+                "mpeg2-enc",
+                "--warmup",
+                "2000",
+                "--ckpt-out",
+                "warm.ckpt",
+            ],
+            &dir,
+        ),
+        "checkpoint save",
+    );
+    let resumed = assert_ok(
+        &nwo(
+            &[
+                "sim",
+                "--bench",
+                "mpeg2-enc",
+                "--ckpt-in",
+                "warm.ckpt",
+                "--json",
+                "resumed.json",
+            ],
+            &dir,
+        ),
+        "checkpoint resume",
+    );
+
+    assert_eq!(base, resumed, "reports must match to the byte");
+    let base_json = std::fs::read_to_string(dir.join("base.json")).expect("base.json");
+    let resumed_json = std::fs::read_to_string(dir.join("resumed.json")).expect("resumed.json");
+    assert_eq!(
+        base_json, resumed_json,
+        "metrics snapshots must match to the byte"
+    );
+    // And the snapshot is real, parseable content.
+    let v = json::parse(&base_json).expect("snapshot parses");
+    assert!(v.get("sim.cycles").and_then(|c| c.as_u64()).unwrap() > 0);
+
+    // `ckpt info` describes the file with all CRCs intact.
+    let info = assert_ok(&nwo(&["ckpt", "info", "warm.ckpt"], &dir), "ckpt info");
+    assert!(info.contains("checkpoint format v1"), "{info}");
+    assert!(info.contains("current build"), "{info}");
+    for section in ["meta", "frontend", "hierarchy", "bpred", "output"] {
+        assert!(info.contains(section), "missing section {section}: {info}");
+    }
+    assert!(!info.contains("CORRUPT"), "{info}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_checkpoint_fails_with_typed_message() {
+    let dir = std::env::temp_dir().join(format!("nwo-ckpt-corrupt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    assert_ok(
+        &nwo(
+            &[
+                "sim",
+                "--bench",
+                "mpeg2-enc",
+                "--warmup",
+                "500",
+                "--ckpt-out",
+                "warm.ckpt",
+            ],
+            &dir,
+        ),
+        "checkpoint save",
+    );
+    let path = dir.join("warm.ckpt");
+    let mut bytes = std::fs::read(&path).expect("readable");
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x01;
+    std::fs::write(&path, &bytes).expect("writable");
+
+    let out = nwo(
+        &["sim", "--bench", "mpeg2-enc", "--ckpt-in", "warm.ckpt"],
+        &dir,
+    );
+    assert!(!out.status.success(), "corrupt checkpoint must be fatal");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("CRC mismatch") || stderr.contains("crc"),
+        "error names the CRC failure: {stderr}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn ckpt_info_reports_corruption_and_exits_nonzero() {
+    let dir = std::env::temp_dir().join(format!("nwo-ckpt-info-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    assert_ok(
+        &nwo(
+            &[
+                "sim",
+                "--bench",
+                "compress",
+                "--warmup",
+                "500",
+                "--ckpt-out",
+                "warm.ckpt",
+            ],
+            &dir,
+        ),
+        "checkpoint save",
+    );
+    let path = dir.join("warm.ckpt");
+    let mut bytes = std::fs::read(&path).expect("readable");
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x01;
+    std::fs::write(&path, &bytes).expect("writable");
+
+    let out = nwo(&["ckpt", "info", "warm.ckpt"], &dir);
+    assert!(!out.status.success(), "corruption makes info exit nonzero");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("CORRUPT"),
+        "bad section is flagged: {stdout}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

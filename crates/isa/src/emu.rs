@@ -367,6 +367,42 @@ impl Emulator {
     }
 }
 
+impl nwo_ckpt::Checkpointable for Emulator {
+    /// The decoded text segment is derived from the program image and is
+    /// not serialized; restore requires an emulator loaded from the same
+    /// program.
+    fn save(&self, w: &mut nwo_ckpt::SectionWriter) {
+        for &reg in &self.regs {
+            w.put_u64(reg);
+        }
+        w.put_u64(self.pc);
+        w.put_bool(self.halted);
+        w.put_u64(self.icount);
+        w.put_bytes(&self.out_bytes);
+        w.put_u64(self.out_quads.len() as u64);
+        for &q in &self.out_quads {
+            w.put_u64(q);
+        }
+        nwo_ckpt::Checkpointable::save(&self.mem, w);
+    }
+
+    fn restore(&mut self, r: &mut nwo_ckpt::SectionReader) -> Result<(), nwo_ckpt::CkptError> {
+        for reg in self.regs.iter_mut() {
+            *reg = r.take_u64("emulator register")?;
+        }
+        self.pc = r.take_u64("emulator pc")?;
+        self.halted = r.take_bool("emulator halted")?;
+        self.icount = r.take_u64("emulator icount")?;
+        self.out_bytes = r.take_bytes(u64::MAX, "emulator out_bytes")?;
+        let quads = r.take_len(u64::MAX, "emulator out_quads count")?;
+        self.out_quads.clear();
+        for _ in 0..quads {
+            self.out_quads.push(r.take_u64("emulator out_quad")?);
+        }
+        nwo_ckpt::Checkpointable::restore(&mut self.mem, r)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

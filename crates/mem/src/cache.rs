@@ -225,6 +225,57 @@ impl Cache {
     }
 }
 
+impl nwo_ckpt::Checkpointable for Cache {
+    fn save(&self, w: &mut nwo_ckpt::SectionWriter) {
+        w.put_u64(self.sets.len() as u64);
+        w.put_u64(self.config.assoc as u64);
+        w.put_u64(self.tick);
+        w.put_u64(self.stats.hits);
+        w.put_u64(self.stats.misses);
+        w.put_u64(self.stats.writebacks);
+        for set in &self.sets {
+            for line in set {
+                w.put_bool(line.valid);
+                w.put_bool(line.dirty);
+                w.put_u64(line.tag);
+                w.put_u64(line.lru);
+            }
+        }
+    }
+
+    fn restore(&mut self, r: &mut nwo_ckpt::SectionReader) -> Result<(), nwo_ckpt::CkptError> {
+        let sets = r.take_u64("cache set count")?;
+        if sets != self.sets.len() as u64 {
+            return Err(nwo_ckpt::CkptError::Mismatch {
+                what: "cache set count",
+                found: sets,
+                expected: self.sets.len() as u64,
+            });
+        }
+        let assoc = r.take_u64("cache associativity")?;
+        if assoc != self.config.assoc as u64 {
+            return Err(nwo_ckpt::CkptError::Mismatch {
+                what: "cache associativity",
+                found: assoc,
+                expected: self.config.assoc as u64,
+            });
+        }
+        self.tick = r.take_u64("cache tick")?;
+        self.stats.hits = r.take_u64("cache hits")?;
+        self.stats.misses = r.take_u64("cache misses")?;
+        self.stats.writebacks = r.take_u64("cache writebacks")?;
+        for set in &mut self.sets {
+            for line in set {
+                line.valid = r.take_bool("cache line valid")?;
+                line.dirty = r.take_bool("cache line dirty")?;
+                line.tag = r.take_u64("cache line tag")?;
+                line.lru = r.take_u64("cache line lru")?;
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

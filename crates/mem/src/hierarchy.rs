@@ -200,6 +200,65 @@ impl Hierarchy {
     }
 }
 
+impl nwo_ckpt::Checkpointable for Hierarchy {
+    fn save(&self, w: &mut nwo_ckpt::SectionWriter) {
+        self.l1i.save(w);
+        self.l1d.save(w);
+        w.put_bool(self.l2.is_some());
+        if let Some(l2) = &self.l2 {
+            l2.save(w);
+        }
+        self.itlb.save(w);
+        self.dtlb.save(w);
+    }
+
+    fn restore(&mut self, r: &mut nwo_ckpt::SectionReader) -> Result<(), nwo_ckpt::CkptError> {
+        self.l1i.restore(r)?;
+        self.l1d.restore(r)?;
+        let has_l2 = r.take_bool("hierarchy has L2")?;
+        if has_l2 != self.l2.is_some() {
+            return Err(nwo_ckpt::CkptError::Mismatch {
+                what: "hierarchy L2 presence",
+                found: has_l2 as u64,
+                expected: self.l2.is_some() as u64,
+            });
+        }
+        if let Some(l2) = &mut self.l2 {
+            l2.restore(r)?;
+        }
+        self.itlb.restore(r)?;
+        self.dtlb.restore(r)?;
+        Ok(())
+    }
+}
+
+impl nwo_ckpt::Checkpointable for HierarchyStats {
+    fn save(&self, w: &mut nwo_ckpt::SectionWriter) {
+        for c in [&self.l1i, &self.l1d, &self.l2] {
+            w.put_u64(c.hits);
+            w.put_u64(c.misses);
+            w.put_u64(c.writebacks);
+        }
+        for t in [&self.itlb, &self.dtlb] {
+            w.put_u64(t.hits);
+            w.put_u64(t.misses);
+        }
+    }
+
+    fn restore(&mut self, r: &mut nwo_ckpt::SectionReader) -> Result<(), nwo_ckpt::CkptError> {
+        for c in [&mut self.l1i, &mut self.l1d, &mut self.l2] {
+            c.hits = r.take_u64("cache stats hits")?;
+            c.misses = r.take_u64("cache stats misses")?;
+            c.writebacks = r.take_u64("cache stats writebacks")?;
+        }
+        for t in [&mut self.itlb, &mut self.dtlb] {
+            t.hits = r.take_u64("tlb stats hits")?;
+            t.misses = r.take_u64("tlb stats misses")?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 #[allow(clippy::field_reassign_with_default)] // explicit Table 1 tweaks read better
 mod tests {

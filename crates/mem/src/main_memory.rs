@@ -127,6 +127,48 @@ impl MainMemory {
     }
 }
 
+impl nwo_ckpt::Checkpointable for MainMemory {
+    /// Pages are written sorted by page number: `HashMap` iteration
+    /// order is nondeterministic, and the checkpoint byte stream must
+    /// be identical for identical memory images.
+    fn save(&self, w: &mut nwo_ckpt::SectionWriter) {
+        let mut numbers: Vec<u64> = self.pages.keys().copied().collect();
+        numbers.sort_unstable();
+        w.put_u64(PAGE_SIZE);
+        w.put_u64(numbers.len() as u64);
+        for n in numbers {
+            w.put_u64(n);
+            w.put_bytes(&self.pages[&n]);
+        }
+    }
+
+    fn restore(&mut self, r: &mut nwo_ckpt::SectionReader) -> Result<(), nwo_ckpt::CkptError> {
+        let page_size = r.take_u64("memory page size")?;
+        if page_size != PAGE_SIZE {
+            return Err(nwo_ckpt::CkptError::Mismatch {
+                what: "memory page size",
+                found: page_size,
+                expected: PAGE_SIZE,
+            });
+        }
+        let count = r.take_len(1 << 32, "memory page count")?;
+        let mut pages = HashMap::with_capacity(count);
+        for _ in 0..count {
+            let number = r.take_u64("memory page number")?;
+            let bytes = r.take_bytes(PAGE_SIZE, "memory page bytes")?;
+            if bytes.len() as u64 != PAGE_SIZE {
+                return Err(nwo_ckpt::CkptError::Malformed(format!(
+                    "memory page {number:#x} has {} bytes",
+                    bytes.len()
+                )));
+            }
+            pages.insert(number, bytes.into_boxed_slice());
+        }
+        self.pages = pages;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -139,6 +139,33 @@ impl Tlb {
     }
 }
 
+impl nwo_ckpt::Checkpointable for Tlb {
+    fn save(&self, w: &mut nwo_ckpt::SectionWriter) {
+        w.put_u64(self.tick);
+        w.put_u64(self.stats.hits);
+        w.put_u64(self.stats.misses);
+        w.put_u64(self.entries.len() as u64);
+        for &(vpn, tick) in &self.entries {
+            w.put_u64(vpn);
+            w.put_u64(tick);
+        }
+    }
+
+    fn restore(&mut self, r: &mut nwo_ckpt::SectionReader) -> Result<(), nwo_ckpt::CkptError> {
+        self.tick = r.take_u64("tlb tick")?;
+        self.stats.hits = r.take_u64("tlb hits")?;
+        self.stats.misses = r.take_u64("tlb misses")?;
+        let len = r.take_len(self.config.entries as u64, "tlb entry count")?;
+        self.entries.clear();
+        for _ in 0..len {
+            let vpn = r.take_u64("tlb vpn")?;
+            let tick = r.take_u64("tlb entry tick")?;
+            self.entries.push((vpn, tick));
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

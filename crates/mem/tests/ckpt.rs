@@ -1,0 +1,134 @@
+//! Checkpoint round-trip properties for the memory hierarchy: restore
+//! reproduces the exact state, save-after-restore is byte-identical, and
+//! geometry mismatches are typed rejections.
+
+use nwo_ckpt::{Checkpointable, CkptError, SectionReader, SectionWriter};
+use nwo_mem::{Hierarchy, HierarchyConfig, MainMemory, Tlb, TlbConfig};
+use proptest::prelude::*;
+
+/// Serializes `state` into a fresh payload.
+fn save_bytes(state: &dyn Checkpointable) -> Vec<u8> {
+    let mut w = SectionWriter::new();
+    state.save(&mut w);
+    w.into_bytes()
+}
+
+/// Restores `payload` into `receiver`, requiring exact consumption.
+fn restore_from(receiver: &mut dyn Checkpointable, payload: &[u8]) -> Result<(), CkptError> {
+    let mut r = SectionReader::new(payload.to_vec());
+    receiver.restore(&mut r)?;
+    r.finish("test payload")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// MainMemory: arbitrary writes round-trip through a checkpoint, and
+    /// re-saving the restored memory is byte-identical.
+    #[test]
+    fn main_memory_round_trips(
+        writes in prop::collection::vec((0u64..1 << 20, any::<u64>()), 0..32),
+    ) {
+        let mut mem = MainMemory::new();
+        for &(addr, value) in &writes {
+            mem.write_u64(addr, value);
+        }
+        let payload = save_bytes(&mem);
+        let mut restored = MainMemory::new();
+        restore_from(&mut restored, &payload).expect("restores");
+        for &(addr, _) in &writes {
+            for i in 0..8 {
+                prop_assert_eq!(restored.read_u8(addr + i), mem.read_u8(addr + i));
+            }
+        }
+        prop_assert_eq!(save_bytes(&restored), payload, "re-save is byte-identical");
+    }
+
+    /// Hierarchy: a trained cache/TLB tree round-trips, observable via
+    /// identical stats and identical hit/miss behaviour on a probe
+    /// sequence.
+    #[test]
+    fn hierarchy_round_trips(
+        warm in prop::collection::vec(0u64..1 << 16, 1..64),
+        probe in prop::collection::vec(0u64..1 << 16, 1..32),
+    ) {
+        let mut h = Hierarchy::new(HierarchyConfig::default());
+        for &a in &warm {
+            h.data_access(a, a & 1 == 0);
+            h.inst_access(a & !3);
+        }
+        let payload = save_bytes(&h);
+        let mut restored = Hierarchy::new(HierarchyConfig::default());
+        restore_from(&mut restored, &payload).expect("restores");
+        prop_assert_eq!(restored.stats(), h.stats());
+        prop_assert_eq!(save_bytes(&restored), payload.clone(), "re-save is byte-identical");
+        // Same future behaviour: every probe sees the same latency.
+        for &a in &probe {
+            prop_assert_eq!(restored.data_access(a, false), h.data_access(a, false));
+        }
+    }
+
+    /// TLB round-trip preserves both contents and counters.
+    #[test]
+    fn tlb_round_trips(pages in prop::collection::vec(0u64..64, 1..64)) {
+        let config = TlbConfig::default();
+        let mut tlb = Tlb::new(config);
+        for &p in &pages {
+            tlb.access(p * 4096);
+        }
+        let payload = save_bytes(&tlb);
+        let mut restored = Tlb::new(config);
+        restore_from(&mut restored, &payload).expect("restores");
+        prop_assert_eq!(restored.stats(), tlb.stats());
+        prop_assert_eq!(save_bytes(&restored), payload.clone());
+        for &p in &pages {
+            prop_assert_eq!(restored.access(p * 4096), tlb.access(p * 4096));
+        }
+    }
+
+    /// Truncating a hierarchy payload at any point is a typed error,
+    /// never a panic.
+    #[test]
+    fn truncated_hierarchy_payload_is_rejected(cut_seed in any::<u64>()) {
+        let mut h = Hierarchy::new(HierarchyConfig::default());
+        h.data_access(0x1000, true);
+        let payload = save_bytes(&h);
+        let cut = (cut_seed % payload.len() as u64) as usize;
+        let mut receiver = Hierarchy::new(HierarchyConfig::default());
+        let err = restore_from(&mut receiver, &payload[..cut]);
+        prop_assert!(err.is_err(), "cut at {} must fail", cut);
+    }
+}
+
+#[test]
+fn hierarchy_geometry_mismatch_is_typed() {
+    let h = Hierarchy::new(HierarchyConfig::default());
+    let payload = save_bytes(&h);
+    // A receiver without an L2 disagrees on hierarchy shape.
+    let no_l2 = HierarchyConfig {
+        l2: None,
+        ..Default::default()
+    };
+    let mut receiver = Hierarchy::new(no_l2);
+    match restore_from(&mut receiver, &payload) {
+        Err(CkptError::Mismatch { .. }) => {}
+        other => panic!("expected Mismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn tlb_overflow_into_smaller_receiver_is_typed() {
+    let config = TlbConfig::default();
+    let mut tlb = Tlb::new(config);
+    for p in 0..config.entries as u64 {
+        tlb.access(p * config.page_bytes);
+    }
+    let payload = save_bytes(&tlb);
+    let mut small = config;
+    small.entries /= 2;
+    let mut receiver = Tlb::new(small);
+    match restore_from(&mut receiver, &payload) {
+        Err(CkptError::Malformed(_)) => {}
+        other => panic!("expected Malformed, got {other:?}"),
+    }
+}

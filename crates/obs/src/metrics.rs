@@ -276,6 +276,44 @@ impl Snapshot {
         out.push('}');
         out
     }
+
+    /// Serializes to one compact JSON line (no internal newlines), the
+    /// shape interval-stats streams want: one snapshot per line of a
+    /// `.jsonl` file.
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(32 * self.entries.len().max(1));
+        out.push('{');
+        for (i, (key, value)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_str(&mut out, key);
+            out.push(':');
+            match value {
+                MetricValue::Counter(v) => out.push_str(&v.to_string()),
+                MetricValue::Gauge(v) => json::write_f64(&mut out, *v),
+                MetricValue::Histogram(h) => {
+                    out.push_str("{\"count\":");
+                    out.push_str(&h.count().to_string());
+                    out.push_str(",\"sum\":");
+                    out.push_str(&h.sum().to_string());
+                    out.push_str(",\"mean\":");
+                    json::write_f64(&mut out, h.mean());
+                    out.push_str(",\"buckets\":[");
+                    let last = h.max_bucket().map_or(0, |b| b + 1);
+                    for k in 0..last {
+                        if k > 0 {
+                            out.push(',');
+                        }
+                        out.push_str(&h.bucket(k).to_string());
+                    }
+                    out.push_str("]}");
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
 }
 
 #[cfg(test)]

@@ -318,6 +318,19 @@ impl<W: Write> JsonlSink<W> {
         self.events
     }
 
+    /// Appends one pre-serialized JSON line (without its trailing
+    /// newline), counting it as an event. This lets non-[`TraceEvent`]
+    /// streams — interval metric snapshots, for instance — reuse the
+    /// sink's buffering and flush behaviour.
+    pub fn write_line(&mut self, line: &str) {
+        self.buffer.push_str(line);
+        self.buffer.push('\n');
+        self.events += 1;
+        if self.buffer.len() >= JSONL_FLUSH_BYTES {
+            self.write_through();
+        }
+    }
+
     /// Flushes and returns the underlying writer.
     pub fn into_inner(mut self) -> W {
         self.write_through();

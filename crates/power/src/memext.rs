@@ -154,6 +154,46 @@ impl nwo_obs::MetricSource for MemPowerReport {
     }
 }
 
+impl nwo_ckpt::Checkpointable for MemPowerExt {
+    fn save(&self, w: &mut nwo_ckpt::SectionWriter) {
+        w.put_u64(self.bytes_total);
+        w.put_u64(self.bytes_active);
+        w.put_u64(self.accesses);
+        w.put_u64(self.narrow_accesses);
+        w.put_f64(self.baseline);
+        w.put_f64(self.gated);
+    }
+
+    fn restore(&mut self, r: &mut nwo_ckpt::SectionReader) -> Result<(), nwo_ckpt::CkptError> {
+        self.bytes_total = r.take_u64("memext bytes_total")?;
+        self.bytes_active = r.take_u64("memext bytes_active")?;
+        self.accesses = r.take_u64("memext accesses")?;
+        self.narrow_accesses = r.take_u64("memext narrow_accesses")?;
+        self.baseline = r.take_f64("memext baseline")?;
+        self.gated = r.take_f64("memext gated")?;
+        Ok(())
+    }
+}
+
+impl nwo_ckpt::Checkpointable for MemPowerReport {
+    fn save(&self, w: &mut nwo_ckpt::SectionWriter) {
+        w.put_f64(self.baseline_mw_per_cycle);
+        w.put_f64(self.gated_mw_per_cycle);
+        w.put_f64(self.reduction_percent);
+        w.put_f64(self.narrow_access_fraction);
+        w.put_f64(self.redundant_byte_fraction);
+    }
+
+    fn restore(&mut self, r: &mut nwo_ckpt::SectionReader) -> Result<(), nwo_ckpt::CkptError> {
+        self.baseline_mw_per_cycle = r.take_f64("memext report baseline")?;
+        self.gated_mw_per_cycle = r.take_f64("memext report gated")?;
+        self.reduction_percent = r.take_f64("memext report reduction")?;
+        self.narrow_access_fraction = r.take_f64("memext report narrow_fraction")?;
+        self.redundant_byte_fraction = r.take_f64("memext report redundant_fraction")?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -199,6 +199,18 @@ impl SimConfig {
         hash
     }
 
+    /// A fingerprint of only the *warm-state-bearing* configuration: the
+    /// memory hierarchy and the branch predictor. Two configs with equal
+    /// warm fingerprints train identical cache/TLB/predictor state
+    /// during warmup, so a warmed checkpoint taken under one is valid
+    /// for the other even when they differ in, say, issue width or the
+    /// active optimization. The checkpoint `meta` section embeds this
+    /// value and restore rejects a mismatch with
+    /// [`nwo_ckpt::CkptError::Mismatch`].
+    pub fn warm_fingerprint(&self) -> u64 {
+        nwo_ckpt::fnv1a(format!("{:?}|{:?}", self.hierarchy, self.predictor).as_bytes())
+    }
+
     /// Validates structural parameters.
     ///
     /// # Panics
@@ -323,6 +335,29 @@ mod tests {
             SimConfig::default().with_gating(custom_gate).fingerprint(),
             "nested config fields are hashed"
         );
+    }
+
+    #[test]
+    fn warm_fingerprint_tracks_only_warm_state() {
+        let base = SimConfig::default().warm_fingerprint();
+        let mut wide = SimConfig::default();
+        wide.issue_width = 8;
+        wide.int_alus = 8;
+        assert_eq!(
+            base,
+            wide.warm_fingerprint(),
+            "issue width does not affect warmed state"
+        );
+        assert_ne!(
+            base,
+            SimConfig::default()
+                .with_perfect_prediction()
+                .warm_fingerprint(),
+            "the predictor choice does"
+        );
+        let mut mem = SimConfig::default();
+        mem.hierarchy.memory_latency += 1;
+        assert_ne!(base, mem.warm_fingerprint(), "the hierarchy does");
     }
 
     #[test]

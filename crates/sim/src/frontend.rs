@@ -329,6 +329,43 @@ impl Frontend {
         self.spec_mem.clear();
         self.pc = target;
     }
+
+    /// A stable digest of the decoded text segment, identifying the
+    /// loaded program. Checkpoints embed it so restoring under a
+    /// different program is rejected instead of silently producing
+    /// nonsense.
+    pub(crate) fn code_digest(&self) -> u64 {
+        nwo_ckpt::fnv1a(format!("{:?}", self.decoded).as_bytes())
+    }
+}
+
+/// Serializes the architected (correct-path) state: registers, PC, the
+/// halted flag and the full memory image. The decoded text segment is
+/// derived from the program and is not serialized; the speculative
+/// overlay is transient and cleared on restore (checkpoints are taken at
+/// the warmup boundary, where no wrong path is in flight).
+impl nwo_ckpt::Checkpointable for Frontend {
+    fn save(&self, w: &mut nwo_ckpt::SectionWriter) {
+        for &reg in &self.regs {
+            w.put_u64(reg);
+        }
+        w.put_u64(self.pc);
+        w.put_bool(self.halted);
+        nwo_ckpt::Checkpointable::save(&self.mem, w);
+    }
+
+    fn restore(&mut self, r: &mut nwo_ckpt::SectionReader) -> Result<(), nwo_ckpt::CkptError> {
+        for reg in self.regs.iter_mut() {
+            *reg = r.take_u64("frontend register")?;
+        }
+        self.pc = r.take_u64("frontend pc")?;
+        self.halted = r.take_bool("frontend halted")?;
+        self.spec = false;
+        self.stalled = false;
+        self.spec_regs.clear();
+        self.spec_mem.clear();
+        nwo_ckpt::Checkpointable::restore(&mut self.mem, r)
+    }
 }
 
 #[cfg(test)]

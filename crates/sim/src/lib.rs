@@ -44,6 +44,7 @@ mod stats;
 
 pub use config::{Optimization, PredictorChoice, SimConfig, MAX_TRACE_LIMIT};
 pub use machine::{Machine, SimError, TraceRecord};
+pub use nwo_ckpt as ckpt;
 pub use nwo_obs as obs;
 pub use report::SimReport;
 pub use stats::{
@@ -117,45 +118,46 @@ impl Simulator {
     /// Collects every counter in the machine — core pipeline, stall
     /// breakdown, caches and TLBs, branch predictor, power model — into
     /// one machine-readable [`nwo_obs::Snapshot`] (the payload behind
-    /// `nwo sim --json`).
+    /// `nwo sim --json` and each `--interval-stats` line).
     pub fn snapshot(&self) -> nwo_obs::Snapshot {
-        let stats = self.machine.stats();
-        let cycles = stats.cycles.max(self.machine.cycle).max(1);
-        let mut r = nwo_obs::Registry::new();
-        r.group("sim", |r| {
-            r.counter("cycles", stats.cycles);
-            r.counter("fetched", stats.fetched);
-            r.counter("dispatched", stats.dispatched);
-            r.counter("issued", stats.issued);
-            r.counter("committed", stats.committed);
-            r.counter("squashed", stats.squashed);
-            r.gauge("ipc", stats.ipc());
-        });
-        r.group("width", |r| {
-            r.histogram("committed", stats.width_committed.to_log2());
-            r.histogram("executed", stats.width_executed.to_log2());
-        });
-        r.source("stall", &stats.stall);
-        r.group("branch", |r| {
-            r.counter("committed", stats.branch.committed);
-            r.counter("cond_committed", stats.branch.cond_committed);
-            r.counter("mispredicts", stats.branch.mispredicts);
-            r.gauge("accuracy", stats.branch.accuracy());
-        });
-        r.group("pack", |r| {
-            r.counter("groups", stats.pack.groups);
-            r.counter("packed_ops", stats.pack.packed_ops);
-            r.counter("slots_saved", stats.pack.slots_saved);
-            r.counter("replay_issued", stats.pack.replay_issued);
-            r.counter("replay_squashed", stats.pack.replay_squashed);
-        });
-        r.source("mem", &self.machine.hierarchy_stats());
-        if let Some(ps) = self.machine.predictor_stats() {
-            r.source("bpred", &ps);
-        }
-        r.source("power", &stats.power.report(cycles));
-        r.source("mem_ext", &stats.mem_ext.report(cycles));
-        r.finish()
+        self.machine.build_snapshot()
+    }
+
+    /// Serializes the warmed machine state (post-[`Simulator::warmup`],
+    /// pre-[`Simulator::run`]) into a versioned checkpoint container.
+    /// See [`Machine::checkpoint`].
+    pub fn checkpoint(&self) -> Vec<u8> {
+        self.machine.checkpoint()
+    }
+
+    /// Restores warmed state saved by [`Simulator::checkpoint`],
+    /// replacing the warmup phase. See [`Machine::restore_checkpoint`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`nwo_ckpt::CkptError`] for a foreign, stale, truncated,
+    /// corrupted or mismatched checkpoint; the machine is untouched on
+    /// error.
+    pub fn restore_checkpoint(&mut self, bytes: &[u8]) -> Result<(), nwo_ckpt::CkptError> {
+        self.machine.restore_checkpoint(bytes)
+    }
+
+    /// Turns on per-PC lost-commit-slot attribution (`--stall-detail`).
+    pub fn enable_stall_detail(&mut self) {
+        self.machine.enable_stall_detail();
+    }
+
+    /// The per-PC stall breakdowns collected so far (`None` unless
+    /// [`Simulator::enable_stall_detail`] was called before running).
+    pub fn stall_detail(&self) -> Option<&std::collections::HashMap<u64, nwo_obs::StallBreakdown>> {
+        self.machine.stall_detail()
+    }
+
+    /// Streams a metrics snapshot to `out` as one JSON line every
+    /// `every` cycles of the run (`--interval-stats`). `every == 0`
+    /// disables the stream.
+    pub fn set_interval_stats(&mut self, every: u64, out: Box<dyn std::io::Write>) {
+        self.machine.set_interval_stats(every, out);
     }
 
     /// Builds a report from the current state (also usable mid-run).

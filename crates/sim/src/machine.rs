@@ -201,6 +201,15 @@ pub struct Machine {
     sink: Box<dyn TraceSink>,
     // Statistics.
     pub(crate) stats: SimStats,
+    /// Per-PC lost-commit-slot attribution (`--stall-detail`): when
+    /// enabled, every slot charged to the global [`SimStats::stall`]
+    /// breakdown is also charged to the PC of the instruction at the
+    /// head of the window (or the fetch PC when the window is empty).
+    stall_pcs: Option<std::collections::HashMap<u64, nwo_obs::StallBreakdown>>,
+    /// Interval statistics (`--interval-stats N`): every `0.every`
+    /// cycles the full metrics snapshot is appended to `0.sink` as one
+    /// JSONL line.
+    interval: Option<(u64, nwo_obs::JsonlSink<Box<dyn std::io::Write>>)>,
 }
 
 impl fmt::Debug for Machine {
@@ -251,6 +260,8 @@ impl Machine {
             out_quads: Vec::new(),
             sink,
             stats: SimStats::default(),
+            stall_pcs: None,
+            interval: None,
             config,
         }
     }
@@ -319,6 +330,200 @@ impl Machine {
         self.predictor.as_ref().map(|p| p.stats())
     }
 
+    /// Turns on per-PC lost-commit-slot attribution (`--stall-detail`).
+    /// Costs one hash-map update per under-width commit cycle; off by
+    /// default.
+    pub fn enable_stall_detail(&mut self) {
+        self.stall_pcs.get_or_insert_with(Default::default);
+    }
+
+    /// The per-PC stall breakdowns collected so far (`None` unless
+    /// [`Machine::enable_stall_detail`] was called before running).
+    pub fn stall_detail(&self) -> Option<&std::collections::HashMap<u64, nwo_obs::StallBreakdown>> {
+        self.stall_pcs.as_ref()
+    }
+
+    /// Streams a full metrics [`nwo_obs::Snapshot`] to `out` as one JSON
+    /// line every `every` cycles of [`Machine::run`]. `every == 0`
+    /// disables the stream.
+    pub fn set_interval_stats(&mut self, every: u64, out: Box<dyn std::io::Write>) {
+        self.interval = (every > 0).then(|| (every, nwo_obs::JsonlSink::new(out)));
+    }
+
+    /// Serializes the machine's warmed state into a versioned checkpoint
+    /// container: a `meta` identity section (warm-state config
+    /// fingerprint + program code digest), the architected front-end
+    /// state, the cache/TLB hierarchy, the branch predictor and the
+    /// architected output streams.
+    ///
+    /// Checkpoints capture architectural plus warmed-table state only —
+    /// the pipeline queues are not serialized — so they are meaningful
+    /// at the warmup boundary (after [`Machine::warmup`], before
+    /// [`Machine::run`]), which is the only place the simulator takes
+    /// them.
+    pub fn checkpoint(&self) -> Vec<u8> {
+        debug_assert!(
+            self.cycle == 0 && self.window.is_empty() && self.ifq.is_empty(),
+            "checkpoints are taken at the warmup boundary"
+        );
+        let mut cw = nwo_ckpt::CheckpointWriter::new();
+        let mut meta = nwo_ckpt::SectionWriter::new();
+        meta.put_u64(self.config.warm_fingerprint());
+        meta.put_u64(self.frontend.code_digest());
+        cw.add_section("meta", meta.into_bytes());
+        cw.write_section("frontend", &self.frontend);
+        cw.write_section("hierarchy", &self.hierarchy);
+        let mut bp = nwo_ckpt::SectionWriter::new();
+        bp.put_bool(self.predictor.is_some());
+        if let Some(p) = &self.predictor {
+            nwo_ckpt::Checkpointable::save(p, &mut bp);
+        }
+        cw.add_section("bpred", bp.into_bytes());
+        let mut out = nwo_ckpt::SectionWriter::new();
+        out.put_bytes(&self.out_bytes);
+        out.put_u64(self.out_quads.len() as u64);
+        for &q in &self.out_quads {
+            out.put_u64(q);
+        }
+        cw.add_section("output", out.into_bytes());
+        cw.to_bytes()
+    }
+
+    /// Restores warmed state saved by [`Machine::checkpoint`],
+    /// replacing the warmup phase. The machine must have been built from
+    /// the same program (code digest) and a config with the same
+    /// [`SimConfig::warm_fingerprint`], and must not have begun timed
+    /// simulation; any functional warmup already performed is simply
+    /// overwritten (warm state is restored wholesale).
+    ///
+    /// Every section is fully decoded and validated before any machine
+    /// state is touched, so a failed restore leaves the machine exactly
+    /// as constructed — there is no partial restore.
+    ///
+    /// # Errors
+    ///
+    /// Any [`nwo_ckpt::CkptError`]: bad magic / foreign version / stale
+    /// salt / truncation / CRC mismatch from the container layer, or
+    /// [`nwo_ckpt::CkptError::Mismatch`] when the checkpoint belongs to
+    /// a different program, machine shape, or already-run machine.
+    pub fn restore_checkpoint(&mut self, bytes: &[u8]) -> Result<(), nwo_ckpt::CkptError> {
+        use nwo_ckpt::CkptError;
+        if self.cycle != 0 || self.stats.committed != 0 {
+            return Err(CkptError::Malformed(
+                "restore requires a machine that has not begun timed simulation".into(),
+            ));
+        }
+        let reader = nwo_ckpt::CheckpointReader::from_bytes(bytes)?;
+        // Identity checks first: wrong program or wrong machine shape is
+        // rejected before any payload decoding.
+        let mut meta = reader.section("meta")?;
+        let fp = meta.take_u64("meta warm fingerprint")?;
+        let expected_fp = self.config.warm_fingerprint();
+        if fp != expected_fp {
+            return Err(CkptError::Mismatch {
+                what: "warm-state config fingerprint",
+                found: fp,
+                expected: expected_fp,
+            });
+        }
+        let digest = meta.take_u64("meta code digest")?;
+        let expected_digest = self.frontend.code_digest();
+        if digest != expected_digest {
+            return Err(CkptError::Mismatch {
+                what: "program code digest",
+                found: digest,
+                expected: expected_digest,
+            });
+        }
+        meta.finish("meta")?;
+        // Decode every section into scratch state; commit only when all
+        // of them parsed cleanly.
+        let mut frontend = self.frontend.clone();
+        reader.restore_section("frontend", &mut frontend)?;
+        let mut hierarchy = self.hierarchy.clone();
+        reader.restore_section("hierarchy", &mut hierarchy)?;
+        let mut bp = reader.section("bpred")?;
+        let has_predictor = bp.take_bool("bpred presence")?;
+        if has_predictor != self.predictor.is_some() {
+            return Err(CkptError::Mismatch {
+                what: "predictor presence",
+                found: has_predictor as u64,
+                expected: self.predictor.is_some() as u64,
+            });
+        }
+        let mut predictor = self.predictor.clone();
+        if let Some(p) = predictor.as_mut() {
+            nwo_ckpt::Checkpointable::restore(p, &mut bp)?;
+        }
+        bp.finish("bpred")?;
+        let mut out = reader.section("output")?;
+        let out_bytes = out.take_bytes(u64::MAX, "output out_bytes")?;
+        let quads = out.take_len(u64::MAX, "output out_quads count")?;
+        let mut out_quads = Vec::new();
+        for _ in 0..quads {
+            out_quads.push(out.take_u64("output out_quad")?);
+        }
+        out.finish("output")?;
+        self.frontend = frontend;
+        self.hierarchy = hierarchy;
+        self.predictor = predictor;
+        self.out_bytes = out_bytes;
+        self.out_quads = out_quads;
+        Ok(())
+    }
+
+    /// Collects every counter in the machine — core pipeline, stall
+    /// breakdown, caches and TLBs, branch predictor, power model — into
+    /// one machine-readable [`nwo_obs::Snapshot`]. Usable mid-run (the
+    /// interval-stats stream is built from it every N cycles).
+    pub fn build_snapshot(&self) -> nwo_obs::Snapshot {
+        let stats = &self.stats;
+        let cycles = stats.cycles.max(self.cycle);
+        let denom = cycles.max(1);
+        let mut r = nwo_obs::Registry::new();
+        r.group("sim", |r| {
+            r.counter("cycles", cycles);
+            r.counter("fetched", stats.fetched);
+            r.counter("dispatched", stats.dispatched);
+            r.counter("issued", stats.issued);
+            r.counter("committed", stats.committed);
+            r.counter("squashed", stats.squashed);
+            r.gauge(
+                "ipc",
+                if cycles == 0 {
+                    0.0
+                } else {
+                    stats.committed as f64 / cycles as f64
+                },
+            );
+        });
+        r.group("width", |r| {
+            r.histogram("committed", stats.width_committed.to_log2());
+            r.histogram("executed", stats.width_executed.to_log2());
+        });
+        r.source("stall", &stats.stall);
+        r.group("branch", |r| {
+            r.counter("committed", stats.branch.committed);
+            r.counter("cond_committed", stats.branch.cond_committed);
+            r.counter("mispredicts", stats.branch.mispredicts);
+            r.gauge("accuracy", stats.branch.accuracy());
+        });
+        r.group("pack", |r| {
+            r.counter("groups", stats.pack.groups);
+            r.counter("packed_ops", stats.pack.packed_ops);
+            r.counter("slots_saved", stats.pack.slots_saved);
+            r.counter("replay_issued", stats.pack.replay_issued);
+            r.counter("replay_squashed", stats.pack.replay_squashed);
+        });
+        r.source("mem", &self.hierarchy_stats());
+        if let Some(ps) = self.predictor_stats() {
+            r.source("bpred", &ps);
+        }
+        r.source("power", &stats.power.report(denom));
+        r.source("mem_ext", &stats.mem_ext.report(denom));
+        r.finish()
+    }
+
     /// Fast-forwards `insts` instructions functionally, warming caches
     /// and the branch predictor but not simulating timing — the paper's
     /// warmup methodology (Section 3.2).
@@ -347,6 +552,15 @@ impl Machine {
                     p.update(rec.pc, &cinfo, rec.taken, rec.next_pc, None);
                 }
             }
+            // Warmed-over instructions are architecturally executed, so
+            // their output side effects are real — collecting them here
+            // is what makes a restored-from-checkpoint run's output
+            // byte-identical to an uninterrupted warmup-then-run.
+            match rec.instr.op {
+                Opcode::Outb => self.out_bytes.push(rec.op_a as u8),
+                Opcode::Outq => self.out_quads.push(rec.op_a),
+                _ => {}
+            }
             n += 1;
         }
         Ok(n)
@@ -360,6 +574,12 @@ impl Machine {
     /// See [`SimError`].
     pub fn run(&mut self, max_insts: u64) -> Result<(), SimError> {
         while !self.done && self.stats.committed < max_insts {
+            if self.frontend.halted() && self.window.is_empty() && self.ifq.is_empty() {
+                // Warmup (or a restored checkpoint of one) consumed the
+                // whole program including `halt`: nothing left to time.
+                self.done = true;
+                break;
+            }
             if self.cycle >= self.config.max_cycles {
                 return Err(SimError::CycleLimit {
                     limit: self.config.max_cycles,
@@ -371,12 +591,23 @@ impl Machine {
             self.issue();
             self.dispatch();
             self.fetch()?;
+            if let Some(every) = self.interval.as_ref().map(|(e, _)| *e) {
+                if self.cycle.is_multiple_of(every) {
+                    let line = self.build_snapshot().to_json_line();
+                    if let Some((_, sink)) = &mut self.interval {
+                        sink.write_line(&line);
+                    }
+                }
+            }
             if self.cycle - self.last_commit_cycle > 200_000 {
                 return Err(SimError::Deadlock { cycle: self.cycle });
             }
         }
         self.stats.cycles = self.cycle;
         self.sink.flush();
+        if let Some((_, sink)) = &mut self.interval {
+            TraceSink::flush(sink);
+        }
         Ok(())
     }
 
@@ -1143,7 +1374,19 @@ impl Machine {
         let width = self.config.commit_width as u64;
         if retired < width {
             let cause = self.stall_cause();
-            self.stats.stall.charge(cause, width - retired);
+            let lost = width - retired;
+            self.stats.stall.charge(cause, lost);
+            // Attribute the lost slots to the instruction blocking
+            // commit — the window head — or, with an empty window,
+            // to the PC fetch is (re)starting from.
+            let pc = self
+                .window
+                .front()
+                .map(|e| e.rec.pc)
+                .unwrap_or_else(|| self.frontend.pc());
+            if let Some(pcs) = self.stall_pcs.as_mut() {
+                pcs.entry(pc).or_default().charge(cause, lost);
+            }
         }
     }
 

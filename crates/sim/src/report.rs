@@ -41,6 +41,90 @@ impl SimReport {
     pub fn ipc(&self) -> f64 {
         self.stats.ipc()
     }
+
+    /// Serializes the full report into a standalone checkpoint container
+    /// (one `report` section) — the payload the bench harness persists
+    /// into its `NWO_CACHE_DIR` disk memo cache.
+    pub fn to_ckpt_bytes(&self) -> Vec<u8> {
+        let mut w = nwo_ckpt::CheckpointWriter::new();
+        w.write_section("report", self);
+        w.to_bytes()
+    }
+
+    /// Inverse of [`SimReport::to_ckpt_bytes`]. Verifies magic, format
+    /// version, code salt and the section CRC before decoding.
+    ///
+    /// # Errors
+    ///
+    /// Any [`nwo_ckpt::CkptError`] for a foreign, stale, truncated or
+    /// corrupted container.
+    pub fn from_ckpt_bytes(bytes: &[u8]) -> Result<SimReport, nwo_ckpt::CkptError> {
+        let reader = nwo_ckpt::CheckpointReader::from_bytes(bytes)?;
+        let mut report = SimReport::zeroed();
+        reader.restore_section("report", &mut report)?;
+        Ok(report)
+    }
+
+    /// An all-zero receiver for [`SimReport::from_ckpt_bytes`].
+    fn zeroed() -> SimReport {
+        SimReport {
+            stats: SimStats::default(),
+            stall: StallBreakdown::new(),
+            packing_enabled: false,
+            power: nwo_power::PowerAccumulator::new().report(1),
+            mem_ext: nwo_power::MemPowerExt::new().report(1),
+            hierarchy: HierarchyStats::default(),
+            predictor: None,
+            out_bytes: Vec::new(),
+            out_quads: Vec::new(),
+        }
+    }
+}
+
+impl nwo_ckpt::Checkpointable for SimReport {
+    fn save(&self, w: &mut nwo_ckpt::SectionWriter) {
+        use nwo_ckpt::Checkpointable as Ckpt;
+        Ckpt::save(&self.stats, w);
+        w.put_bool(self.packing_enabled);
+        Ckpt::save(&self.power, w);
+        Ckpt::save(&self.mem_ext, w);
+        Ckpt::save(&self.hierarchy, w);
+        w.put_bool(self.predictor.is_some());
+        if let Some(p) = &self.predictor {
+            Ckpt::save(p, w);
+        }
+        w.put_bytes(&self.out_bytes);
+        w.put_u64(self.out_quads.len() as u64);
+        for &q in &self.out_quads {
+            w.put_u64(q);
+        }
+        // `stall` is a clone of `stats.stall` by construction; it is
+        // rebuilt on restore rather than stored twice.
+    }
+
+    fn restore(&mut self, r: &mut nwo_ckpt::SectionReader) -> Result<(), nwo_ckpt::CkptError> {
+        use nwo_ckpt::Checkpointable as Ckpt;
+        Ckpt::restore(&mut self.stats, r)?;
+        self.packing_enabled = r.take_bool("report packing_enabled")?;
+        Ckpt::restore(&mut self.power, r)?;
+        Ckpt::restore(&mut self.mem_ext, r)?;
+        Ckpt::restore(&mut self.hierarchy, r)?;
+        if r.take_bool("report predictor presence")? {
+            let mut stats = PredictorStats::default();
+            Ckpt::restore(&mut stats, r)?;
+            self.predictor = Some(stats);
+        } else {
+            self.predictor = None;
+        }
+        self.out_bytes = r.take_bytes(u64::MAX, "report out_bytes")?;
+        let quads = r.take_len(u64::MAX, "report out_quads count")?;
+        self.out_quads = Vec::new();
+        for _ in 0..quads {
+            self.out_quads.push(r.take_u64("report out_quad")?);
+        }
+        self.stall = self.stats.stall.clone();
+        Ok(())
+    }
 }
 
 impl fmt::Display for SimReport {

@@ -373,6 +373,224 @@ impl SimStats {
     }
 }
 
+// ---------------------------------------------------------------------
+// Checkpointing
+// ---------------------------------------------------------------------
+
+use nwo_ckpt::{CkptError, SectionReader, SectionWriter};
+use nwo_obs::StallCause;
+
+impl nwo_ckpt::Checkpointable for WidthHistogram {
+    fn save(&self, w: &mut SectionWriter) {
+        for &c in &self.counts {
+            w.put_u64(c);
+        }
+        w.put_u64(self.total);
+    }
+
+    fn restore(&mut self, r: &mut SectionReader) -> Result<(), CkptError> {
+        for c in self.counts.iter_mut() {
+            *c = r.take_u64("width histogram bucket")?;
+        }
+        self.total = r.take_u64("width histogram total")?;
+        let sum: u64 = self.counts.iter().sum();
+        if sum != self.total {
+            return Err(CkptError::Mismatch {
+                what: "width histogram total",
+                found: self.total,
+                expected: sum,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Serialized sorted by PC so identical trackers always produce
+/// byte-identical payloads (the in-memory `HashMap` order is not
+/// deterministic).
+impl nwo_ckpt::Checkpointable for FluctuationTracker {
+    fn save(&self, w: &mut SectionWriter) {
+        let mut entries: Vec<_> = self.map.iter().collect();
+        entries.sort_unstable_by_key(|(pc, _)| **pc);
+        w.put_u64(entries.len() as u64);
+        for (pc, (last, fluct, execs)) in entries {
+            w.put_u64(*pc);
+            w.put_bool(*last);
+            w.put_bool(*fluct);
+            w.put_u64(*execs);
+        }
+    }
+
+    fn restore(&mut self, r: &mut SectionReader) -> Result<(), CkptError> {
+        let n = r.take_len(u64::MAX, "fluctuation tracker entry count")?;
+        self.map.clear();
+        for _ in 0..n {
+            let pc = r.take_u64("fluctuation tracker pc")?;
+            let last = r.take_bool("fluctuation tracker narrowness")?;
+            let fluct = r.take_bool("fluctuation tracker flip flag")?;
+            let execs = r.take_u64("fluctuation tracker executions")?;
+            self.map.insert(pc, (last, fluct, execs));
+        }
+        Ok(())
+    }
+}
+
+impl nwo_ckpt::Checkpointable for NarrowBreakdown {
+    fn save(&self, w: &mut SectionWriter) {
+        for (total, n16, n33) in &self.by_class {
+            w.put_u64(*total);
+            w.put_u64(*n16);
+            w.put_u64(*n33);
+        }
+        w.put_u64(self.total_instructions);
+    }
+
+    fn restore(&mut self, r: &mut SectionReader) -> Result<(), CkptError> {
+        for entry in self.by_class.iter_mut() {
+            entry.0 = r.take_u64("breakdown class total")?;
+            entry.1 = r.take_u64("breakdown class narrow16")?;
+            entry.2 = r.take_u64("breakdown class narrow33")?;
+        }
+        self.total_instructions = r.take_u64("breakdown total")?;
+        Ok(())
+    }
+}
+
+impl nwo_ckpt::Checkpointable for Occupancy {
+    fn save(&self, w: &mut SectionWriter) {
+        w.put_u64(self.issue_slots.len() as u64);
+        for &c in &self.issue_slots {
+            w.put_u64(c);
+        }
+        w.put_u64(self.ruu_sum);
+        w.put_u64(self.alu_sum);
+        w.put_u64(self.issue_saturated);
+    }
+
+    fn restore(&mut self, r: &mut SectionReader) -> Result<(), CkptError> {
+        let n = r.take_len(1 << 16, "occupancy issue-slot bucket count")?;
+        self.issue_slots.clear();
+        for _ in 0..n {
+            self.issue_slots
+                .push(r.take_u64("occupancy issue-slot bucket")?);
+        }
+        self.ruu_sum = r.take_u64("occupancy ruu_sum")?;
+        self.alu_sum = r.take_u64("occupancy alu_sum")?;
+        self.issue_saturated = r.take_u64("occupancy issue_saturated")?;
+        Ok(())
+    }
+}
+
+impl nwo_ckpt::Checkpointable for PackStats {
+    fn save(&self, w: &mut SectionWriter) {
+        w.put_u64(self.groups);
+        w.put_u64(self.packed_ops);
+        w.put_u64(self.slots_saved);
+        w.put_u64(self.replay_issued);
+        w.put_u64(self.replay_squashed);
+    }
+
+    fn restore(&mut self, r: &mut SectionReader) -> Result<(), CkptError> {
+        self.groups = r.take_u64("pack groups")?;
+        self.packed_ops = r.take_u64("pack packed_ops")?;
+        self.slots_saved = r.take_u64("pack slots_saved")?;
+        self.replay_issued = r.take_u64("pack replay_issued")?;
+        self.replay_squashed = r.take_u64("pack replay_squashed")?;
+        Ok(())
+    }
+}
+
+impl nwo_ckpt::Checkpointable for BranchStats {
+    fn save(&self, w: &mut SectionWriter) {
+        w.put_u64(self.committed);
+        w.put_u64(self.cond_committed);
+        w.put_u64(self.mispredicts);
+    }
+
+    fn restore(&mut self, r: &mut SectionReader) -> Result<(), CkptError> {
+        self.committed = r.take_u64("branch committed")?;
+        self.cond_committed = r.take_u64("branch cond_committed")?;
+        self.mispredicts = r.take_u64("branch mispredicts")?;
+        Ok(())
+    }
+}
+
+/// Serializes a [`StallBreakdown`] through its public API — `nwo-obs`
+/// stays dependency-free, so the encoding lives here: a cause count
+/// (layout guard) followed by one slot counter per [`StallCause::ALL`]
+/// entry, in display order.
+pub(crate) fn save_stall(b: &StallBreakdown, w: &mut SectionWriter) {
+    w.put_u64(StallCause::ALL.len() as u64);
+    for cause in StallCause::ALL {
+        w.put_u64(b.get(cause));
+    }
+}
+
+/// Inverse of [`save_stall`]; rejects a file written with a different
+/// cause taxonomy.
+pub(crate) fn restore_stall(r: &mut SectionReader) -> Result<StallBreakdown, CkptError> {
+    let n = r.take_u64("stall cause count")?;
+    if n != StallCause::ALL.len() as u64 {
+        return Err(CkptError::Mismatch {
+            what: "stall cause count",
+            found: n,
+            expected: StallCause::ALL.len() as u64,
+        });
+    }
+    let mut b = StallBreakdown::new();
+    for cause in StallCause::ALL {
+        b.charge(cause, r.take_u64("stall cause slots")?);
+    }
+    Ok(b)
+}
+
+impl nwo_ckpt::Checkpointable for SimStats {
+    fn save(&self, w: &mut SectionWriter) {
+        use nwo_ckpt::Checkpointable as Ckpt;
+        w.put_u64(self.cycles);
+        w.put_u64(self.fetched);
+        w.put_u64(self.dispatched);
+        w.put_u64(self.issued);
+        w.put_u64(self.committed);
+        w.put_u64(self.squashed);
+        Ckpt::save(&self.width_committed, w);
+        Ckpt::save(&self.width_executed, w);
+        Ckpt::save(&self.fluctuation, w);
+        Ckpt::save(&self.breakdown, w);
+        Ckpt::save(&self.power, w);
+        Ckpt::save(&self.mem_ext, w);
+        Ckpt::save(&self.pack, w);
+        Ckpt::save(&self.occupancy, w);
+        save_stall(&self.stall, w);
+        Ckpt::save(&self.branch, w);
+        w.put_u64(self.gated_ops_with_load_operand);
+        w.put_u64(self.gated_ops);
+    }
+
+    fn restore(&mut self, r: &mut SectionReader) -> Result<(), CkptError> {
+        use nwo_ckpt::Checkpointable as Ckpt;
+        self.cycles = r.take_u64("stats cycles")?;
+        self.fetched = r.take_u64("stats fetched")?;
+        self.dispatched = r.take_u64("stats dispatched")?;
+        self.issued = r.take_u64("stats issued")?;
+        self.committed = r.take_u64("stats committed")?;
+        self.squashed = r.take_u64("stats squashed")?;
+        Ckpt::restore(&mut self.width_committed, r)?;
+        Ckpt::restore(&mut self.width_executed, r)?;
+        Ckpt::restore(&mut self.fluctuation, r)?;
+        Ckpt::restore(&mut self.breakdown, r)?;
+        Ckpt::restore(&mut self.power, r)?;
+        Ckpt::restore(&mut self.mem_ext, r)?;
+        Ckpt::restore(&mut self.pack, r)?;
+        Ckpt::restore(&mut self.occupancy, r)?;
+        self.stall = restore_stall(r)?;
+        Ckpt::restore(&mut self.branch, r)?;
+        self.gated_ops_with_load_operand = r.take_u64("stats gated_ops_with_load_operand")?;
+        self.gated_ops = r.take_u64("stats gated_ops")?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
