@@ -27,7 +27,7 @@ fn main() {
     };
     println!("nwo experiment harness — reproducing Brooks & Martonosi, HPCA 1999");
     match run_harness(&selected) {
-        Ok(summary) => {
+        Ok(summary) if summary.failures.is_empty() => {
             println!();
             println!(
                 "all {} experiments completed in {:.1}s ({} sims, {} memo hits, {} workers)",
@@ -37,6 +37,15 @@ fn main() {
                 summary.memo_hits,
                 summary.jobs
             );
+        }
+        // The sweep finished and the JSON is on disk, quarantined
+        // entries included; the exit code still flags the trouble.
+        Ok(summary) => {
+            eprintln!();
+            for f in &summary.failures {
+                eprintln!("quarantined: {} ({}): {}", f.name, f.status, f.detail);
+            }
+            std::process::exit(3);
         }
         Err(message) => {
             eprintln!("{message}");

@@ -4,6 +4,14 @@
 //! machine-readable timing summary to `BENCH_harness.json` so future
 //! changes have a perf trajectory to regress against.
 //!
+//! Each experiment runs on its own worker thread under a panic guard
+//! and an optional wall-clock watchdog (`NWO_WATCHDOG_SECS`): a
+//! panicking or runaway experiment is **quarantined** — recorded in the
+//! summary's `failures` array with its panic message or timeout — and
+//! the sweep continues with the next experiment instead of dying.
+//! `NWO_FAIL_EXPERIMENT=<name>` (or `<name>:hang`) deliberately breaks
+//! one experiment, which is how the quarantine path itself is tested.
+//!
 //! The JSON schema (`schema` bumps on incompatible change):
 //!
 //! ```json
@@ -19,7 +27,10 @@
 //!   "warm_hits": 0,       // simulations reusing a warm checkpoint
 //!   "experiments": [
 //!     {"name": "fig1", "wall_s": 0.81, "sims_run": 8, "memo_hits": 0,
-//!      "disk_hits": 0}
+//!      "disk_hits": 0, "status": "ok"}
+//!   ],
+//!   "failures": [
+//!     {"name": "fig2", "status": "failed", "detail": "panicked: ..."}
 //!   ]
 //! }
 //! ```
@@ -30,7 +41,7 @@
 use crate::figures;
 use crate::runner::Runner;
 use nwo_sim::obs::json;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Timing and memo accounting for one experiment.
 #[derive(Debug, Clone)]
@@ -45,6 +56,19 @@ pub struct ExperimentTiming {
     pub memo_hits: u64,
     /// Submissions served from the disk cache during the experiment.
     pub disk_hits: u64,
+    /// `"ok"`, `"failed"` (panicked) or `"timeout"` (watchdog fired).
+    pub status: String,
+}
+
+/// One quarantined experiment: the sweep continued without it.
+#[derive(Debug, Clone)]
+pub struct ExperimentFailure {
+    /// Experiment name.
+    pub name: String,
+    /// `"failed"` or `"timeout"`.
+    pub status: String,
+    /// Panic message or watchdog description.
+    pub detail: String,
 }
 
 /// Whole-run accounting, serializable to `BENCH_harness.json`.
@@ -68,6 +92,8 @@ pub struct HarnessSummary {
     pub warm_hits: u64,
     /// Per-experiment breakdown, in execution order.
     pub experiments: Vec<ExperimentTiming>,
+    /// Experiments that panicked or timed out (sweep continued).
+    pub failures: Vec<ExperimentFailure>,
 }
 
 impl HarnessSummary {
@@ -102,8 +128,24 @@ impl HarnessSummary {
             out.push_str(&e.memo_hits.to_string());
             out.push_str(", \"disk_hits\": ");
             out.push_str(&e.disk_hits.to_string());
+            out.push_str(", \"status\": ");
+            json::write_str(&mut out, &e.status);
             out.push('}');
             if i + 1 < self.experiments.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ],\n  \"failures\": [\n");
+        for (i, f) in self.failures.iter().enumerate() {
+            out.push_str("    {\"name\": ");
+            json::write_str(&mut out, &f.name);
+            out.push_str(", \"status\": ");
+            json::write_str(&mut out, &f.status);
+            out.push_str(", \"detail\": ");
+            json::write_str(&mut out, &f.detail);
+            out.push('}');
+            if i + 1 < self.failures.len() {
                 out.push(',');
             }
             out.push('\n');
@@ -124,14 +166,142 @@ fn summary_path() -> Option<std::path::PathBuf> {
     }
 }
 
-/// Runs `names` in order on the global runner, printing each
-/// experiment's table followed by a `[name  wall …]` summary line,
-/// then a whole-run total, and persists the summary JSON.
+/// Robustness knobs for a harness sweep, normally read from the
+/// environment by [`HarnessOptions::from_env`].
+#[derive(Debug, Clone, Default)]
+pub struct HarnessOptions {
+    /// Per-experiment wall-clock budget (`NWO_WATCHDOG_SECS`); an
+    /// experiment exceeding it is quarantined as `"timeout"` and its
+    /// worker thread detached. `None` disables the watchdog.
+    pub watchdog: Option<Duration>,
+    /// Deliberate failure injection (`NWO_FAIL_EXPERIMENT`): the named
+    /// experiment panics instead of running; with a `:hang` suffix it
+    /// blocks until the watchdog fires. Exercises the quarantine path.
+    pub fail_experiment: Option<String>,
+    /// Where to write the summary JSON; `None` skips writing.
+    pub json_path: Option<std::path::PathBuf>,
+}
+
+/// How `NWO_FAIL_EXPERIMENT` breaks the matching experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Inject {
+    Panic,
+    Hang,
+}
+
+impl HarnessOptions {
+    /// Reads `NWO_WATCHDOG_SECS`, `NWO_FAIL_EXPERIMENT` and
+    /// `NWO_HARNESS_JSON` from the environment.
+    pub fn from_env() -> HarnessOptions {
+        let watchdog = std::env::var("NWO_WATCHDOG_SECS")
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+            .filter(|s| *s > 0.0)
+            .map(Duration::from_secs_f64);
+        let fail_experiment = std::env::var("NWO_FAIL_EXPERIMENT")
+            .ok()
+            .filter(|v| !v.is_empty());
+        HarnessOptions {
+            watchdog,
+            fail_experiment,
+            json_path: summary_path(),
+        }
+    }
+
+    /// The injected failure for `name`, if any.
+    fn injected(&self, name: &str) -> Option<Inject> {
+        let spec = self.fail_experiment.as_deref()?;
+        match spec.strip_suffix(":hang") {
+            Some(base) if base == name => Some(Inject::Hang),
+            None if spec == name => Some(Inject::Panic),
+            _ => None,
+        }
+    }
+}
+
+/// A human-readable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panicked: {s}")
+    } else {
+        "panicked with a non-string payload".to_string()
+    }
+}
+
+/// Runs one experiment on its own thread under a panic guard and the
+/// optional watchdog. Returns `("ok", None)` or a quarantine verdict.
+fn run_guarded(name: &str, opts: &HarnessOptions) -> (&'static str, Option<String>) {
+    let (tx, rx) = std::sync::mpsc::channel();
+    let inject = opts.injected(name);
+    let owned = name.to_string();
+    let worker = std::thread::spawn(move || {
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match inject {
+            Some(Inject::Panic) => {
+                panic!("deliberate failure injected via NWO_FAIL_EXPERIMENT")
+            }
+            Some(Inject::Hang) => std::thread::sleep(Duration::from_secs(3600)),
+            None => {
+                figures::run_experiment(&owned);
+            }
+        }));
+        let _ = tx.send(outcome.map_err(|p| panic_message(&*p)));
+    });
+    let outcome = match opts.watchdog {
+        Some(budget) => match rx.recv_timeout(budget) {
+            Ok(res) => {
+                let _ = worker.join();
+                res
+            }
+            // The worker may be wedged mid-simulation; detach it and
+            // move on — quarantine must not become a hang of its own.
+            Err(_) => {
+                return (
+                    "timeout",
+                    Some(format!(
+                        "exceeded the {:.1}s watchdog; worker thread detached",
+                        budget.as_secs_f64()
+                    )),
+                );
+            }
+        },
+        None => {
+            let res = rx
+                .recv()
+                .unwrap_or_else(|_| Err("worker exited without reporting".to_string()));
+            let _ = worker.join();
+            res
+        }
+    };
+    match outcome {
+        Ok(()) => ("ok", None),
+        Err(msg) => ("failed", Some(msg)),
+    }
+}
+
+/// Runs `names` in order with options from the environment. See
+/// [`run_harness_with`].
 ///
 /// # Errors
 ///
 /// Returns an error (before running anything) if any name is unknown.
 pub fn run_harness(names: &[&str]) -> Result<HarnessSummary, String> {
+    run_harness_with(names, &HarnessOptions::from_env())
+}
+
+/// Runs `names` in order on the global runner, printing each
+/// experiment's table followed by a `[name  wall …]` summary line,
+/// then a whole-run total, and persists the summary JSON. Experiments
+/// that panic or outrun the watchdog are quarantined (recorded in
+/// [`HarnessSummary::failures`]) and the sweep continues.
+///
+/// # Errors
+///
+/// Returns an error (before running anything) if any name is unknown.
+/// Quarantined failures are *not* errors here — callers decide whether
+/// a partially-failed sweep is fatal.
+pub fn run_harness_with(names: &[&str], opts: &HarnessOptions) -> Result<HarnessSummary, String> {
     for name in names {
         if !figures::EXPERIMENTS.iter().any(|(n, _)| n == name) {
             return Err(format!(
@@ -143,11 +313,11 @@ pub fn run_harness(names: &[&str]) -> Result<HarnessSummary, String> {
     let runner = Runner::global();
     let start = Instant::now();
     let mut experiments = Vec::with_capacity(names.len());
+    let mut failures = Vec::new();
     for name in names {
         let before = runner.counters();
         let t = Instant::now();
-        let ran = figures::run_experiment(name);
-        debug_assert!(ran, "names were validated above");
+        let (status, detail) = run_guarded(name, opts);
         let wall_s = t.elapsed().as_secs_f64();
         let after = runner.counters();
         let timing = ExperimentTiming {
@@ -156,11 +326,21 @@ pub fn run_harness(names: &[&str]) -> Result<HarnessSummary, String> {
             sims_run: after.sims_run - before.sims_run,
             memo_hits: after.memo_hits - before.memo_hits,
             disk_hits: after.disk_hits - before.disk_hits,
+            status: status.to_string(),
         };
-        println!(
-            "[{}  wall {:.2}s  sims {}  memo-hits {}  disk-hits {}]",
-            timing.name, timing.wall_s, timing.sims_run, timing.memo_hits, timing.disk_hits
-        );
+        if let Some(detail) = detail {
+            eprintln!("[{}  QUARANTINED ({status}): {detail}]", timing.name);
+            failures.push(ExperimentFailure {
+                name: name.to_string(),
+                status: status.to_string(),
+                detail,
+            });
+        } else {
+            println!(
+                "[{}  wall {:.2}s  sims {}  memo-hits {}  disk-hits {}]",
+                timing.name, timing.wall_s, timing.sims_run, timing.memo_hits, timing.disk_hits
+            );
+        }
         experiments.push(timing);
     }
     let totals = runner.counters();
@@ -174,19 +354,21 @@ pub fn run_harness(names: &[&str]) -> Result<HarnessSummary, String> {
         warmups_run: totals.warmups_run,
         warm_hits: totals.warm_hits,
         experiments,
+        failures,
     };
     println!(
-        "[total  wall {:.2}s  sims {}  memo-hits {}  disk-hits {}  warmups {}  jobs {}]",
+        "[total  wall {:.2}s  sims {}  memo-hits {}  disk-hits {}  warmups {}  jobs {}  quarantined {}]",
         summary.wall_s,
         summary.sims_run,
         summary.memo_hits,
         summary.disk_hits,
         summary.warmups_run,
-        summary.jobs
+        summary.jobs,
+        summary.failures.len()
     );
     debug_assert!(totals.submitted >= totals.memo_hits);
-    if let Some(path) = summary_path() {
-        match std::fs::write(&path, summary.to_json()) {
+    if let Some(path) = &opts.json_path {
+        match std::fs::write(path, summary.to_json()) {
             Ok(()) => eprintln!("wrote harness timing summary to {}", path.display()),
             Err(e) => eprintln!("NWO_HARNESS_JSON: cannot write {}: {e}", path.display()),
         }
@@ -216,6 +398,7 @@ mod tests {
                     sims_run: 8,
                     memo_hits: 0,
                     disk_hits: 5,
+                    status: "ok".into(),
                 },
                 ExperimentTiming {
                     name: "stalls".into(),
@@ -223,8 +406,14 @@ mod tests {
                     sims_run: 2,
                     memo_hits: 3,
                     disk_hits: 0,
+                    status: "failed".into(),
                 },
             ],
+            failures: vec![ExperimentFailure {
+                name: "stalls".into(),
+                status: "failed".into(),
+                detail: "panicked: boom".into(),
+            }],
         };
         let text = summary.to_json();
         let v = json::parse(&text).expect("summary JSON parses");
@@ -236,11 +425,54 @@ mod tests {
         assert_eq!(v.get("warmups_run").and_then(|x| x.as_u64()), Some(2));
         assert_eq!(v.get("warm_hits").and_then(|x| x.as_u64()), Some(8));
         assert!((v.get("wall_s").and_then(|x| x.as_f64()).unwrap() - 2.5).abs() < 1e-12);
+        let failures = v.get("failures").and_then(|x| x.as_array()).unwrap();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(
+            failures[0].get("status").and_then(|x| x.as_str()),
+            Some("failed")
+        );
+        let experiments = v.get("experiments").and_then(|x| x.as_array()).unwrap();
+        assert_eq!(
+            experiments[1].get("status").and_then(|x| x.as_str()),
+            Some("failed")
+        );
     }
 
     #[test]
     fn unknown_names_are_rejected_before_running() {
-        let err = run_harness(&["definitely-not-real"]).expect_err("must reject");
+        let err = run_harness_with(&["definitely-not-real"], &HarnessOptions::default())
+            .expect_err("must reject");
         assert!(err.contains("definitely-not-real"));
+    }
+
+    #[test]
+    fn injected_failure_is_quarantined_and_the_sweep_continues() {
+        // The injection panics *before* any simulation starts, so this
+        // stays fast: the experiment body never runs.
+        let opts = HarnessOptions {
+            watchdog: None,
+            fail_experiment: Some("fig1".into()),
+            json_path: None,
+        };
+        let summary = run_harness_with(&["fig1"], &opts).expect("sweep completes");
+        assert_eq!(summary.failures.len(), 1);
+        assert_eq!(summary.failures[0].name, "fig1");
+        assert_eq!(summary.failures[0].status, "failed");
+        assert!(summary.failures[0].detail.contains("NWO_FAIL_EXPERIMENT"));
+        assert_eq!(summary.experiments[0].status, "failed");
+    }
+
+    #[test]
+    fn watchdog_quarantines_a_hung_experiment() {
+        let opts = HarnessOptions {
+            watchdog: Some(Duration::from_millis(50)),
+            fail_experiment: Some("fig1:hang".into()),
+            json_path: None,
+        };
+        let summary = run_harness_with(&["fig1"], &opts).expect("sweep completes");
+        assert_eq!(summary.failures.len(), 1);
+        assert_eq!(summary.failures[0].status, "timeout");
+        assert!(summary.failures[0].detail.contains("watchdog"));
+        assert_eq!(summary.experiments[0].status, "timeout");
     }
 }

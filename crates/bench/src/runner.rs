@@ -287,12 +287,14 @@ impl Runner {
         JobHandle { slot, memo_hit }
     }
 
-    /// Attempts to answer a submission from the disk cache. Any failure
-    /// — missing file, I/O error, stale code salt, corruption — is a
+    /// Attempts to answer a submission from the disk cache. Transient
+    /// I/O errors are retried with backoff; any persistent failure —
+    /// missing file, I/O error, stale code salt, corruption — is a
     /// miss: the simulation re-runs and overwrites the entry.
     fn load_from_disk(&self, key: Option<&str>) -> Option<SimReport> {
         let disk = self.shared.disk.as_ref()?;
-        let bytes = disk.load(key?).ok().flatten()?;
+        let key = key?;
+        let bytes = with_retry(|| disk.load(key)).ok().flatten()?;
         SimReport::from_ckpt_bytes(&bytes).ok()
     }
 
@@ -348,13 +350,36 @@ fn worker_loop(shared: &Shared) {
         .map(Arc::new)
         .map_err(|payload| panic_message(&job.bench, &payload));
         if let (Some(disk), Some(key), Ok(report)) = (&shared.disk, &job.disk_key, &outcome) {
-            if let Err(e) = disk.store(key, &report.to_ckpt_bytes()) {
+            let bytes = report.to_ckpt_bytes();
+            if let Err(e) = with_retry(|| disk.store(key, &bytes)) {
                 eprintln!("NWO_CACHE_DIR: cannot store {key}: {e}");
             }
         }
         shared.counters.lock().unwrap().sims_run += 1;
         job.slot.fill(outcome);
     }
+}
+
+/// Runs a disk-cache operation up to three times, backing off ~10ms then
+/// ~40ms between attempts. Shared filesystems fail transiently; a cache
+/// miss costs a full re-simulation, so a couple of cheap retries pay for
+/// themselves many times over. The final error is returned unchanged.
+fn with_retry<T>(
+    mut op: impl FnMut() -> Result<T, nwo_ckpt::CkptError>,
+) -> Result<T, nwo_ckpt::CkptError> {
+    let mut delay = std::time::Duration::from_millis(10);
+    let mut last = None;
+    for attempt in 0..3 {
+        if attempt > 0 {
+            std::thread::sleep(delay);
+            delay *= 4;
+        }
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(last.expect("retry loop ran at least once"))
 }
 
 /// The warm checkpoint for `(bench, scale, warm fingerprint)`, building
@@ -579,6 +604,43 @@ mod tests {
             .expect("readable")
             .expect("present");
         assert!(SimReport::from_ckpt_bytes(&bytes).is_ok());
+    }
+
+    #[test]
+    fn transient_cache_faults_are_retried_through() {
+        let scratch = ScratchCache::new("retry");
+        let bench = small_bench();
+
+        // Seed the cache with a clean handle.
+        let seed = Runner::with_options(1, Some(scratch.dir()), 0);
+        let first = seed.submit(&bench, 0, base_config()).wait();
+        drop(seed);
+
+        // One injected transient failure per operation: the retry path
+        // absorbs it and the run still answers from disk.
+        let flaky = CacheDir::with_injected_faults(&scratch.0, 1);
+        let runner = Runner::with_options(1, Some(flaky), 0);
+        let handle = runner.submit(&bench, 0, base_config());
+        let report = handle.wait();
+        let counters = runner.counters();
+        assert_eq!(counters.disk_hits, 1, "retry turned the fault into a hit");
+        assert_eq!(counters.sims_run, 0, "no simulation re-ran");
+        assert_eq!(report.to_ckpt_bytes(), first.to_ckpt_bytes());
+    }
+
+    #[test]
+    fn exhausted_retries_fall_back_to_simulation() {
+        let scratch = ScratchCache::new("retry-miss");
+        let bench = small_bench();
+        // More faults than load retries (3) plus store retries (3): both
+        // the read and the write-back fail, yet the job still completes.
+        let flaky = CacheDir::with_injected_faults(&scratch.0, 6);
+        let runner = Runner::with_options(1, Some(flaky), 0);
+        let report = runner.submit(&bench, 0, base_config()).wait();
+        let counters = runner.counters();
+        assert_eq!(counters.disk_hits, 0);
+        assert_eq!(counters.sims_run, 1, "persistent failure degrades to a run");
+        assert!(report.stats.committed > 0);
     }
 
     #[test]

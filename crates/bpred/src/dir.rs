@@ -472,6 +472,34 @@ impl DirPredictor {
             _ => {}
         }
     }
+
+    /// Flips the low bit of one direction counter chosen from `entropy`
+    /// — deterministic fault injection for robustness campaigns. The
+    /// corruption is micro-architectural only: predictions may get
+    /// worse, architected results cannot change. Returns false when the
+    /// predictor has no mutable state (static taken/not-taken).
+    pub fn flip_state_bit(&mut self, entropy: u64) -> bool {
+        fn flip(table: &mut [SatCounter], entropy: u64) -> bool {
+            if table.is_empty() {
+                return false;
+            }
+            let idx = (entropy % table.len() as u64) as usize;
+            let flipped = table[idx].value() ^ 1;
+            table[idx].set_value(flipped);
+            true
+        }
+        match &mut self.imp {
+            Impl::Static(_) => false,
+            Impl::Bimodal(b) => flip(&mut b.table, entropy),
+            Impl::GShare(g) => flip(&mut g.table, entropy),
+            Impl::Local(l) => flip(&mut l.counters, entropy),
+            Impl::Combining(c) => match entropy % 3 {
+                0 => flip(&mut c.selector, entropy >> 2),
+                1 => flip(&mut c.local.counters, entropy >> 2),
+                _ => flip(&mut c.global.table, entropy >> 2),
+            },
+        }
+    }
 }
 
 fn save_counters(table: &[SatCounter], w: &mut nwo_ckpt::SectionWriter) {

@@ -248,6 +248,14 @@ impl Predictor {
     pub fn ras_restore(&mut self, cp: RasCheckpoint) {
         self.ras.restore(cp);
     }
+
+    /// Flips the low bit of one direction counter chosen from `entropy`
+    /// (deterministic fault injection; see
+    /// [`DirPredictor::flip_state_bit`]). Returns false when the
+    /// predictor has no mutable direction state.
+    pub fn flip_state_bit(&mut self, entropy: u64) -> bool {
+        self.dir.flip_state_bit(entropy)
+    }
 }
 
 impl nwo_ckpt::Checkpointable for PredictorStats {

@@ -646,21 +646,74 @@ pub fn inspect(bytes: &[u8]) -> Result<CkptInfo, CkptError> {
 #[derive(Debug, Clone)]
 pub struct CacheDir {
     root: PathBuf,
+    /// Remaining injected transient I/O failures (robustness testing).
+    /// `Clone` shares the budget, so every handle to the same cache
+    /// draws from one fault counter.
+    inject: Option<std::sync::Arc<std::sync::atomic::AtomicU64>>,
 }
 
 impl CacheDir {
     /// A cache rooted at `root` (created lazily on first store).
     pub fn new(root: impl Into<PathBuf>) -> CacheDir {
-        CacheDir { root: root.into() }
+        CacheDir {
+            root: root.into(),
+            inject: None,
+        }
+    }
+
+    /// A cache that fails its next `faults` load/store calls with a
+    /// transient [`CkptError::Io`] before behaving normally — a
+    /// deterministic stand-in for flaky network filesystems, used to
+    /// exercise the bench runner's retry path.
+    pub fn with_injected_faults(root: impl Into<PathBuf>, faults: u64) -> CacheDir {
+        CacheDir {
+            root: root.into(),
+            inject: Some(std::sync::Arc::new(std::sync::atomic::AtomicU64::new(
+                faults,
+            ))),
+        }
     }
 
     /// Reads the cache location from environment variable `var`; `None`
-    /// when unset or empty (caching off by default).
+    /// when unset or empty (caching off by default). When
+    /// `NWO_CACHE_FAULTS` is set to a positive integer, that many
+    /// initial load/store calls fail with an injected transient I/O
+    /// error (see [`CacheDir::with_injected_faults`]).
     pub fn from_env(var: &str) -> Option<CacheDir> {
-        match std::env::var_os(var) {
-            Some(v) if !v.is_empty() => Some(CacheDir::new(PathBuf::from(v))),
-            _ => None,
+        let root = match std::env::var_os(var) {
+            Some(v) if !v.is_empty() => PathBuf::from(v),
+            _ => return None,
+        };
+        let faults = std::env::var("NWO_CACHE_FAULTS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(0);
+        Some(if faults > 0 {
+            CacheDir::with_injected_faults(root, faults)
+        } else {
+            CacheDir::new(root)
+        })
+    }
+
+    /// Consumes one injected fault if any remain.
+    fn injected_failure(&self, op: &str) -> Result<(), CkptError> {
+        if let Some(budget) = &self.inject {
+            use std::sync::atomic::Ordering;
+            // Decrement-if-positive without underflowing concurrent takers.
+            let mut left = budget.load(Ordering::Relaxed);
+            while left > 0 {
+                match budget.compare_exchange(left, left - 1, Ordering::Relaxed, Ordering::Relaxed)
+                {
+                    Ok(_) => {
+                        return Err(CkptError::Io(io::Error::other(format!(
+                            "injected transient I/O fault during {op}"
+                        ))));
+                    }
+                    Err(now) => left = now,
+                }
+            }
         }
+        Ok(())
     }
 
     /// The directory blobs live in.
@@ -690,6 +743,7 @@ impl CacheDir {
     ///
     /// [`CkptError::Io`] for filesystem failures other than not-found.
     pub fn load(&self, key: &str) -> Result<Option<Vec<u8>>, CkptError> {
+        self.injected_failure("load")?;
         match std::fs::read(self.path_for(key)) {
             Ok(bytes) => Ok(Some(bytes)),
             Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
@@ -703,6 +757,7 @@ impl CacheDir {
     ///
     /// [`CkptError::Io`] for filesystem failures.
     pub fn store(&self, key: &str, bytes: &[u8]) -> Result<(), CkptError> {
+        self.injected_failure("store")?;
         std::fs::create_dir_all(&self.root)?;
         let dest = self.path_for(key);
         let tmp = dest.with_extension(format!("tmp.{}", std::process::id()));
@@ -928,6 +983,21 @@ mod tests {
         let a = cache.path_for("a/b");
         let b = cache.path_for("a_b");
         assert_ne!(a, b);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn injected_faults_are_transient_and_shared_across_clones() {
+        let root = std::env::temp_dir().join(format!("nwo-ckpt-fault-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let cache = CacheDir::with_injected_faults(&root, 2);
+        let clone = cache.clone();
+        // The budget is shared: one fault drawn on each handle.
+        assert!(matches!(cache.store("k", b"v"), Err(CkptError::Io(_))));
+        assert!(matches!(clone.load("k"), Err(CkptError::Io(_))));
+        // Exhausted budget: operations succeed from now on.
+        cache.store("k", b"v").unwrap();
+        assert_eq!(clone.load("k").unwrap().as_deref(), Some(&b"v"[..]));
         let _ = std::fs::remove_dir_all(&root);
     }
 

@@ -35,7 +35,10 @@ usage:
        --interval-out <path> interval snapshot JSONL path (default:
                              nwo-intervals.jsonl)
        --stall-detail      attribute lost commit slots per PC, print top offenders
+       --verify            lockstep architectural oracle: check every commit
+                           against an independent functional emulator
   nwo ckpt info <file>                inspect a checkpoint (sections, CRCs, salt)
+       exit code: 0 fine, 3 corrupt, 4 stale build salt (restore would reject)
   nwo dbg  <file.s|file.nwo>          interactive debugger (step/break/dump)
   nwo bench [name ...] [--scale N] [--jobs N]
        run benchmark kernels (verified) on the worker pool
@@ -43,6 +46,11 @@ usage:
        regenerate the paper's tables/figures in parallel, with memoized
        simulations, per-experiment timing lines and a BENCH_harness.json
        summary (--jobs N == NWO_JOBS=N; see docs/benchmarking.md)
+  nwo fault-campaign [--bench <name>] [--scale N] [--seed S]
+                     [--datapath N] [--predictor N] [--ckpt N]
+       seeded deterministic fault injection: verify the oracle detects every
+       architectural fault and the machine degrades gracefully otherwise
+       (see docs/verification.md)
 ";
 
 /// Loads a program from assembly source (`.s`) or an NWO1 image.
@@ -164,6 +172,7 @@ pub fn sim(args: &[String]) -> Result<(), String> {
                 interval_out = Some(it.next().ok_or("--interval-out needs a path")?.clone())
             }
             "--stall-detail" => stall_detail = true,
+            "--verify" => config = config.with_verify(),
             "--gating" => config = config.with_gating(GatingConfig::default()),
             "--packing" => config = config.with_packing(PackConfig::default()),
             "--replay" => config = config.with_packing(PackConfig::with_replay()),
@@ -211,6 +220,7 @@ pub fn sim(args: &[String]) -> Result<(), String> {
     if ckpt_in.is_some() && (warmup > 0 || ckpt_out.is_some()) {
         return Err("--ckpt-in replaces warmup; it excludes --warmup and --ckpt-out".into());
     }
+    config.validate().map_err(|e| e.to_string())?;
     let trace_limit = config.trace_limit;
     let mut simulator = Simulator::new(&program, config);
 
@@ -335,13 +345,28 @@ pub fn sim(args: &[String]) -> Result<(), String> {
     if let Some(path) = &trace_out {
         eprintln!("wrote pipeline event stream to {path}");
     }
+    if let Some(checked) = simulator.oracle_checked() {
+        println!("oracle: {checked} commits checked in lockstep, zero divergences");
+    }
     Ok(())
 }
 
+/// `nwo ckpt info <file>` exit code: the file is fine and restorable.
+pub const CKPT_OK: u8 = 0;
+/// `nwo ckpt info <file>` exit code: the container or a section payload
+/// is corrupted (unparseable header, truncation, or a CRC mismatch).
+pub const CKPT_CORRUPT: u8 = 3;
+/// `nwo ckpt info <file>` exit code: the sections are intact but the
+/// code-version salt belongs to a different build — restore would
+/// reject it; regenerate the checkpoint.
+pub const CKPT_STALE: u8 = 4;
+
 /// `nwo ckpt info <file>` — header, salt and per-section summary of a
 /// checkpoint, tolerating stale salts and corrupted payloads (they are
-/// reported, not fatal) so rejected files can be diagnosed.
-pub fn ckpt(args: &[String]) -> Result<(), String> {
+/// reported, not fatal) so rejected files can be diagnosed. Returns the
+/// process exit code: [`CKPT_OK`], [`CKPT_CORRUPT`] or [`CKPT_STALE`],
+/// so scripts can tell "re-warm" from "regenerate" without parsing text.
+pub fn ckpt(args: &[String]) -> Result<u8, String> {
     let [sub, path] = args else {
         return Err("usage: nwo ckpt info <file>".to_string());
     };
@@ -349,7 +374,15 @@ pub fn ckpt(args: &[String]) -> Result<(), String> {
         return Err(format!("unknown ckpt subcommand `{sub}`; try `info`"));
     }
     let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
-    let info = nwo_sim::ckpt::inspect(&bytes).map_err(|e| format!("{path}: {e}"))?;
+    let info = match nwo_sim::ckpt::inspect(&bytes) {
+        Ok(info) => info,
+        // An unparseable container (bad magic, foreign version,
+        // truncation) is corruption too — there is nothing to list.
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return Ok(CKPT_CORRUPT);
+        }
+    };
     println!("{path}: checkpoint format v{}", info.version);
     println!(
         "salt: {:#018x} ({})",
@@ -372,9 +405,182 @@ pub fn ckpt(args: &[String]) -> Result<(), String> {
         );
     }
     if !all_ok {
-        return Err("one or more sections are corrupted".to_string());
+        eprintln!("{path}: one or more sections are corrupted");
+        Ok(CKPT_CORRUPT)
+    } else if !info.salt_current {
+        Ok(CKPT_STALE)
+    } else {
+        Ok(CKPT_OK)
     }
-    Ok(())
+}
+
+/// `nwo fault-campaign [--bench <name>] [--scale N] [--seed S]
+/// [--datapath N] [--predictor N] [--ckpt N]`
+///
+/// Seeded, deterministic fault-injection campaign over one benchmark:
+///
+/// * **datapath** trials flip one gated upper bit of a committed result
+///   — architectural corruption the lockstep oracle must detect;
+/// * **predictor** trials flip one bit of branch-direction state —
+///   micro-architectural corruption the machine must absorb (the run
+///   stays correct, only timing may change);
+/// * **ckpt** trials flip one bit of a checkpoint blob — the container's
+///   CRC/salt/framing validation must reject the restore.
+///
+/// Exits nonzero unless every architectural fault is detected and every
+/// predictor fault degrades gracefully.
+pub fn fault_campaign(args: &[String]) -> Result<(), String> {
+    use nwo_sim::verify::{flip_blob_bit, CampaignReport, FaultPlan, FaultSite, TrialResult};
+    use nwo_sim::SimError;
+
+    let mut bench_name = "compress".to_string();
+    let mut scale_override: Option<u32> = None;
+    let mut seed: u64 = 0x5eed;
+    let mut n_datapath: u32 = 4;
+    let mut n_predictor: u32 = 2;
+    let mut n_ckpt: u32 = 2;
+    fn num(next: Option<&String>, what: &str) -> Result<u64, String> {
+        next.ok_or(format!("{what} needs a number"))?
+            .parse::<u64>()
+            .map_err(|_| format!("{what} needs a number"))
+    }
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--bench" => bench_name = it.next().ok_or("--bench needs a name")?.clone(),
+            "--scale" => scale_override = Some(num(it.next(), "--scale")? as u32),
+            "--seed" => seed = num(it.next(), "--seed")?,
+            "--datapath" => n_datapath = num(it.next(), "--datapath")? as u32,
+            "--predictor" => n_predictor = num(it.next(), "--predictor")? as u32,
+            "--ckpt" => n_ckpt = num(it.next(), "--ckpt")? as u32,
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let scale = scale_override.unwrap_or_else(|| experiment_scale(&bench_name));
+    let bench = benchmark(&bench_name, scale)
+        .ok_or_else(|| format!("unknown benchmark `{bench_name}`; known: {BENCHMARK_NAMES:?}"))?;
+
+    // Clean oracle-checked baseline: establishes the commit span faults
+    // can target and proves the oracle itself is quiet on this kernel.
+    let mut baseline = Simulator::new(&bench.program, SimConfig::default().with_verify());
+    let base = baseline.run(u64::MAX).map_err(|e| e.to_string())?;
+    if base.out_quads != bench.expected {
+        return Err(format!(
+            "{bench_name}: baseline output diverges from reference"
+        ));
+    }
+    let committed = base.stats.committed;
+    // Keep faults away from the last few commits: the trailing
+    // outq/halt instructions write no result, so a fault armed there
+    // would never fire and the trial would be vacuous.
+    let span = committed.saturating_sub(8).max(1);
+    println!(
+        "baseline: {} commits oracle-checked on {bench_name} (scale {scale})",
+        baseline.oracle_checked().unwrap_or(0)
+    );
+
+    let mut plan = FaultPlan::new(seed);
+    let mut trials = Vec::new();
+
+    for index in 0..n_datapath {
+        let fault = plan.datapath_fault(span);
+        let injected = format!(
+            "flip result bit {} at commit {}",
+            fault.bit, fault.commit_index
+        );
+        let mut sim = Simulator::new(&bench.program, SimConfig::default().with_verify());
+        sim.inject_datapath_fault(fault);
+        let (ok, note) = match sim.run(u64::MAX) {
+            Err(SimError::Divergence(report)) => (
+                true,
+                format!("oracle: {} at pc {:#x}", report.kind, report.pc),
+            ),
+            Err(e) => (false, format!("failed without a divergence report: {e}")),
+            Ok(_) => (
+                false,
+                "run completed; corruption went unnoticed".to_string(),
+            ),
+        };
+        trials.push(TrialResult {
+            site: FaultSite::Datapath,
+            index,
+            injected,
+            ok,
+            note,
+        });
+    }
+
+    for index in 0..n_predictor {
+        let entropy = plan.predictor_entropy();
+        let injected = format!("flip predictor counter bit (entropy {entropy:#x})");
+        let mut sim = Simulator::new(&bench.program, SimConfig::default().with_verify());
+        if !sim.inject_predictor_fault(entropy) {
+            trials.push(TrialResult {
+                site: FaultSite::Predictor,
+                index,
+                injected,
+                ok: false,
+                note: "no mutable predictor state to corrupt".to_string(),
+            });
+            continue;
+        }
+        let (ok, note) = match sim.run(u64::MAX) {
+            Ok(report) if report.out_quads == bench.expected => (
+                true,
+                format!(
+                    "output correct; {} commits oracle-checked",
+                    sim.oracle_checked().unwrap_or(0)
+                ),
+            ),
+            Ok(_) => (false, "architected output changed".to_string()),
+            Err(e) => (false, format!("run failed: {e}")),
+        };
+        trials.push(TrialResult {
+            site: FaultSite::Predictor,
+            index,
+            injected,
+            ok,
+            note,
+        });
+    }
+
+    if n_ckpt > 0 {
+        // One warmed checkpoint, re-corrupted differently per trial.
+        let mut warm = Simulator::new(&bench.program, SimConfig::default());
+        warm.warmup(1_000).map_err(|e| e.to_string())?;
+        let blob = warm.checkpoint();
+        for index in 0..n_ckpt {
+            let bit = plan.blob_bit(blob.len());
+            let injected = format!("flip checkpoint blob bit {bit} of {}", blob.len() * 8);
+            let mut corrupt = blob.clone();
+            flip_blob_bit(&mut corrupt, bit);
+            let mut sim = Simulator::new(&bench.program, SimConfig::default());
+            let (ok, note) = match sim.restore_checkpoint(&corrupt) {
+                Err(e) => (true, format!("restore rejected: {e}")),
+                Ok(()) => (false, "restore accepted a corrupted blob".to_string()),
+            };
+            trials.push(TrialResult {
+                site: FaultSite::Checkpoint,
+                index,
+                injected,
+                ok,
+                note,
+            });
+        }
+    }
+
+    let report = CampaignReport {
+        seed,
+        bench: bench_name.clone(),
+        scale,
+        trials,
+    };
+    println!("{report}");
+    if report.success() {
+        Ok(())
+    } else {
+        Err("fault campaign failed: see the trial table above".to_string())
+    }
 }
 
 /// `nwo dbg <file>`
@@ -479,7 +685,23 @@ pub fn experiments(args: &[String]) -> Result<(), String> {
     } else {
         names
     };
-    run_harness(&selected).map(|_| ())
+    let summary = run_harness(&selected)?;
+    if summary.failures.is_empty() {
+        Ok(())
+    } else {
+        // The sweep already completed and persisted its JSON (including
+        // the quarantined entries); the exit code still flags trouble.
+        let quarantined: Vec<String> = summary
+            .failures
+            .iter()
+            .map(|f| format!("{} ({})", f.name, f.status))
+            .collect();
+        Err(format!(
+            "{} experiment(s) quarantined: {}",
+            quarantined.len(),
+            quarantined.join(", ")
+        ))
+    }
 }
 
 #[cfg(test)]

@@ -6,10 +6,12 @@
 //! nwo run  <file.s|file.nwo>            functional emulation
 //! nwo sim  <file.s|file.nwo> [flags]    cycle-level simulation
 //! nwo ckpt info <file>                  inspect a machine checkpoint
+//!                                       (exit 0 fine / 3 corrupt / 4 stale)
 //! nwo dbg  <file.s|file.nwo>            interactive debugger
 //! nwo bench [name ...] [--scale N] [--jobs N]
 //!                                       run benchmark kernels, verified
 //! nwo experiments [name ...] [--jobs N] regenerate the paper's figures
+//! nwo fault-campaign [flags]            seeded fault-injection coverage run
 //! ```
 
 mod commands;
@@ -31,10 +33,21 @@ fn main() -> ExitCode {
         "dis" => commands::dis(rest),
         "run" => commands::run(rest),
         "sim" => commands::sim(rest),
-        "ckpt" => commands::ckpt(rest),
+        // `ckpt` exits with a distinguishing code (0 fine, 3 corrupt,
+        // 4 stale build) so scripts can branch without parsing text.
+        "ckpt" => {
+            return match commands::ckpt(rest) {
+                Ok(code) => ExitCode::from(code),
+                Err(message) => {
+                    eprintln!("nwo: {message}");
+                    ExitCode::from(1)
+                }
+            };
+        }
         "dbg" => commands::dbg(rest),
         "bench" => commands::bench(rest),
         "experiments" => commands::experiments(rest),
+        "fault-campaign" => commands::fault_campaign(rest),
         "help" | "--help" | "-h" => {
             print!("{}", commands::USAGE);
             Ok(())

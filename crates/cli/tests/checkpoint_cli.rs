@@ -182,3 +182,66 @@ fn ckpt_info_reports_corruption_and_exits_nonzero() {
 
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn ckpt_info_exit_codes_distinguish_fine_stale_and_corrupt() {
+    let dir = std::env::temp_dir().join(format!("nwo-ckpt-codes-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    assert_ok(
+        &nwo(
+            &[
+                "sim",
+                "--bench",
+                "compress",
+                "--warmup",
+                "500",
+                "--ckpt-out",
+                "warm.ckpt",
+            ],
+            &dir,
+        ),
+        "checkpoint save",
+    );
+    let path = dir.join("warm.ckpt");
+    let pristine = std::fs::read(&path).expect("readable");
+
+    // Fine: exit 0.
+    let out = nwo(&["ckpt", "info", "warm.ckpt"], &dir);
+    assert_eq!(out.status.code(), Some(0), "intact file exits 0");
+
+    // Stale build: flip a salt byte (header offset 6..14 — after the
+    // 4-byte magic and u16 version). Section CRCs cover payloads, not
+    // the header, so the file stays structurally intact but belongs to
+    // a build that never existed.
+    let mut stale = pristine.clone();
+    stale[6] ^= 0xff;
+    std::fs::write(&path, &stale).expect("writable");
+    let out = nwo(&["ckpt", "info", "warm.ckpt"], &dir);
+    assert_eq!(out.status.code(), Some(4), "stale salt exits 4");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("STALE"), "{stdout}");
+    assert!(!stdout.contains("CORRUPT"), "{stdout}");
+
+    // Corrupt payload: flip the last byte (inside the final section).
+    let mut corrupt = pristine.clone();
+    let last = corrupt.len() - 1;
+    corrupt[last] ^= 0x01;
+    std::fs::write(&path, &corrupt).expect("writable");
+    let out = nwo(&["ckpt", "info", "warm.ckpt"], &dir);
+    assert_eq!(out.status.code(), Some(3), "corrupt section exits 3");
+
+    // Corrupt container: break the magic so the file cannot parse at all.
+    let mut not_a_ckpt = pristine.clone();
+    not_a_ckpt[0] ^= 0xff;
+    std::fs::write(&path, &not_a_ckpt).expect("writable");
+    let out = nwo(&["ckpt", "info", "warm.ckpt"], &dir);
+    assert_eq!(out.status.code(), Some(3), "unparseable container exits 3");
+
+    // Missing file stays a plain error: exit 1.
+    let out = nwo(&["ckpt", "info", "no-such.ckpt"], &dir);
+    assert_eq!(out.status.code(), Some(1), "missing file exits 1");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,79 @@
+//! The verification surface of the CLI binary: `sim --verify` runs the
+//! lockstep oracle end to end, and `fault-campaign` reports full
+//! detection coverage, deterministically for a fixed seed.
+
+use std::path::Path;
+use std::process::Command;
+
+fn nwo(args: &[&str], dir: &Path) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_nwo-cli"))
+        .args(args)
+        .current_dir(dir)
+        .output()
+        .expect("nwo-cli spawns")
+}
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("nwo-verify-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+#[test]
+fn sim_verify_reports_zero_divergences() {
+    let dir = scratch("sim");
+    let out = nwo(
+        &["sim", "--bench", "compress", "--replay", "--verify"],
+        &dir,
+    );
+    assert!(
+        out.status.success(),
+        "oracle-checked run fails:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("zero divergences"),
+        "oracle line missing: {stdout}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fault_campaign_detects_everything_and_is_deterministic() {
+    let dir = scratch("campaign");
+    let args = [
+        "fault-campaign",
+        "--bench",
+        "compress",
+        "--seed",
+        "12345",
+        "--datapath",
+        "2",
+        "--predictor",
+        "1",
+        "--ckpt",
+        "2",
+    ];
+    let first = nwo(&args, &dir);
+    assert!(
+        first.status.success(),
+        "campaign must reach full coverage:\n{}{}",
+        String::from_utf8_lossy(&first.stdout),
+        String::from_utf8_lossy(&first.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&first.stdout);
+    assert!(
+        stdout.contains("architectural faults detected: 4/4 (100.0%)"),
+        "coverage line: {stdout}"
+    );
+    assert!(!stdout.contains("MISSED"), "{stdout}");
+
+    let second = nwo(&args, &dir);
+    assert_eq!(
+        first.stdout, second.stdout,
+        "same seed must reproduce the identical report"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -174,6 +174,18 @@ impl Emulator {
         self.halted
     }
 
+    /// Overwrites the architectural state — registers, PC, halt flag
+    /// and memory — with externally supplied values, keeping the
+    /// decoded program. This re-bases a reference emulator onto state
+    /// it never saw executing (e.g. a restored simulator checkpoint) so
+    /// lockstep checking can continue from there.
+    pub fn sync_arch_state(&mut self, regs: &[u64; 32], pc: u64, halted: bool, mem: &MainMemory) {
+        self.regs = *regs;
+        self.pc = pc;
+        self.halted = halted;
+        self.mem = mem.clone();
+    }
+
     /// Number of instructions executed so far.
     pub fn icount(&self) -> u64 {
         self.icount

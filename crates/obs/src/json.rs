@@ -89,6 +89,14 @@ impl JsonValue {
             _ => None,
         }
     }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
 }
 
 /// A parse failure, with the byte offset it occurred at.

@@ -87,6 +87,12 @@ pub struct SimConfig {
     /// (0 disables tracing). Each record carries the fetch, dispatch,
     /// issue, completion and commit cycles — SimpleScalar's `ptrace`.
     pub trace_limit: usize,
+    /// Run a lockstep architectural oracle (a second functional
+    /// emulator) against every committed instruction, turning silent
+    /// state corruption into a typed
+    /// [`SimError::Divergence`](crate::SimError::Divergence) (`nwo sim
+    /// --verify`).
+    pub verify: bool,
 }
 
 impl Default for SimConfig {
@@ -113,6 +119,7 @@ impl Default for SimConfig {
             zero_detect_loads: true,
             max_cycles: u64::MAX,
             trace_limit: 0,
+            verify: false,
         }
     }
 }
@@ -157,6 +164,12 @@ impl SimConfig {
     pub fn with_eight_issue(mut self) -> Self {
         self.issue_width = 8;
         self.int_alus = 8;
+        self
+    }
+
+    /// Enables the lockstep architectural oracle.
+    pub fn with_verify(mut self) -> Self {
+        self.verify = true;
         self
     }
 
@@ -211,34 +224,77 @@ impl SimConfig {
         nwo_ckpt::fnv1a(format!("{:?}|{:?}", self.hierarchy, self.predictor).as_bytes())
     }
 
-    /// Validates structural parameters.
+    /// Validates structural parameters, returning the first problem as
+    /// a typed [`ConfigError`]. Configurations can arrive from the
+    /// command line, so a bad one is an input error, not an invariant
+    /// violation.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on nonsensical configurations (zero widths or capacities).
-    pub fn validate(&self) {
-        assert!(self.ruu_size > 0, "RUU must have capacity");
-        assert!(self.lsq_size > 0, "LSQ must have capacity");
-        assert!(self.ifq_size > 0, "fetch queue must have capacity");
-        assert!(self.fetch_width > 0, "fetch width must be positive");
-        assert!(self.decode_width > 0, "decode width must be positive");
-        assert!(self.issue_width > 0, "issue width must be positive");
-        assert!(self.commit_width > 0, "commit width must be positive");
-        assert!(self.int_alus > 0, "need at least one ALU");
-        assert!(self.int_muldiv > 0, "need at least one mul/div unit");
-        assert!(self.alu_latency >= 1, "ALU latency must be at least 1");
-        assert!(self.max_cycles > 0, "max_cycles must be positive");
+    /// [`ConfigError`] describing the offending field.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let positives: [(bool, &'static str); 11] = [
+            (self.ruu_size > 0, "RUU size"),
+            (self.lsq_size > 0, "LSQ size"),
+            (self.ifq_size > 0, "fetch queue size"),
+            (self.fetch_width > 0, "fetch width"),
+            (self.decode_width > 0, "decode width"),
+            (self.issue_width > 0, "issue width"),
+            (self.commit_width > 0, "commit width"),
+            (self.int_alus > 0, "integer ALU count"),
+            (self.int_muldiv > 0, "integer mul/div unit count"),
+            (self.alu_latency >= 1, "ALU latency"),
+            (self.max_cycles > 0, "max_cycles"),
+        ];
+        for (ok, what) in positives {
+            if !ok {
+                return Err(ConfigError::ZeroParameter { what });
+            }
+        }
         // `trace_limit` retains every record in memory; past this point
         // the in-memory trace cannot be honoured without defeating its
         // purpose — stream with a JsonlSink instead (`--trace-out`).
-        assert!(
-            self.trace_limit <= MAX_TRACE_LIMIT,
-            "trace_limit {} exceeds the in-memory cap {MAX_TRACE_LIMIT}; \
-             use a streaming trace sink for longer traces",
-            self.trace_limit
-        );
+        if self.trace_limit > MAX_TRACE_LIMIT {
+            return Err(ConfigError::TraceLimitTooLarge {
+                requested: self.trace_limit,
+            });
+        }
+        Ok(())
     }
 }
+
+/// A structurally invalid [`SimConfig`] — reachable from bad
+/// command-line input, hence an error rather than a panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A capacity, width or latency that must be positive is zero.
+    ZeroParameter {
+        /// Human-readable name of the offending parameter.
+        what: &'static str,
+    },
+    /// `trace_limit` exceeds the in-memory cap [`MAX_TRACE_LIMIT`].
+    TraceLimitTooLarge {
+        /// The requested limit.
+        requested: usize,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            ConfigError::ZeroParameter { what } => {
+                write!(f, "{what} must be positive")
+            }
+            ConfigError::TraceLimitTooLarge { requested } => write!(
+                f,
+                "trace_limit {requested} exceeds the in-memory cap {MAX_TRACE_LIMIT}; \
+                 use a streaming trace sink for longer traces"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 #[cfg(test)]
 #[allow(clippy::field_reassign_with_default)] // explicit Table 1 tweaks read better
@@ -261,7 +317,8 @@ mod tests {
         assert!(matches!(c.predictor, PredictorChoice::Real(_)));
         assert_eq!(c.optimization, Optimization::None);
         assert!(c.zero_detect_loads);
-        c.validate();
+        assert!(!c.verify, "the oracle is opt-in");
+        c.validate().expect("Table 1 is valid");
     }
 
     #[test]
@@ -274,7 +331,7 @@ mod tests {
         assert_eq!(c.decode_width, 8);
         assert_eq!(c.fetch_width, 8);
         assert!(c.pack_config().unwrap().replay);
-        c.validate();
+        c.validate().expect("composed builders stay valid");
     }
 
     #[test]
@@ -361,26 +418,33 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "RUU")]
     fn zero_ruu_rejected() {
         let mut c = SimConfig::default();
         c.ruu_size = 0;
-        c.validate();
+        let err = c.validate().expect_err("zero RUU is invalid");
+        assert_eq!(err, ConfigError::ZeroParameter { what: "RUU size" });
+        assert!(err.to_string().contains("RUU"), "{err}");
     }
 
     #[test]
-    #[should_panic(expected = "trace_limit")]
     fn oversized_trace_limit_rejected() {
         let mut c = SimConfig::default();
         c.trace_limit = MAX_TRACE_LIMIT + 1;
-        c.validate();
+        let err = c.validate().expect_err("oversized trace limit is invalid");
+        assert_eq!(
+            err,
+            ConfigError::TraceLimitTooLarge {
+                requested: MAX_TRACE_LIMIT + 1
+            }
+        );
+        assert!(err.to_string().contains("trace_limit"), "{err}");
     }
 
     #[test]
-    #[should_panic(expected = "max_cycles")]
     fn zero_max_cycles_rejected() {
         let mut c = SimConfig::default();
         c.max_cycles = 0;
-        c.validate();
+        let err = c.validate().expect_err("zero max_cycles is invalid");
+        assert!(err.to_string().contains("max_cycles"), "{err}");
     }
 }

@@ -99,6 +99,13 @@ impl Frontend {
         &self.mem
     }
 
+    /// The full correct-path architectural state: registers, next PC,
+    /// halt flag and memory. Used to re-base the verification oracle
+    /// after a checkpoint restore replaces warmed frontend state.
+    pub(crate) fn arch_state(&self) -> (&[u64; 32], u64, bool, &MainMemory) {
+        (&self.regs, self.pc, self.halted, &self.mem)
+    }
+
     fn reg(&self, r: Reg) -> u64 {
         if r.is_zero() {
             return 0;

@@ -42,10 +42,11 @@ mod machine;
 mod report;
 mod stats;
 
-pub use config::{Optimization, PredictorChoice, SimConfig, MAX_TRACE_LIMIT};
-pub use machine::{Machine, SimError, TraceRecord};
+pub use config::{ConfigError, Optimization, PredictorChoice, SimConfig, MAX_TRACE_LIMIT};
+pub use machine::{DeadlockSnapshot, Machine, SimError, TraceRecord};
 pub use nwo_ckpt as ckpt;
 pub use nwo_obs as obs;
+pub use nwo_verify as verify;
 pub use report::SimReport;
 pub use stats::{
     class_slot, BranchStats, FluctuationTracker, NarrowBreakdown, PackStats, SimStats,
@@ -145,6 +146,24 @@ impl Simulator {
     /// Turns on per-PC lost-commit-slot attribution (`--stall-detail`).
     pub fn enable_stall_detail(&mut self) {
         self.machine.enable_stall_detail();
+    }
+
+    /// Commits checked by the lockstep oracle so far (`None` when
+    /// [`SimConfig::verify`] is off). See [`Machine::oracle_checked`].
+    pub fn oracle_checked(&self) -> Option<u64> {
+        self.machine.oracle_checked()
+    }
+
+    /// Arms one deterministic datapath fault for a fault campaign. See
+    /// [`Machine::inject_datapath_fault`].
+    pub fn inject_datapath_fault(&mut self, fault: nwo_verify::DatapathFault) {
+        self.machine.inject_datapath_fault(fault);
+    }
+
+    /// Flips one bit of branch-predictor state for a fault campaign.
+    /// See [`Machine::inject_predictor_fault`].
+    pub fn inject_predictor_fault(&mut self, entropy: u64) -> bool {
+        self.machine.inject_predictor_fault(entropy)
     }
 
     /// The per-PC stall breakdowns collected so far (`None` unless

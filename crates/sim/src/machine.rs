@@ -16,7 +16,10 @@ use nwo_core::{
 };
 use nwo_isa::{access_bytes, ExecRecord, Format, OpClass, Opcode, OperandB, Program, Reg};
 use nwo_mem::Hierarchy;
-use nwo_obs::{CommitRecord, NullSink, RingSink, StallCause, TraceEvent, TraceSink};
+use nwo_obs::{
+    CommitRecord, NullSink, RingSink, StallBreakdown, StallCause, TraceEvent, TraceSink,
+};
+use nwo_verify::{DatapathFault, DivergenceReport, OracleChecker};
 use std::collections::VecDeque;
 use std::fmt;
 
@@ -29,26 +32,72 @@ pub enum SimError {
         pc: u64,
     },
     /// No instruction committed for a very long time — a modelling bug,
-    /// never expected on well-formed programs.
+    /// never expected on well-formed programs. Carries a diagnostic
+    /// snapshot so the hang is debuggable from the error alone.
     Deadlock {
         /// The cycle at which the deadlock was declared.
         cycle: u64,
+        /// Machine state at the moment the deadlock was declared.
+        snapshot: Box<DeadlockSnapshot>,
     },
     /// The configured `max_cycles` limit was reached.
     CycleLimit {
         /// The limit that was hit.
         limit: u64,
     },
+    /// The lockstep oracle ([`SimConfig::verify`]) caught the core
+    /// retiring architectural state that disagrees with the reference
+    /// emulator.
+    Divergence(Box<DivergenceReport>),
+}
+
+/// Diagnostic state attached to [`SimError::Deadlock`]: where commit
+/// stopped, what the stall attribution says, and the last committed
+/// instructions' pipeline diagram (when a retaining trace sink is
+/// installed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeadlockSnapshot {
+    /// Cycle of the last successful commit.
+    pub last_commit_cycle: u64,
+    /// Stall-cycle attribution accumulated up to the deadlock.
+    pub stall: StallBreakdown,
+    /// Description of the window-head instruction blocking commit
+    /// (`None` when the window is empty).
+    pub head: Option<String>,
+    /// Pipeview rendering of the most recent retained commit records
+    /// (empty without a retaining sink).
+    pub pipeview: String,
+}
+
+impl fmt::Display for DeadlockSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "last commit at cycle {}", self.last_commit_cycle)?;
+        match &self.head {
+            Some(head) => writeln!(f, "window head: {head}")?,
+            None => writeln!(f, "window head: <empty window>")?,
+        }
+        let mut causes: Vec<(StallCause, u64)> =
+            self.stall.iter().filter(|&(_, n)| n > 0).collect();
+        causes.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.name().cmp(b.0.name())));
+        write!(f, "stall slots so far:")?;
+        for (cause, slots) in causes.iter().take(4) {
+            write!(f, " {cause}={slots}")?;
+        }
+        writeln!(f)?;
+        write!(f, "{}", self.pipeview)
+    }
 }
 
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::BadFetch { pc } => write!(f, "invalid instruction fetch at {pc:#x}"),
-            SimError::Deadlock { cycle } => {
-                write!(f, "pipeline deadlock detected at cycle {cycle}")
+            SimError::Deadlock { cycle, snapshot } => {
+                writeln!(f, "pipeline deadlock detected at cycle {cycle}")?;
+                write!(f, "{snapshot}")
             }
             SimError::CycleLimit { limit } => write!(f, "cycle limit {limit} reached"),
+            SimError::Divergence(report) => write!(f, "{report}"),
         }
     }
 }
@@ -199,6 +248,13 @@ pub struct Machine {
     out_bytes: Vec<u8>,
     out_quads: Vec<u64>,
     sink: Box<dyn TraceSink>,
+    /// Lockstep architectural oracle ([`SimConfig::verify`]): a second
+    /// functional emulator advanced and compared at every commit.
+    oracle: Option<OracleChecker>,
+    /// One armed deterministic datapath fault (fault campaigns): fires
+    /// at the first eligible commit, flipping a gated upper bit of the
+    /// retired value.
+    pending_fault: Option<DatapathFault>,
     // Statistics.
     pub(crate) stats: SimStats,
     /// Per-PC lost-commit-slot attribution (`--stall-detail`): when
@@ -225,8 +281,16 @@ impl fmt::Debug for Machine {
 
 impl Machine {
     /// Builds a machine for `program` under `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a structurally invalid configuration; validate with
+    /// [`SimConfig::validate`] first when the config comes from user
+    /// input.
     pub fn new(program: &Program, config: SimConfig) -> Machine {
-        config.validate();
+        if let Err(e) = config.validate() {
+            panic!("invalid SimConfig: {e}");
+        }
         let predictor = match config.predictor {
             PredictorChoice::Perfect => None,
             PredictorChoice::Real(p) => Some(Predictor::new(p)),
@@ -259,10 +323,39 @@ impl Machine {
             out_bytes: Vec::new(),
             out_quads: Vec::new(),
             sink,
+            oracle: config.verify.then(|| OracleChecker::new(program)),
+            pending_fault: None,
             stats: SimStats::default(),
             stall_pcs: None,
             interval: None,
             config,
+        }
+    }
+
+    /// Commits checked by the lockstep oracle so far (`None` when
+    /// [`SimConfig::verify`] is off).
+    pub fn oracle_checked(&self) -> Option<u64> {
+        self.oracle.as_ref().map(OracleChecker::checked)
+    }
+
+    /// Arms one deterministic datapath fault: at the first commit
+    /// at-or-after its index that retires a result or store value, a
+    /// gated upper bit of that value is flipped. With
+    /// [`SimConfig::verify`] on, the oracle must report the corruption
+    /// as a [`SimError::Divergence`] — the fault-campaign contract.
+    pub fn inject_datapath_fault(&mut self, fault: DatapathFault) {
+        self.pending_fault = Some(fault);
+    }
+
+    /// Flips one bit of branch-predictor state (a direction counter
+    /// chosen from `entropy`). Predictor state is micro-architectural:
+    /// the run must still produce correct output, merely slower —
+    /// graceful degradation. Returns false when nothing could be
+    /// flipped (perfect prediction or a static predictor).
+    pub fn inject_predictor_fault(&mut self, entropy: u64) -> bool {
+        match self.predictor.as_mut() {
+            Some(p) => p.flip_state_bit(entropy),
+            None => false,
         }
     }
 
@@ -469,6 +562,13 @@ impl Machine {
         self.predictor = predictor;
         self.out_bytes = out_bytes;
         self.out_quads = out_quads;
+        // The restored frontend state was warmed by another machine the
+        // oracle never saw executing: re-base it on the restored
+        // architectural state so lockstep checking continues from here.
+        if let Some(oracle) = self.oracle.as_mut() {
+            let (regs, pc, halted, mem) = self.frontend.arch_state();
+            oracle.resync(regs, pc, halted, mem);
+        }
         Ok(())
     }
 
@@ -561,6 +661,27 @@ impl Machine {
                 Opcode::Outq => self.out_quads.push(rec.op_a),
                 _ => {}
             }
+            // Warmed instructions are architecturally executed, so the
+            // oracle advances (and checks) through them too; cycle
+            // fields are zero — warmup has no timing.
+            if let Some(oracle) = self.oracle.as_mut() {
+                let seq = oracle.checked();
+                let record = CommitRecord {
+                    seq,
+                    pc: rec.pc,
+                    raw: rec.instr.encode(),
+                    fetched_at: 0,
+                    dispatched_at: 0,
+                    issued_at: 0,
+                    completed_at: 0,
+                    committed_at: 0,
+                    packed: false,
+                    replayed: false,
+                };
+                if let Err(report) = oracle.check_commit(0, &rec, record) {
+                    return Err(SimError::Divergence(report));
+                }
+            }
             n += 1;
         }
         Ok(n)
@@ -586,7 +707,7 @@ impl Machine {
                 });
             }
             self.cycle += 1;
-            self.commit();
+            self.commit()?;
             self.writeback();
             self.issue();
             self.dispatch();
@@ -600,7 +721,7 @@ impl Machine {
                 }
             }
             if self.cycle - self.last_commit_cycle > 200_000 {
-                return Err(SimError::Deadlock { cycle: self.cycle });
+                return Err(self.deadlock_error());
             }
         }
         self.stats.cycles = self.cycle;
@@ -609,6 +730,33 @@ impl Machine {
             TraceSink::flush(sink);
         }
         Ok(())
+    }
+
+    /// Builds the [`SimError::Deadlock`] diagnostic: last-commit cycle,
+    /// the stall attribution so far, the window-head instruction, and a
+    /// pipeview of the most recent retained commits.
+    fn deadlock_error(&self) -> SimError {
+        let head = self.window.front().map(|e| {
+            format!(
+                "seq {} pc {:#x} {} (issued={}, completed={}, unresolved deps={})",
+                e.seq, e.rec.pc, e.rec.instr, e.issued, e.completed, e.idep_remaining
+            )
+        });
+        let records = self.sink.retained();
+        let start = records.len().saturating_sub(8);
+        let disasm = |_pc: u64, raw: u32| match nwo_isa::Instr::decode(raw) {
+            Ok(i) => i.to_string(),
+            Err(_) => format!("{raw:08x}"),
+        };
+        SimError::Deadlock {
+            cycle: self.cycle,
+            snapshot: Box::new(DeadlockSnapshot {
+                last_commit_cycle: self.last_commit_cycle,
+                stall: self.stats.stall.clone(),
+                head,
+                pipeview: nwo_obs::pipeview::render(&records[start..], &disasm),
+            }),
+        }
     }
 
     // ----------------------------------------------------------------
@@ -1277,7 +1425,7 @@ impl Machine {
     // Commit
     // ----------------------------------------------------------------
 
-    fn commit(&mut self) {
+    fn commit(&mut self) -> Result<(), SimError> {
         let mut retired = 0u64;
         for _ in 0..self.config.commit_width {
             let Some(front) = self.window.front() else {
@@ -1287,9 +1435,29 @@ impl Machine {
                 break;
             }
             debug_assert!(!front.spec, "wrong-path instruction reached commit");
-            let e = self.window.pop_front().expect("checked non-empty");
+            let mut e = self.window.pop_front().expect("checked non-empty");
             if self.lsq.front().is_some_and(|&s| s == e.seq) {
                 self.lsq.pop_front();
+            }
+            // An armed datapath fault fires at the first eligible
+            // commit, corrupting a gated upper bit of the value being
+            // architecturally retired — exactly the silent-corruption
+            // scenario the oracle exists to catch.
+            if let Some(fault) = self.pending_fault {
+                if self.stats.committed >= fault.commit_index {
+                    let fired = if let Some(v) = e.rec.result {
+                        e.rec.result = Some(fault.apply(v));
+                        true
+                    } else if let Some(v) = e.rec.store_value {
+                        e.rec.store_value = Some(fault.apply(v));
+                        true
+                    } else {
+                        false
+                    };
+                    if fired {
+                        self.pending_fault = None;
+                    }
+                }
             }
             // Stores write the data cache at commit.
             if e.is_store() {
@@ -1342,8 +1510,8 @@ impl Machine {
                     );
                 }
             }
-            if self.sink.enabled() {
-                let ev = TraceEvent::Commit(CommitRecord {
+            if self.sink.enabled() || self.oracle.is_some() {
+                let record = CommitRecord {
                     seq: self.stats.committed,
                     pc: e.rec.pc,
                     raw: e.rec.instr.encode(),
@@ -1354,8 +1522,20 @@ impl Machine {
                     committed_at: self.cycle,
                     packed: e.in_group,
                     replayed: e.replay_attempted,
-                });
-                self.sink.emit(&ev);
+                };
+                if self.sink.enabled() {
+                    self.sink.emit(&TraceEvent::Commit(record));
+                }
+                // Lockstep check: the reference emulator executes the
+                // same instruction; any architectural disagreement
+                // aborts the run with a typed report instead of letting
+                // wrong statistics accumulate.
+                let cycle = self.cycle;
+                if let Some(oracle) = self.oracle.as_mut() {
+                    if let Err(report) = oracle.check_commit(cycle, &e.rec, record) {
+                        return Err(SimError::Divergence(report));
+                    }
+                }
             }
             self.stats.committed += 1;
             retired += 1;
@@ -1388,6 +1568,7 @@ impl Machine {
                 pcs.entry(pc).or_default().charge(cause, lost);
             }
         }
+        Ok(())
     }
 
     /// Names the bottleneck of a cycle whose commit stage retired fewer

@@ -15,6 +15,8 @@
 //!   gating decisions, operation packing and replay packing;
 //! * [`power`] — the Table 4 power model and gating accounting;
 //! * [`sim`] — the cycle-level out-of-order (RUU/LSQ) simulator;
+//! * [`verify`] — the lockstep architectural oracle and deterministic
+//!   fault injection (see `docs/verification.md`);
 //! * [`workloads`] — fourteen SPECint95- and MediaBench-like kernels.
 //!
 //! # Quick start
@@ -36,4 +38,5 @@ pub use nwo_isa as isa;
 pub use nwo_mem as mem;
 pub use nwo_power as power;
 pub use nwo_sim as sim;
+pub use nwo_verify as verify;
 pub use nwo_workloads as workloads;
