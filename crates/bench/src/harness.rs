@@ -12,14 +12,18 @@
 //! `NWO_FAIL_EXPERIMENT=<name>` (or `<name>:hang`) deliberately breaks
 //! one experiment, which is how the quarantine path itself is tested.
 //!
-//! The JSON schema (`schema` bumps on incompatible change):
+//! The JSON schema (`schema` bumps on incompatible change; schema 2
+//! added the per-experiment `phases`/`phase_counts` breakdown and the
+//! top-level `busy_s`/`utilization` pool accounting):
 //!
 //! ```json
 //! {
-//!   "schema": 1,
+//!   "schema": 2,
 //!   "jobs": 8,            // worker threads (NWO_JOBS)
 //!   "scale": 0,           // NWO_SCALE workload bump
 //!   "wall_s": 12.34,      // whole-run wall-clock
+//!   "busy_s": 80.1,       // summed worker sim-job time
+//!   "utilization": 0.81,  // busy_s / (wall_s * jobs)
 //!   "sims_run": 120,      // distinct simulations executed
 //!   "memo_hits": 96,      // submissions served from the memo cache
 //!   "disk_hits": 0,       // submissions served from NWO_CACHE_DIR
@@ -27,7 +31,13 @@
 //!   "warm_hits": 0,       // simulations reusing a warm checkpoint
 //!   "experiments": [
 //!     {"name": "fig1", "wall_s": 0.81, "sims_run": 8, "memo_hits": 0,
-//!      "disk_hits": 0, "status": "ok"}
+//!      "disk_hits": 0, "status": "ok",
+//!      "phases": {"decode_s": 0.01, "warmup_s": 0.0, "restore_s": 0.0,
+//!                 "measured_run_s": 0.78, "oracle_step_s": 0.0,
+//!                 "ckpt_io_s": 0.0, "cache_s": 0.0, "busy_s": 0.80},
+//!      "phase_counts": {"decode": 1, "warmup": 0, "restore": 0,
+//!                       "measured_run": 8, "oracle_step": 0,
+//!                       "ckpt_io": 0, "cache": 0, "busy": 8}}
 //!   ],
 //!   "failures": [
 //!     {"name": "fig2", "status": "failed", "detail": "panicked: ..."}
@@ -35,13 +45,112 @@
 //! }
 //! ```
 //!
+//! Phase times come from the span profiler ([`nwo_sim::obs::span`]),
+//! which the harness always enables in aggregation-only mode (the
+//! spans are coarse — per job, per phase — so the cost is noise).
+//! Experiments run serially, so diffing the global aggregate before
+//! and after each one attributes worker-thread time to the right
+//! experiment.
+//!
 //! Override the output path with `NWO_HARNESS_JSON=<path>`; set it to
 //! `0` (or empty) to skip writing.
 
 use crate::figures;
-use crate::runner::Runner;
+use crate::runner::{progress_enabled, progress_json, Runner};
 use nwo_sim::obs::json;
+use nwo_sim::obs::ProfileAgg;
 use std::time::{Duration, Instant};
+
+/// Per-experiment profiling phase breakdown: seconds and invocation
+/// counts per named phase, attributed by diffing the global span
+/// aggregate around the experiment. A phase's time is summed over
+/// every nesting site of its leaf span (`warmup` counts both direct
+/// warmups and those inside worker `sim-job` spans); `busy` is the
+/// total worker `sim-job` time — the numerator of pool utilization.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PhaseBreakdown {
+    /// `(key, seconds, count)` per phase, in [`PhaseBreakdown::KEYS`]
+    /// order. Empty (all phases zero) for a default value.
+    entries: Vec<(&'static str, f64, u64)>,
+}
+
+impl PhaseBreakdown {
+    /// Phase keys in serialization order, each with the profiler leaf
+    /// span names it sums over.
+    pub const KEYS: [(&'static str, &'static [&'static str]); 8] = [
+        ("decode", &["decode"]),
+        ("warmup", &["warmup"]),
+        ("restore", &["restore"]),
+        ("measured_run", &["measured-run"]),
+        ("oracle_step", &["oracle-step"]),
+        ("ckpt_io", &["ckpt-io"]),
+        ("cache", &["cache-lookup", "cache-store"]),
+        ("busy", &["sim-job"]),
+    ];
+
+    /// Builds the breakdown from a (usually diffed) span aggregate.
+    pub fn from_agg(agg: &ProfileAgg) -> PhaseBreakdown {
+        let entries = Self::KEYS
+            .iter()
+            .map(|(key, leaves)| {
+                let (ns, count) = leaves.iter().fold((0u64, 0u64), |(ns, c), leaf| {
+                    let (n2, c2) = agg.leaf_totals(leaf);
+                    (ns + n2, c + c2)
+                });
+                (*key, ns as f64 / 1e9, count)
+            })
+            .collect();
+        PhaseBreakdown { entries }
+    }
+
+    /// Seconds attributed to `key` (0 for unknown keys or a default
+    /// value).
+    pub fn seconds(&self, key: &str) -> f64 {
+        self.entries
+            .iter()
+            .find(|(k, _, _)| *k == key)
+            .map_or(0.0, |(_, s, _)| *s)
+    }
+
+    /// Invocation count of `key`'s spans.
+    pub fn count(&self, key: &str) -> u64 {
+        self.entries
+            .iter()
+            .find(|(k, _, _)| *k == key)
+            .map_or(0, |(_, _, c)| *c)
+    }
+
+    /// Total worker `sim-job` seconds.
+    pub fn busy_s(&self) -> f64 {
+        self.seconds("busy")
+    }
+
+    /// Appends `"phases": {...}, "phase_counts": {...}` (no leading
+    /// separator) with every key present, zeros included.
+    fn write_json(&self, out: &mut String) {
+        out.push_str("\"phases\": {");
+        for (i, (key, _)) in Self::KEYS.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push('"');
+            out.push_str(key);
+            out.push_str("_s\": ");
+            json::write_f64(out, self.seconds(key));
+        }
+        out.push_str("}, \"phase_counts\": {");
+        for (i, (key, _)) in Self::KEYS.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push('"');
+            out.push_str(key);
+            out.push_str("\": ");
+            out.push_str(&self.count(key).to_string());
+        }
+        out.push('}');
+    }
+}
 
 /// Timing and memo accounting for one experiment.
 #[derive(Debug, Clone)]
@@ -58,6 +167,8 @@ pub struct ExperimentTiming {
     pub disk_hits: u64,
     /// `"ok"`, `"failed"` (panicked) or `"timeout"` (watchdog fired).
     pub status: String,
+    /// Profiled phase breakdown for the experiment's interval.
+    pub phases: PhaseBreakdown,
 }
 
 /// One quarantined experiment: the sweep continued without it.
@@ -80,6 +191,10 @@ pub struct HarnessSummary {
     pub scale: u32,
     /// Whole-run wall-clock seconds.
     pub wall_s: f64,
+    /// Summed worker `sim-job` seconds across all experiments.
+    pub busy_s: f64,
+    /// Pool utilization: `busy_s / (wall_s * jobs)`.
+    pub utilization: f64,
     /// Total simulations executed.
     pub sims_run: u64,
     /// Total memo hits.
@@ -100,12 +215,16 @@ impl HarnessSummary {
     /// Serializes the summary (the `BENCH_harness.json` payload).
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(256 + 96 * self.experiments.len());
-        out.push_str("{\n  \"schema\": 1,\n  \"jobs\": ");
+        out.push_str("{\n  \"schema\": 2,\n  \"jobs\": ");
         out.push_str(&self.jobs.to_string());
         out.push_str(",\n  \"scale\": ");
         out.push_str(&self.scale.to_string());
         out.push_str(",\n  \"wall_s\": ");
         json::write_f64(&mut out, self.wall_s);
+        out.push_str(",\n  \"busy_s\": ");
+        json::write_f64(&mut out, self.busy_s);
+        out.push_str(",\n  \"utilization\": ");
+        json::write_f64(&mut out, self.utilization);
         out.push_str(",\n  \"sims_run\": ");
         out.push_str(&self.sims_run.to_string());
         out.push_str(",\n  \"memo_hits\": ");
@@ -130,6 +249,8 @@ impl HarnessSummary {
             out.push_str(&e.disk_hits.to_string());
             out.push_str(", \"status\": ");
             json::write_str(&mut out, &e.status);
+            out.push_str(", ");
+            e.phases.write_json(&mut out);
             out.push('}');
             if i + 1 < self.experiments.len() {
                 out.push(',');
@@ -180,6 +301,10 @@ pub struct HarnessOptions {
     pub fail_experiment: Option<String>,
     /// Where to write the summary JSON; `None` skips writing.
     pub json_path: Option<std::path::PathBuf>,
+    /// Live progress ticker on stderr (`NWO_PROGRESS` / `--progress`):
+    /// one JSON line after every experiment, on top of the per-job
+    /// lines the runner's collect loop emits.
+    pub progress: bool,
 }
 
 /// How `NWO_FAIL_EXPERIMENT` breaks the matching experiment.
@@ -205,6 +330,7 @@ impl HarnessOptions {
             watchdog,
             fail_experiment,
             json_path: summary_path(),
+            progress: progress_enabled(),
         }
     }
 
@@ -310,16 +436,25 @@ pub fn run_harness_with(names: &[&str], opts: &HarnessOptions) -> Result<Harness
             ));
         }
     }
+    // Phase attribution needs the span aggregate; enable it in
+    // aggregation-only mode (no event capture) — the CLI may already
+    // have enabled capture via --profile-out, which this won't undo.
+    nwo_sim::obs::span::enable(false);
     let runner = Runner::global();
     let start = Instant::now();
     let mut experiments = Vec::with_capacity(names.len());
     let mut failures = Vec::new();
-    for name in names {
+    for (i, name) in names.iter().enumerate() {
         let before = runner.counters();
+        let prof_before = nwo_sim::obs::span::aggregate();
         let t = Instant::now();
-        let (status, detail) = run_guarded(name, opts);
+        let (status, detail) = {
+            let _prof = nwo_sim::obs::span::labeled_span("experiment", name);
+            run_guarded(name, opts)
+        };
         let wall_s = t.elapsed().as_secs_f64();
         let after = runner.counters();
+        let phases = PhaseBreakdown::from_agg(&nwo_sim::obs::span::aggregate().since(&prof_before));
         let timing = ExperimentTiming {
             name: name.to_string(),
             wall_s,
@@ -327,6 +462,7 @@ pub fn run_harness_with(names: &[&str], opts: &HarnessOptions) -> Result<Harness
             memo_hits: after.memo_hits - before.memo_hits,
             disk_hits: after.disk_hits - before.disk_hits,
             status: status.to_string(),
+            phases,
         };
         if let Some(detail) = detail {
             eprintln!("[{}  QUARANTINED ({status}): {detail}]", timing.name);
@@ -337,17 +473,42 @@ pub fn run_harness_with(names: &[&str], opts: &HarnessOptions) -> Result<Harness
             });
         } else {
             println!(
-                "[{}  wall {:.2}s  sims {}  memo-hits {}  disk-hits {}]",
-                timing.name, timing.wall_s, timing.sims_run, timing.memo_hits, timing.disk_hits
+                "[{}  wall {:.2}s  sims {}  memo-hits {}  disk-hits {}  busy {:.2}s]",
+                timing.name,
+                timing.wall_s,
+                timing.sims_run,
+                timing.memo_hits,
+                timing.disk_hits,
+                timing.phases.busy_s()
             );
         }
         experiments.push(timing);
+        if opts.progress {
+            let done = i + 1;
+            let eta = crate::runner::eta_seconds(start.elapsed().as_secs_f64(), done, names.len());
+            eprintln!(
+                "{}",
+                progress_json(
+                    "experiments",
+                    done,
+                    names.len(),
+                    &runner.counters(),
+                    failures.len(),
+                    eta
+                )
+            );
+        }
     }
     let totals = runner.counters();
+    let wall_s = start.elapsed().as_secs_f64();
+    let busy_s: f64 = experiments.iter().map(|e| e.phases.busy_s()).sum();
+    let pool = wall_s * runner.jobs() as f64;
     let summary = HarnessSummary {
         jobs: runner.jobs(),
         scale: crate::harness_scale(),
-        wall_s: start.elapsed().as_secs_f64(),
+        wall_s,
+        busy_s,
+        utilization: if pool > 0.0 { busy_s / pool } else { 0.0 },
         sims_run: experiments.iter().map(|e| e.sims_run).sum(),
         memo_hits: experiments.iter().map(|e| e.memo_hits).sum(),
         disk_hits: experiments.iter().map(|e| e.disk_hits).sum(),
@@ -357,8 +518,9 @@ pub fn run_harness_with(names: &[&str], opts: &HarnessOptions) -> Result<Harness
         failures,
     };
     println!(
-        "[total  wall {:.2}s  sims {}  memo-hits {}  disk-hits {}  warmups {}  jobs {}  quarantined {}]",
+        "[total  wall {:.2}s  busy {:.2}s  sims {}  memo-hits {}  disk-hits {}  warmups {}  jobs {}  quarantined {}]",
         summary.wall_s,
+        summary.busy_s,
         summary.sims_run,
         summary.memo_hits,
         summary.disk_hits,
@@ -382,10 +544,29 @@ mod tests {
 
     #[test]
     fn summary_json_parses_with_the_crate_parser() {
+        let mut fig1_agg = ProfileAgg::default();
+        fig1_agg.spans.insert(
+            "sim-job".into(),
+            nwo_sim::obs::SpanStat {
+                total_ns: 2_100_000_000,
+                count: 8,
+                counters: Default::default(),
+            },
+        );
+        fig1_agg.spans.insert(
+            "sim-job/measured-run".into(),
+            nwo_sim::obs::SpanStat {
+                total_ns: 2_000_000_000,
+                count: 8,
+                counters: Default::default(),
+            },
+        );
         let summary = HarnessSummary {
             jobs: 4,
             scale: 1,
             wall_s: 2.5,
+            busy_s: 2.1,
+            utilization: 0.21,
             sims_run: 10,
             memo_hits: 3,
             disk_hits: 5,
@@ -399,6 +580,7 @@ mod tests {
                     memo_hits: 0,
                     disk_hits: 5,
                     status: "ok".into(),
+                    phases: PhaseBreakdown::from_agg(&fig1_agg),
                 },
                 ExperimentTiming {
                     name: "stalls".into(),
@@ -407,6 +589,7 @@ mod tests {
                     memo_hits: 3,
                     disk_hits: 0,
                     status: "failed".into(),
+                    phases: PhaseBreakdown::default(),
                 },
             ],
             failures: vec![ExperimentFailure {
@@ -417,8 +600,10 @@ mod tests {
         };
         let text = summary.to_json();
         let v = json::parse(&text).expect("summary JSON parses");
-        assert_eq!(v.get("schema").and_then(|x| x.as_u64()), Some(1));
+        assert_eq!(v.get("schema").and_then(|x| x.as_u64()), Some(2));
         assert_eq!(v.get("jobs").and_then(|x| x.as_u64()), Some(4));
+        assert!((v.get("busy_s").and_then(|x| x.as_f64()).unwrap() - 2.1).abs() < 1e-12);
+        assert!((v.get("utilization").and_then(|x| x.as_f64()).unwrap() - 0.21).abs() < 1e-12);
         assert_eq!(v.get("sims_run").and_then(|x| x.as_u64()), Some(10));
         assert_eq!(v.get("memo_hits").and_then(|x| x.as_u64()), Some(3));
         assert_eq!(v.get("disk_hits").and_then(|x| x.as_u64()), Some(5));
@@ -435,6 +620,31 @@ mod tests {
         assert_eq!(
             experiments[1].get("status").and_then(|x| x.as_str()),
             Some("failed")
+        );
+        // Schema 2: every experiment carries a full phases object (zeros
+        // included), with counts alongside.
+        let phases = experiments[0].get("phases").expect("phases object");
+        assert!(
+            (phases.get("busy_s").and_then(|x| x.as_f64()).unwrap() - 2.1).abs() < 1e-9,
+            "busy_s sums the sim-job leaf"
+        );
+        assert!(
+            (phases
+                .get("measured_run_s")
+                .and_then(|x| x.as_f64())
+                .unwrap()
+                - 2.0)
+                .abs()
+                < 1e-9
+        );
+        let counts = experiments[0].get("phase_counts").expect("counts object");
+        assert_eq!(counts.get("busy").and_then(|x| x.as_u64()), Some(8));
+        assert_eq!(counts.get("warmup").and_then(|x| x.as_u64()), Some(0));
+        let empty = experiments[1].get("phases").expect("phases object");
+        assert_eq!(
+            empty.get("decode_s").and_then(|x| x.as_f64()),
+            Some(0.0),
+            "a default breakdown still serializes every key"
         );
     }
 
@@ -453,6 +663,7 @@ mod tests {
             watchdog: None,
             fail_experiment: Some("fig1".into()),
             json_path: None,
+            progress: false,
         };
         let summary = run_harness_with(&["fig1"], &opts).expect("sweep completes");
         assert_eq!(summary.failures.len(), 1);
@@ -468,6 +679,7 @@ mod tests {
             watchdog: Some(Duration::from_millis(50)),
             fail_experiment: Some("fig1:hang".into()),
             json_path: None,
+            progress: false,
         };
         let summary = run_harness_with(&["fig1"], &opts).expect("sweep completes");
         assert_eq!(summary.failures.len(), 1);

@@ -100,7 +100,10 @@ pub fn harness_scale() -> u32 {
 }
 
 /// The benchmark suite at the harness scale (`NWO_SCALE` env bump).
+/// Workload generation and assembly is the harness's decode phase, so
+/// it runs under a `decode` profiling span.
 pub fn suite() -> Vec<Benchmark> {
+    let _prof = nwo_sim::obs::span::span("decode");
     experiment_suite(harness_scale())
 }
 

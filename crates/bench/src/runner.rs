@@ -268,7 +268,13 @@ impl Runner {
                 .disk
                 .as_ref()
                 .map(|_| disk_key(bench.name, scale, &config, self.shared.warm_insts));
-            if let Some(report) = self.load_from_disk(disk_key.as_deref()) {
+            let loaded = disk_key.is_some().then(|| {
+                let _prof = nwo_sim::obs::span::span("cache-lookup");
+                let report = self.load_from_disk(disk_key.as_deref());
+                nwo_sim::obs::span::add(if report.is_some() { "hits" } else { "misses" }, 1);
+                report
+            });
+            if let Some(report) = loaded.flatten() {
                 self.shared.counters.lock().unwrap().disk_hits += 1;
                 slot.fill(Ok(Arc::new(report)));
             } else {
@@ -299,7 +305,10 @@ impl Runner {
     }
 
     /// Submits every `(benchmark, config)` pair in order and waits for
-    /// all of them, returning reports in submission order.
+    /// all of them, returning reports in submission order. With
+    /// `NWO_PROGRESS` set (the CLI's `--progress`), one JSON ticker
+    /// line per finished job goes to stderr — stdout stays untouched,
+    /// preserving the byte-for-byte determinism contract.
     pub fn collect<'a>(
         &self,
         scale: u32,
@@ -309,8 +318,60 @@ impl Runner {
             .into_iter()
             .map(|(bench, config)| self.submit(bench, scale, config))
             .collect();
-        handles.iter().map(JobHandle::wait).collect()
+        let progress = progress_enabled();
+        let start = std::time::Instant::now();
+        let total = handles.len();
+        let mut reports = Vec::with_capacity(total);
+        for (done, handle) in handles.iter().enumerate() {
+            reports.push(handle.wait());
+            if progress {
+                let done = done + 1;
+                let eta = eta_seconds(start.elapsed().as_secs_f64(), done, total);
+                eprintln!(
+                    "{}",
+                    progress_json("jobs", done, total, &self.counters(), 0, eta)
+                );
+            }
+        }
+        reports
     }
+}
+
+/// True when the live progress ticker is requested (`NWO_PROGRESS`
+/// set and not `0`; the CLI's `--progress` flag sets it).
+pub fn progress_enabled() -> bool {
+    std::env::var_os("NWO_PROGRESS").is_some_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Naive remaining-time estimate: average seconds per finished unit
+/// times units left. Zero until something finishes.
+pub(crate) fn eta_seconds(elapsed_s: f64, done: usize, total: usize) -> f64 {
+    if done == 0 {
+        return 0.0;
+    }
+    elapsed_s / done as f64 * total.saturating_sub(done) as f64
+}
+
+/// One line of the live progress stream (stderr, `--progress`): a flat
+/// JSON object with a `"t": "progress"` discriminator, the done/total
+/// counts for `scope` (`"jobs"` per collected simulation,
+/// `"experiments"` per harness experiment), the runner's cumulative
+/// cache counters, quarantine count and an ETA in seconds. This is the
+/// status payload a future `nwo-serve` daemon will put on the wire.
+pub fn progress_json(
+    scope: &str,
+    done: usize,
+    total: usize,
+    counters: &RunnerCounters,
+    quarantined: usize,
+    eta_s: f64,
+) -> String {
+    format!(
+        "{{\"t\": \"progress\", \"scope\": \"{scope}\", \"done\": {done}, \"total\": {total}, \
+         \"sims_run\": {}, \"memo_hits\": {}, \"disk_hits\": {}, \"warm_hits\": {}, \
+         \"quarantined\": {quarantined}, \"eta_s\": {eta_s:.1}}}",
+        counters.sims_run, counters.memo_hits, counters.disk_hits, counters.warm_hits,
+    )
 }
 
 impl Drop for Runner {
@@ -343,6 +404,9 @@ fn worker_loop(shared: &Shared) {
         let bench = Arc::clone(&job.bench);
         let scale = job.scale;
         let config = job.config;
+        // One span per executed job: its total across workers is the
+        // pool's busy time, which the harness turns into utilization.
+        let job_span = nwo_sim::obs::span::labeled_span("sim-job", bench.name);
         let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
             let warm = (shared.warm_insts > 0).then(|| warm_bytes(shared, &bench, scale, &config));
             run_with_warm_state(&bench, config, warm.as_ref().map(|w| w.as_slice()))
@@ -350,11 +414,13 @@ fn worker_loop(shared: &Shared) {
         .map(Arc::new)
         .map_err(|payload| panic_message(&job.bench, &payload));
         if let (Some(disk), Some(key), Ok(report)) = (&shared.disk, &job.disk_key, &outcome) {
+            let _prof = nwo_sim::obs::span::span("cache-store");
             let bytes = report.to_ckpt_bytes();
             if let Err(e) = with_retry(|| disk.store(key, &bytes)) {
                 eprintln!("NWO_CACHE_DIR: cannot store {key}: {e}");
             }
         }
+        drop(job_span);
         shared.counters.lock().unwrap().sims_run += 1;
         job.slot.fill(outcome);
     }
@@ -459,6 +525,37 @@ mod tests {
     /// A small, fast benchmark for runner tests.
     fn small_bench() -> Benchmark {
         benchmark("mpeg2-enc", 0).expect("known benchmark")
+    }
+
+    #[test]
+    fn eta_extrapolates_average_pace_over_remaining_units() {
+        assert_eq!(eta_seconds(10.0, 0, 8), 0.0, "no estimate before data");
+        assert!((eta_seconds(10.0, 2, 8) - 30.0).abs() < 1e-12);
+        assert_eq!(eta_seconds(10.0, 8, 8), 0.0, "nothing left");
+    }
+
+    #[test]
+    fn progress_line_is_valid_json_with_every_field() {
+        let counters = RunnerCounters {
+            submitted: 7,
+            sims_run: 5,
+            memo_hits: 2,
+            disk_hits: 1,
+            warmups_run: 4,
+            warm_hits: 4,
+        };
+        let line = progress_json("experiments", 3, 7, &counters, 1, 12.34);
+        let v = nwo_sim::obs::json::parse(&line).expect("progress line parses");
+        assert_eq!(v.get("t").and_then(|x| x.as_str()), Some("progress"));
+        assert_eq!(v.get("scope").and_then(|x| x.as_str()), Some("experiments"));
+        assert_eq!(v.get("done").and_then(|x| x.as_u64()), Some(3));
+        assert_eq!(v.get("total").and_then(|x| x.as_u64()), Some(7));
+        assert_eq!(v.get("sims_run").and_then(|x| x.as_u64()), Some(5));
+        assert_eq!(v.get("memo_hits").and_then(|x| x.as_u64()), Some(2));
+        assert_eq!(v.get("disk_hits").and_then(|x| x.as_u64()), Some(1));
+        assert_eq!(v.get("warm_hits").and_then(|x| x.as_u64()), Some(4));
+        assert_eq!(v.get("quarantined").and_then(|x| x.as_u64()), Some(1));
+        assert!((v.get("eta_s").and_then(|x| x.as_f64()).unwrap() - 12.3).abs() < 1e-9);
     }
 
     #[test]

@@ -37,15 +37,24 @@ usage:
        --stall-detail      attribute lost commit slots per PC, print top offenders
        --verify            lockstep architectural oracle: check every commit
                            against an independent functional emulator
+       --profile           print a hierarchical span-profile tree after the run
+       --profile-out <path>  write the span profile as Chrome Trace Event JSON
+                             (load in chrome://tracing or Perfetto)
+       --telemetry-out <path>  stream per-interval telemetry deltas as JSON
+                             lines: IPC, stalls, power, width deciles
+                             (period: --interval-stats, default 10000)
   nwo ckpt info <file>                inspect a checkpoint (sections, CRCs, salt)
        exit code: 0 fine, 3 corrupt, 4 stale build salt (restore would reject)
   nwo dbg  <file.s|file.nwo>          interactive debugger (step/break/dump)
-  nwo bench [name ...] [--scale N] [--jobs N]
+  nwo bench [name ...] [--scale N] [--jobs N] [--profile] [--profile-out <p>]
        run benchmark kernels (verified) on the worker pool
-  nwo experiments [name ...] [--jobs N]
+  nwo experiments [name ...] [--jobs N] [--profile] [--profile-out <p>]
+                  [--progress]
        regenerate the paper's tables/figures in parallel, with memoized
        simulations, per-experiment timing lines and a BENCH_harness.json
        summary (--jobs N == NWO_JOBS=N; see docs/benchmarking.md)
+       --progress streams live JSONL ticks to stderr (done/total, cache
+       hits, quarantines, ETA); equivalent to NWO_PROGRESS=1
   nwo fault-campaign [--bench <name>] [--scale N] [--seed S]
                      [--datapath N] [--predictor N] [--ckpt N]
        seeded deterministic fault injection: verify the oracle detects every
@@ -137,9 +146,12 @@ pub fn sim(args: &[String]) -> Result<(), String> {
     let mut warmup: u64 = 0;
     let mut ckpt_out: Option<String> = None;
     let mut ckpt_in: Option<String> = None;
-    let mut interval: u64 = 0;
+    let mut interval: Option<u64> = None;
     let mut interval_out: Option<String> = None;
     let mut stall_detail = false;
+    let mut profile = false;
+    let mut profile_out: Option<String> = None;
+    let mut telemetry_out: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -162,16 +174,24 @@ pub fn sim(args: &[String]) -> Result<(), String> {
             "--ckpt-out" => ckpt_out = Some(it.next().ok_or("--ckpt-out needs a path")?.clone()),
             "--ckpt-in" => ckpt_in = Some(it.next().ok_or("--ckpt-in needs a path")?.clone()),
             "--interval-stats" => {
-                interval = it
-                    .next()
-                    .ok_or("--interval-stats needs a number")?
-                    .parse()
-                    .map_err(|_| "--interval-stats needs a number")?
+                interval = Some(
+                    it.next()
+                        .ok_or("--interval-stats needs a number")?
+                        .parse()
+                        .map_err(|_| "--interval-stats needs a number")?,
+                )
             }
             "--interval-out" => {
                 interval_out = Some(it.next().ok_or("--interval-out needs a path")?.clone())
             }
             "--stall-detail" => stall_detail = true,
+            "--profile" => profile = true,
+            "--profile-out" => {
+                profile_out = Some(it.next().ok_or("--profile-out needs a path")?.clone())
+            }
+            "--telemetry-out" => {
+                telemetry_out = Some(it.next().ok_or("--telemetry-out needs a path")?.clone())
+            }
             "--verify" => config = config.with_verify(),
             "--gating" => config = config.with_gating(GatingConfig::default()),
             "--packing" => config = config.with_packing(PackConfig::default()),
@@ -206,21 +226,50 @@ pub fn sim(args: &[String]) -> Result<(), String> {
             other => return Err(format!("unexpected argument `{other}`")),
         }
     }
-    let program = match (&bench_name, &input) {
-        (Some(_), Some(_)) => return Err("--bench and an input file are exclusive".into()),
-        (Some(name), None) => {
-            let scale = bench_scale.unwrap_or_else(|| experiment_scale(name));
-            benchmark(name, scale)
-                .ok_or_else(|| format!("unknown benchmark `{name}`; known: {BENCHMARK_NAMES:?}"))?
-                .program
-        }
-        (None, Some(path)) => load_program(path)?,
-        (None, None) => return Err("sim needs an input file or --bench <name>".into()),
-    };
     if ckpt_in.is_some() && (warmup > 0 || ckpt_out.is_some()) {
         return Err("--ckpt-in replaces warmup; it excludes --warmup and --ckpt-out".into());
     }
+    // Validate everything cheap before any program is built or file is
+    // touched: a long simulation must never run just to fail on a bad
+    // flag at the end.
     config.validate().map_err(|e| e.to_string())?;
+    if interval == Some(0) {
+        return Err(nwo_sim::ConfigError::ZeroParameter {
+            what: "--interval-stats period",
+        }
+        .to_string());
+    }
+    let interval = interval.unwrap_or(0);
+    for (flag, path) in [
+        ("--profile-out", &profile_out),
+        ("--telemetry-out", &telemetry_out),
+    ] {
+        if let Some(p) = path {
+            nwo_sim::validate_output_parent(flag, p).map_err(|e| e.to_string())?;
+        }
+    }
+    if profile || profile_out.is_some() {
+        // Capture individual events only when a trace file is requested;
+        // `--profile` alone needs just the aggregate.
+        nwo_sim::obs::span::enable(profile_out.is_some());
+    }
+    let root_span = nwo_sim::obs::span::span("sim");
+    let program = {
+        let _prof = nwo_sim::obs::span::span("decode");
+        match (&bench_name, &input) {
+            (Some(_), Some(_)) => return Err("--bench and an input file are exclusive".into()),
+            (Some(name), None) => {
+                let scale = bench_scale.unwrap_or_else(|| experiment_scale(name));
+                benchmark(name, scale)
+                    .ok_or_else(|| {
+                        format!("unknown benchmark `{name}`; known: {BENCHMARK_NAMES:?}")
+                    })?
+                    .program
+            }
+            (None, Some(path)) => load_program(path)?,
+            (None, None) => return Err("sim needs an input file or --bench <name>".into()),
+        }
+    };
     let trace_limit = config.trace_limit;
     let mut simulator = Simulator::new(&program, config);
 
@@ -240,7 +289,8 @@ pub fn sim(args: &[String]) -> Result<(), String> {
         let bytes = simulator.checkpoint();
         std::fs::write(path, &bytes).map_err(|e| format!("{path}: {e}"))?;
         println!("wrote checkpoint to {path} ({} bytes)", bytes.len());
-        return Ok(());
+        drop(root_span);
+        return finish_profile(profile, profile_out.as_deref());
     }
     if stall_detail {
         simulator.enable_stall_detail();
@@ -250,6 +300,14 @@ pub fn sim(args: &[String]) -> Result<(), String> {
         let file =
             std::fs::File::create(&interval_path).map_err(|e| format!("{interval_path}: {e}"))?;
         simulator.set_interval_stats(interval, Box::new(std::io::BufWriter::new(file)));
+    }
+    if let Some(path) = &telemetry_out {
+        // The telemetry stream shares the interval period when one is
+        // set; otherwise a sample every 10k cycles is dense enough to
+        // plot and sparse enough to never dominate the run.
+        let every = if interval > 0 { interval } else { 10_000 };
+        let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+        simulator.set_telemetry(every, Box::new(std::io::BufWriter::new(file)));
     }
 
     // Compose the trace sink: in-memory retention for --trace/--pipeview,
@@ -345,8 +403,33 @@ pub fn sim(args: &[String]) -> Result<(), String> {
     if let Some(path) = &trace_out {
         eprintln!("wrote pipeline event stream to {path}");
     }
+    if let Some(path) = &telemetry_out {
+        eprintln!("wrote telemetry stream to {path}");
+    }
     if let Some(checked) = simulator.oracle_checked() {
         println!("oracle: {checked} commits checked in lockstep, zero divergences");
+    }
+    drop(root_span);
+    finish_profile(profile, profile_out.as_deref())
+}
+
+/// Finalizes the span profiler: prints the human-readable tree
+/// (`--profile`) and/or writes Chrome Trace Event JSON (`--profile-out`,
+/// loadable in `chrome://tracing` or Perfetto). Call only after the
+/// command's root span has been dropped, so its duration is recorded.
+fn finish_profile(show: bool, out: Option<&str>) -> Result<(), String> {
+    if !show && out.is_none() {
+        return Ok(());
+    }
+    let report = nwo_sim::obs::span::report();
+    if show {
+        println!();
+        println!("span profile (wall time per phase):");
+        print!("{}", report.render_tree());
+    }
+    if let Some(path) = out {
+        std::fs::write(path, report.to_chrome_trace()).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("wrote span trace to {path}");
     }
     Ok(())
 }
@@ -393,17 +476,29 @@ pub fn ckpt(args: &[String]) -> Result<u8, String> {
             "STALE — restore will reject this file"
         }
     );
-    println!("{:<12} {:>12}  crc", "section", "bytes");
+    println!("{:<12} {:>12} {:>7}  crc", "section", "bytes", "blob%");
     let mut all_ok = true;
+    let blob_len = bytes.len().max(1) as f64;
+    let mut payload = 0u64;
     for s in &info.sections {
         all_ok &= s.crc_ok;
+        payload += s.len;
         println!(
-            "{:<12} {:>12}  {}",
+            "{:<12} {:>12} {:>6.1}%  {}",
             s.name,
             s.len,
+            s.len as f64 / blob_len * 100.0,
             if s.crc_ok { "ok" } else { "CORRUPT" }
         );
     }
+    // The remainder is container framing: header, directory, CRCs.
+    println!(
+        "{:<12} {:>12} {:>6.1}%  (sections total; file {} bytes, rest is framing)",
+        "total",
+        payload,
+        payload as f64 / blob_len * 100.0,
+        bytes.len()
+    );
     if !all_ok {
         eprintln!("{path}: one or more sections are corrupted");
         Ok(CKPT_CORRUPT)
@@ -608,12 +703,15 @@ fn set_jobs(value: &str) -> Result<(), String> {
     Ok(())
 }
 
-/// `nwo bench [name ...] [--scale N] [--jobs N]`
+/// `nwo bench [name ...] [--scale N] [--jobs N] [--profile]
+/// [--profile-out <path>] [--progress]`
 pub fn bench(args: &[String]) -> Result<(), String> {
     use nwo_bench::runner::Runner;
 
     let mut names: Vec<String> = Vec::new();
     let mut scale_override = None;
+    let mut profile = false;
+    let mut profile_out: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -626,10 +724,22 @@ pub fn bench(args: &[String]) -> Result<(), String> {
                 )
             }
             "--jobs" => set_jobs(it.next().ok_or("--jobs needs a number")?)?,
+            "--profile" => profile = true,
+            "--profile-out" => {
+                profile_out = Some(it.next().ok_or("--profile-out needs a path")?.clone())
+            }
+            "--progress" => std::env::set_var("NWO_PROGRESS", "1"),
             _ if !a.starts_with('-') => names.push(a.clone()),
             other => return Err(format!("unexpected argument `{other}`")),
         }
     }
+    if let Some(p) = &profile_out {
+        nwo_sim::validate_output_parent("--profile-out", p).map_err(|e| e.to_string())?;
+    }
+    if profile || profile_out.is_some() {
+        nwo_sim::obs::span::enable(profile_out.is_some());
+    }
+    let root_span = nwo_sim::obs::span::span("bench");
     if names.is_empty() {
         names = BENCHMARK_NAMES.iter().map(|s| s.to_string()).collect();
     }
@@ -639,8 +749,11 @@ pub fn bench(args: &[String]) -> Result<(), String> {
     let mut jobs = Vec::with_capacity(names.len());
     for name in &names {
         let scale = scale_override.unwrap_or_else(|| experiment_scale(name));
-        let bench = benchmark(name, scale)
-            .ok_or_else(|| format!("unknown benchmark `{name}`; known: {BENCHMARK_NAMES:?}"))?;
+        let bench = {
+            let _prof = nwo_sim::obs::span::span("decode");
+            benchmark(name, scale)
+                .ok_or_else(|| format!("unknown benchmark `{name}`; known: {BENCHMARK_NAMES:?}"))?
+        };
         let handle = Runner::global().submit(&bench, scale, SimConfig::default());
         jobs.push((name, scale, handle));
     }
@@ -663,29 +776,51 @@ pub fn bench(args: &[String]) -> Result<(), String> {
             "ok"
         );
     }
-    Ok(())
+    drop(root_span);
+    finish_profile(profile, profile_out.as_deref())
 }
 
-/// `nwo experiments [name ...] [--jobs N]`
+/// `nwo experiments [name ...] [--jobs N] [--profile]
+/// [--profile-out <path>] [--progress]`
 pub fn experiments(args: &[String]) -> Result<(), String> {
     use nwo_bench::figures::experiment_names;
     use nwo_bench::harness::run_harness;
 
     let mut names: Vec<&str> = Vec::new();
+    let mut profile = false;
+    let mut profile_out: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--jobs" => set_jobs(it.next().ok_or("--jobs needs a number")?)?,
+            "--profile" => profile = true,
+            "--profile-out" => {
+                profile_out = Some(it.next().ok_or("--profile-out needs a path")?.clone())
+            }
+            "--progress" => std::env::set_var("NWO_PROGRESS", "1"),
             _ if !a.starts_with('-') => names.push(a.as_str()),
             other => return Err(format!("unexpected argument `{other}`")),
         }
+    }
+    if let Some(p) = &profile_out {
+        nwo_sim::validate_output_parent("--profile-out", p).map_err(|e| e.to_string())?;
+    }
+    if profile || profile_out.is_some() {
+        // The harness enables aggregation on its own for the per-phase
+        // JSON breakdowns; this upgrades to event capture when a trace
+        // file was requested.
+        nwo_sim::obs::span::enable(profile_out.is_some());
     }
     let selected: Vec<&str> = if names.is_empty() {
         experiment_names()
     } else {
         names
     };
-    let summary = run_harness(&selected)?;
+    let root_span = nwo_sim::obs::span::span("experiments");
+    let summary = run_harness(&selected);
+    drop(root_span);
+    finish_profile(profile, profile_out.as_deref())?;
+    let summary = summary?;
     if summary.failures.is_empty() {
         Ok(())
     } else {

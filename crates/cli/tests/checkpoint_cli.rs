@@ -84,13 +84,37 @@ fn checkpoint_resumed_sim_matches_uninterrupted_run() {
     assert_eq!(base, resumed, "reports must match to the byte");
     let base_json = std::fs::read_to_string(dir.join("base.json")).expect("base.json");
     let resumed_json = std::fs::read_to_string(dir.join("resumed.json")).expect("resumed.json");
+    // The `prof.*` group records *how* the warm state was obtained
+    // (functional warmup vs checkpoint restore), so it is the one part
+    // of the snapshot that must differ between the two runs. Everything
+    // else — every architectural and microarchitectural counter — must
+    // match to the byte.
+    let strip_prof = |s: &str| -> String {
+        s.lines()
+            .filter(|l| !l.trim_start().starts_with("\"prof."))
+            .flat_map(|l| [l, "\n"])
+            .collect()
+    };
     assert_eq!(
-        base_json, resumed_json,
-        "metrics snapshots must match to the byte"
+        strip_prof(&base_json),
+        strip_prof(&resumed_json),
+        "metrics snapshots must match to the byte outside prof.*"
     );
-    // And the snapshot is real, parseable content.
+    // And the snapshot is real, parseable content, with the expected
+    // provenance on each side.
     let v = json::parse(&base_json).expect("snapshot parses");
     assert!(v.get("sim.cycles").and_then(|c| c.as_u64()).unwrap() > 0);
+    assert_eq!(v.get("prof.warmup_calls").and_then(|c| c.as_u64()), Some(1));
+    assert_eq!(
+        v.get("prof.ckpt_restores").and_then(|c| c.as_u64()),
+        Some(0)
+    );
+    let r = json::parse(&resumed_json).expect("snapshot parses");
+    assert_eq!(r.get("prof.warmup_calls").and_then(|c| c.as_u64()), Some(0));
+    assert_eq!(
+        r.get("prof.ckpt_restores").and_then(|c| c.as_u64()),
+        Some(1)
+    );
 
     // `ckpt info` describes the file with all CRCs intact.
     let info = assert_ok(&nwo(&["ckpt", "info", "warm.ckpt"], &dir), "ckpt info");
@@ -100,6 +124,11 @@ fn checkpoint_resumed_sim_matches_uninterrupted_run() {
         assert!(info.contains(section), "missing section {section}: {info}");
     }
     assert!(!info.contains("CORRUPT"), "{info}");
+    // Each section row carries its share of the blob, plus a total line.
+    assert!(info.contains("blob%"), "size-share column header: {info}");
+    assert!(info.contains('%'), "per-section percentages: {info}");
+    assert!(info.contains("total"), "summary total line: {info}");
+    assert!(info.contains("rest is framing"), "{info}");
 
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -84,7 +84,7 @@ fn parallel_experiment_output_is_byte_identical_to_serial() {
     // only the schema-stable fields are compared.
     for (run, jobs) in [(&serial, 1), (&parallel, 4)] {
         let v = json::parse(&run.harness_json).expect("harness JSON parses");
-        assert_eq!(v.get("schema").and_then(|x| x.as_u64()), Some(1));
+        assert_eq!(v.get("schema").and_then(|x| x.as_u64()), Some(2));
         assert_eq!(v.get("jobs").and_then(|x| x.as_u64()), Some(jobs));
         assert_eq!(
             v.get("sims_run").and_then(|x| x.as_u64()),
@@ -99,7 +99,71 @@ fn parallel_experiment_output_is_byte_identical_to_serial() {
             experiments[0].get("name").and_then(|x| x.as_str()),
             Some("fig1")
         );
+        // Schema 2 carries a per-experiment phase breakdown with real
+        // time in the sim-job spans (the workers ran something).
+        let phases = experiments[0].get("phases").expect("phases object");
+        assert!(
+            phases.get("busy_s").and_then(|x| x.as_f64()).unwrap() > 0.0,
+            "workers recorded busy time: {}",
+            run.harness_json
+        );
+        let counts = experiments[0].get("phase_counts").expect("phase_counts");
+        assert_eq!(
+            counts.get("busy").and_then(|x| x.as_u64()),
+            Some(8),
+            "one sim-job per benchmark"
+        );
+        assert!(v.get("busy_s").and_then(|x| x.as_f64()).unwrap() > 0.0);
+        assert!(v.get("utilization").and_then(|x| x.as_f64()).unwrap() > 0.0);
     }
 
+    // Beyond the stable fields spot-checked above: the two harness
+    // files must be *structurally* byte-identical — same keys in the
+    // same order with the same values — once every timing-derived
+    // number (`*_s` seconds fields and the utilization ratio) is
+    // zeroed. A worker-count-dependent count sneaking into the schema
+    // would show up here.
+    let a = scrub_timing(json::parse(&serial.harness_json).expect("parses"));
+    let mut b = scrub_timing(json::parse(&parallel.harness_json).expect("parses"));
+    // `jobs` is the one field that legitimately reflects the pool size.
+    if let JsonValue::Object(fields) = &mut b {
+        for (k, v) in fields.iter_mut() {
+            if k == "jobs" {
+                *v = JsonValue::Number(1.0);
+            }
+        }
+    }
+    assert_eq!(
+        a, b,
+        "harness JSON must match across worker counts modulo timing:\nserial: {}\nparallel: {}",
+        serial.harness_json, parallel.harness_json
+    );
+
     let _ = std::fs::remove_dir_all(&base);
+}
+
+/// Zeroes every number whose key names a wall-clock-derived quantity
+/// (`..._s` or `utilization`), recursively, so two runs can be compared
+/// byte-for-byte on everything deterministic.
+fn scrub_timing(v: JsonValue) -> JsonValue {
+    fn walk(v: &mut JsonValue) {
+        match v {
+            JsonValue::Object(fields) => {
+                for (k, val) in fields.iter_mut() {
+                    if matches!(val, JsonValue::Number(_))
+                        && (k.ends_with("_s") || k == "utilization")
+                    {
+                        *val = JsonValue::Number(0.0);
+                    } else {
+                        walk(val);
+                    }
+                }
+            }
+            JsonValue::Array(items) => items.iter_mut().for_each(walk),
+            _ => {}
+        }
+    }
+    let mut v = v;
+    walk(&mut v);
+    v
 }

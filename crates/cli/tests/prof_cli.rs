@@ -1,0 +1,214 @@
+//! End-to-end profiling and telemetry through the CLI binary: the
+//! `--profile` tree, the `--profile-out` Chrome Trace Event JSON and
+//! the `--telemetry-out` interval stream must all be produced and
+//! well-formed, and the up-front output validation must reject bad
+//! flags before any simulation runs.
+
+use std::path::Path;
+use std::process::Command;
+
+use nwo_sim::obs::json::{self, JsonValue};
+
+fn nwo(args: &[&str], dir: &Path) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_nwo-cli"))
+        .args(args)
+        .current_dir(dir)
+        .output()
+        .expect("nwo-cli spawns")
+}
+
+#[test]
+fn profile_tree_trace_json_and_telemetry_stream_are_produced() {
+    let dir = std::env::temp_dir().join(format!("nwo-prof-cli-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    let out = nwo(
+        &[
+            "sim",
+            "--bench",
+            "mpeg2-enc",
+            "--warmup",
+            "500",
+            "--verify",
+            "--profile",
+            "--profile-out",
+            "trace.json",
+            "--telemetry-out",
+            "telemetry.jsonl",
+            "--interval-stats",
+            "1000",
+        ],
+        &dir,
+    );
+    assert!(
+        out.status.success(),
+        "profiled sim failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("stdout is UTF-8");
+
+    // The human tree names the run's phases with counts and times.
+    assert!(stdout.contains("span profile"), "{stdout}");
+    for phase in ["sim", "decode", "warmup", "measured-run", "oracle-step"] {
+        assert!(stdout.contains(phase), "tree names phase {phase}: {stdout}");
+    }
+
+    // The Chrome trace parses, and its events carry complete slices
+    // whose names include the root and the measured run.
+    let trace = std::fs::read_to_string(dir.join("trace.json")).expect("trace.json written");
+    let v = json::parse(&trace).expect("Chrome trace parses");
+    let Some(JsonValue::Array(events)) = v.get("traceEvents") else {
+        panic!("traceEvents array missing: {trace}");
+    };
+    assert!(!events.is_empty(), "trace has events");
+    let names: Vec<&str> = events
+        .iter()
+        .filter_map(|e| e.get("name").and_then(|n| n.as_str()))
+        .collect();
+    assert!(names.contains(&"sim"), "{names:?}");
+    assert!(names.contains(&"measured-run"), "{names:?}");
+    for e in events {
+        assert_eq!(e.get("ph").and_then(|x| x.as_str()), Some("X"));
+        assert!(e.get("ts").and_then(|x| x.as_f64()).is_some());
+        assert!(e.get("dur").and_then(|x| x.as_f64()).is_some());
+    }
+    // The root span contains the measured run (child within parent).
+    let slice = |name: &str| {
+        events
+            .iter()
+            .find(|e| e.get("name").and_then(|n| n.as_str()) == Some(name))
+            .map(|e| {
+                let ts = e.get("ts").and_then(|x| x.as_f64()).unwrap();
+                let dur = e.get("dur").and_then(|x| x.as_f64()).unwrap();
+                (ts, ts + dur)
+            })
+            .unwrap()
+    };
+    let root = slice("sim");
+    let run = slice("measured-run");
+    assert!(
+        root.0 <= run.0 && run.1 <= root.1,
+        "measured-run {run:?} nests inside sim {root:?}"
+    );
+
+    // Every telemetry line parses and reports per-interval deltas.
+    let telemetry =
+        std::fs::read_to_string(dir.join("telemetry.jsonl")).expect("telemetry written");
+    let lines: Vec<&str> = telemetry.lines().collect();
+    assert!(!lines.is_empty(), "telemetry stream has samples");
+    for line in &lines {
+        let s = json::parse(line).expect("telemetry line parses");
+        assert_eq!(s.get("t").and_then(|x| x.as_str()), Some("telemetry"));
+        assert!(s.get("cycle").and_then(|x| x.as_u64()).unwrap() > 0);
+        assert!(s.get("ipc").and_then(|x| x.as_f64()).is_some());
+        assert!(s.get("stall").is_some(), "stall breakdown present");
+        let power = s.get("power_mw").expect("power object");
+        assert!(power.get("baseline").and_then(|x| x.as_f64()).is_some());
+        assert!(power.get("gated").and_then(|x| x.as_f64()).is_some());
+        let Some(JsonValue::Array(deciles)) = s.get("width_deciles") else {
+            panic!("width_deciles missing: {line}");
+        };
+        assert_eq!(deciles.len(), 9, "p10..p90");
+    }
+    // All but the final (partial) sample cover exactly the period.
+    for line in &lines[..lines.len() - 1] {
+        let s = json::parse(line).expect("parses");
+        assert_eq!(
+            s.get("interval_cycles").and_then(|x| x.as_u64()),
+            Some(1000)
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bad_observability_flags_fail_before_any_simulation() {
+    let dir = std::env::temp_dir().join(format!("nwo-prof-flags-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    // A zero interval period is a typed config error, not a silent off.
+    let out = nwo(
+        &["sim", "--bench", "compress", "--interval-stats", "0"],
+        &dir,
+    );
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--interval-stats period must be positive"),
+        "{stderr}"
+    );
+
+    // Unwritable output parents are rejected up front, for both flags.
+    for flag in ["--profile-out", "--telemetry-out"] {
+        let out = nwo(
+            &[
+                "sim",
+                "--bench",
+                "compress",
+                flag,
+                "/nonexistent-dir-xyz/out.json",
+            ],
+            &dir,
+        );
+        assert!(!out.status.success(), "{flag} with a bad parent fails");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("parent directory does not exist"),
+            "{flag}: {stderr}"
+        );
+        assert!(stderr.contains(flag), "error names the flag: {stderr}");
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn experiments_progress_flag_streams_jsonl_ticks_to_stderr() {
+    let dir = std::env::temp_dir().join(format!("nwo-prof-progress-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_nwo-cli"))
+        .args(["experiments", "fig1", "--progress", "--jobs", "2"])
+        .env("NWO_HARNESS_JSON", dir.join("harness.json"))
+        .current_dir(&dir)
+        .output()
+        .expect("nwo-cli spawns");
+    assert!(
+        out.status.success(),
+        "experiments --progress failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let ticks: Vec<&str> = stderr
+        .lines()
+        .filter(|l| l.starts_with("{\"t\": \"progress\""))
+        .collect();
+    assert!(!ticks.is_empty(), "progress ticks on stderr: {stderr}");
+    let mut scopes = std::collections::HashSet::new();
+    for tick in &ticks {
+        let v = json::parse(tick).expect("progress tick parses");
+        scopes.insert(v.get("scope").and_then(|x| x.as_str()).unwrap().to_string());
+        assert!(v.get("done").and_then(|x| x.as_u64()).is_some());
+        assert!(v.get("total").and_then(|x| x.as_u64()).is_some());
+        assert!(v.get("eta_s").and_then(|x| x.as_f64()).is_some());
+    }
+    // Both granularities tick: per collected job and per experiment.
+    assert!(scopes.contains("jobs"), "{stderr}");
+    assert!(scopes.contains("experiments"), "{stderr}");
+    // The final experiments tick reports completion.
+    let last = json::parse(ticks.last().unwrap()).expect("parses");
+    assert_eq!(
+        last.get("scope").and_then(|x| x.as_str()),
+        Some("experiments")
+    );
+    assert_eq!(
+        last.get("done").and_then(|x| x.as_u64()),
+        last.get("total").and_then(|x| x.as_u64())
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -18,6 +18,13 @@
 //!   `sum(slots) == commit_width * cycles - committed` exactly.
 //! - [`pipeview`]: a Konata-style text pipeline diagram rendered from
 //!   retained commit records (`nwo sim --pipeview`).
+//! - [`span`] + [`profile`]: hierarchical wall-time phase profiling.
+//!   RAII [`span::SpanGuard`]s aggregate into a [`profile::ProfileAgg`]
+//!   and export as a human tree or Chrome Trace Event JSON
+//!   ([`profile::ProfileReport`]) — the machinery behind
+//!   `nwo sim --profile` / `--profile-out`. Off by default; every
+//!   instrumented call site costs one relaxed atomic load until
+//!   [`span::enable`] is called.
 //!
 //! The crate deliberately depends on nothing — not even other nwo
 //! crates — so every subsystem can register metrics without dependency
@@ -30,9 +37,13 @@
 pub mod json;
 pub mod metrics;
 pub mod pipeview;
+pub mod profile;
+pub mod span;
 pub mod stall;
 pub mod trace;
 
 pub use metrics::{Log2Histogram, MetricSource, MetricValue, Registry, Snapshot};
+pub use profile::{ProfileAgg, ProfileReport, SpanEvent, SpanStat};
+pub use span::SpanGuard;
 pub use stall::{StallBreakdown, StallCause};
 pub use trace::{CommitRecord, JsonlSink, NullSink, RingSink, TeeSink, TraceEvent, TraceSink};

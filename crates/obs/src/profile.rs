@@ -1,0 +1,338 @@
+//! Profile aggregation and export for the span profiler
+//! ([`crate::span`]): per-path wall-time aggregates ([`ProfileAgg`]),
+//! before/after diffs for phase attribution, a human-readable tree
+//! rendering, and Chrome Trace Event Format JSON for
+//! `chrome://tracing` / [Perfetto](https://ui.perfetto.dev).
+
+use crate::json;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Accumulated wall time, invocation count, and named side counters
+/// for one span path.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Total wall time spent inside this path, in nanoseconds.
+    pub total_ns: u64,
+    /// Number of times the span was entered (or, for externally
+    /// batched timing, the reported occurrence count).
+    pub count: u64,
+    /// Named side counters attached via [`crate::span::add`].
+    pub counters: BTreeMap<&'static str, u64>,
+}
+
+/// One captured timeline interval: a single execution of a span,
+/// ready for Chrome Trace export.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Full `/`-joined aggregate path (`"sim/measured-run"`).
+    pub path: String,
+    /// Display name — the leaf segment, or the label given to
+    /// [`crate::span::labeled_span`].
+    pub name: String,
+    /// Dense per-thread id (1-based).
+    pub tid: u32,
+    /// Start offset from the profiler epoch, in nanoseconds.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// A snapshot of the profiler's aggregate: one [`SpanStat`] per
+/// distinct span path, sorted (so parents precede their children —
+/// `"a"` < `"a/b"`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProfileAgg {
+    /// Per-path stats, keyed by the `/`-joined span path.
+    pub spans: BTreeMap<String, SpanStat>,
+}
+
+impl ProfileAgg {
+    /// Builds an aggregate from `(path, stat)` pairs, dropping empty
+    /// entries.
+    pub fn from_entries(entries: impl IntoIterator<Item = (String, SpanStat)>) -> ProfileAgg {
+        ProfileAgg {
+            spans: entries
+                .into_iter()
+                .filter(|(_, s)| s.total_ns > 0 || s.count > 0 || !s.counters.is_empty())
+                .collect(),
+        }
+    }
+
+    /// The difference `self - baseline`, per path (saturating). Paths
+    /// with nothing new are dropped. This is how the harness
+    /// attributes phase time to one experiment: snapshot before,
+    /// snapshot after, diff.
+    pub fn since(&self, baseline: &ProfileAgg) -> ProfileAgg {
+        let mut out = BTreeMap::new();
+        for (path, stat) in &self.spans {
+            let base = baseline.spans.get(path);
+            let d = SpanStat {
+                total_ns: stat.total_ns.saturating_sub(base.map_or(0, |b| b.total_ns)),
+                count: stat.count.saturating_sub(base.map_or(0, |b| b.count)),
+                counters: stat
+                    .counters
+                    .iter()
+                    .map(|(k, v)| {
+                        (
+                            *k,
+                            v.saturating_sub(
+                                base.and_then(|b| b.counters.get(k)).copied().unwrap_or(0),
+                            ),
+                        )
+                    })
+                    .filter(|(_, v)| *v > 0)
+                    .collect(),
+            };
+            if d.total_ns > 0 || d.count > 0 || !d.counters.is_empty() {
+                out.insert(path.clone(), d);
+            }
+        }
+        ProfileAgg { spans: out }
+    }
+
+    /// Total nanoseconds and count summed over every path whose leaf
+    /// segment equals `leaf`, wherever it nests. `("measured-run")`
+    /// thus covers both `sim/measured-run` and
+    /// `sim-job/measured-run`.
+    pub fn leaf_totals(&self, leaf: &str) -> (u64, u64) {
+        self.spans
+            .iter()
+            .filter(|(path, _)| path.rsplit('/').next() == Some(leaf))
+            .fold((0, 0), |(ns, n), (_, s)| (ns + s.total_ns, n + s.count))
+    }
+
+    /// Sum of top-level (depth 0) span times, in nanoseconds — the
+    /// denominator for the tree rendering's root percentages.
+    pub fn root_total_ns(&self) -> u64 {
+        self.spans
+            .iter()
+            .filter(|(path, _)| !path.contains('/'))
+            .map(|(_, s)| s.total_ns)
+            .sum()
+    }
+}
+
+/// The full exported profile: cumulative aggregate plus the captured
+/// timeline events (empty unless event capture was enabled).
+#[derive(Debug, Clone, Default)]
+pub struct ProfileReport {
+    /// Cumulative per-path aggregate.
+    pub agg: ProfileAgg,
+    /// Captured timeline events, in completion order.
+    pub events: Vec<SpanEvent>,
+    /// Events discarded after the capture buffer filled
+    /// ([`crate::span::MAX_EVENTS`]).
+    pub dropped_events: u64,
+}
+
+impl ProfileReport {
+    /// Distinct thread count among captured events.
+    pub fn threads(&self) -> usize {
+        let mut tids: Vec<u32> = self.events.iter().map(|e| e.tid).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        tids.len()
+    }
+
+    /// Renders the aggregate as an indented tree: one row per span
+    /// path with invocation count, total milliseconds, percent of
+    /// parent, and any side counters.
+    ///
+    /// ```text
+    /// profile: 4 span paths
+    ///   sim                              1x    152.203 ms 100.0%
+    ///     decode                         1x      0.310 ms   0.2%
+    ///     measured-run                   1x    149.100 ms  98.0%  [cycles=410]
+    /// ```
+    pub fn render_tree(&self) -> String {
+        let mut out = String::new();
+        let root_total = self.agg.root_total_ns();
+        let _ = writeln!(out, "profile: {} span path(s)", self.agg.spans.len());
+        for (path, stat) in &self.agg.spans {
+            let depth = path.matches('/').count();
+            let leaf = path.rsplit('/').next().unwrap_or(path);
+            let parent_total = match path.rfind('/') {
+                Some(i) => self.agg.spans.get(&path[..i]).map_or(0, |p| p.total_ns),
+                None => root_total,
+            };
+            let pct = if parent_total > 0 {
+                100.0 * stat.total_ns as f64 / parent_total as f64
+            } else {
+                100.0
+            };
+            let name = format!("{}{}", "  ".repeat(depth + 1), leaf);
+            let _ = write!(
+                out,
+                "{name:<32} {count:>8}x {ms:>12.3} ms {pct:>5.1}%",
+                count = stat.count,
+                ms = stat.total_ns as f64 / 1e6,
+            );
+            if !stat.counters.is_empty() {
+                out.push_str("  [");
+                for (i, (k, v)) in stat.counters.iter().enumerate() {
+                    if i > 0 {
+                        out.push(' ');
+                    }
+                    let _ = write!(out, "{k}={v}");
+                }
+                out.push(']');
+            }
+            out.push('\n');
+        }
+        if self.dropped_events > 0 {
+            let _ = writeln!(
+                out,
+                "({} timeline event(s) dropped after the capture buffer filled)",
+                self.dropped_events
+            );
+        }
+        out
+    }
+
+    /// Serializes the captured events as Chrome Trace Event Format
+    /// JSON (`ph: "X"` complete events, microsecond timestamps) —
+    /// load the file in `chrome://tracing` or Perfetto. Each event's
+    /// `args.path` carries the full aggregate path, so tooling can
+    /// reconstruct the hierarchy without string-splitting names.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut out = String::from("{\"traceEvents\": [\n");
+        for (i, e) in self.events.iter().enumerate() {
+            out.push_str("  {\"name\": ");
+            json::write_str(&mut out, &e.name);
+            out.push_str(", \"cat\": \"nwo\", \"ph\": \"X\", \"pid\": 1, \"tid\": ");
+            let _ = write!(out, "{}", e.tid);
+            out.push_str(", \"ts\": ");
+            json::write_f64(&mut out, e.start_ns as f64 / 1000.0);
+            out.push_str(", \"dur\": ");
+            json::write_f64(&mut out, e.dur_ns as f64 / 1000.0);
+            out.push_str(", \"args\": {\"path\": ");
+            json::write_str(&mut out, &e.path);
+            out.push_str("}}");
+            if i + 1 < self.events.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("], \"displayTimeUnit\": \"ms\"}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stat(total_ns: u64, count: u64) -> SpanStat {
+        SpanStat {
+            total_ns,
+            count,
+            counters: BTreeMap::new(),
+        }
+    }
+
+    fn sample_agg() -> ProfileAgg {
+        let mut counters = BTreeMap::new();
+        counters.insert("cycles", 410u64);
+        ProfileAgg::from_entries([
+            ("sim".to_string(), stat(10_000_000, 1)),
+            ("sim/decode".to_string(), stat(1_000_000, 1)),
+            (
+                "sim/measured-run".to_string(),
+                SpanStat {
+                    total_ns: 8_000_000,
+                    count: 1,
+                    counters,
+                },
+            ),
+            ("sim-job/measured-run".to_string(), stat(2_000_000, 4)),
+        ])
+    }
+
+    #[test]
+    fn since_diffs_per_path_and_drops_unchanged() {
+        let before = sample_agg();
+        let mut after = before.clone();
+        after.spans.get_mut("sim/measured-run").unwrap().total_ns += 500;
+        after.spans.get_mut("sim/measured-run").unwrap().count += 1;
+        after.spans.insert("sim/warmup".to_string(), stat(42, 1));
+        let d = after.since(&before);
+        assert_eq!(
+            d.spans.keys().collect::<Vec<_>>(),
+            ["sim/measured-run", "sim/warmup"]
+        );
+        assert_eq!(d.spans["sim/measured-run"].total_ns, 500);
+        assert_eq!(d.spans["sim/measured-run"].count, 1);
+        assert_eq!(d.spans["sim/warmup"].total_ns, 42);
+    }
+
+    #[test]
+    fn leaf_totals_sum_across_nesting_sites() {
+        let agg = sample_agg();
+        assert_eq!(agg.leaf_totals("measured-run"), (10_000_000, 5));
+        assert_eq!(agg.leaf_totals("decode"), (1_000_000, 1));
+        assert_eq!(agg.leaf_totals("absent"), (0, 0));
+        assert_eq!(agg.root_total_ns(), 10_000_000);
+    }
+
+    #[test]
+    fn render_tree_indents_children_and_shows_counters() {
+        let report = ProfileReport {
+            agg: sample_agg(),
+            events: Vec::new(),
+            dropped_events: 0,
+        };
+        let tree = report.render_tree();
+        assert!(tree.contains("profile: 4 span path(s)"));
+        assert!(tree.contains("\n  sim "), "top level indented once");
+        assert!(tree.contains("\n    decode "), "children indented deeper");
+        assert!(tree.contains("[cycles=410]"), "counters render inline");
+        // decode is 10% of its parent `sim`.
+        let decode_line = tree.lines().find(|l| l.contains("decode")).unwrap();
+        assert!(decode_line.contains("10.0%"), "line: {decode_line}");
+    }
+
+    #[test]
+    fn chrome_trace_parses_with_the_crate_parser() {
+        let report = ProfileReport {
+            agg: ProfileAgg::default(),
+            events: vec![
+                SpanEvent {
+                    path: "sim".into(),
+                    name: "sim".into(),
+                    tid: 1,
+                    start_ns: 0,
+                    dur_ns: 2_500,
+                },
+                SpanEvent {
+                    path: "sim/decode".into(),
+                    name: "decode \"x\"".into(),
+                    tid: 1,
+                    start_ns: 500,
+                    dur_ns: 1_000,
+                },
+            ],
+            dropped_events: 0,
+        };
+        let v = json::parse(&report.to_chrome_trace()).expect("trace JSON parses");
+        let events = match v.get("traceEvents") {
+            Some(json::JsonValue::Array(xs)) => xs,
+            other => panic!("traceEvents must be an array, got {other:?}"),
+        };
+        assert_eq!(events.len(), 2);
+        let first = &events[0];
+        assert_eq!(first.get("ph").and_then(|p| p.as_str()), Some("X"));
+        assert_eq!(first.get("ts").and_then(|t| t.as_f64()), Some(0.0));
+        assert_eq!(first.get("dur").and_then(|d| d.as_f64()), Some(2.5));
+        let second = &events[1];
+        assert_eq!(
+            second
+                .get("args")
+                .and_then(|a| a.get("path"))
+                .and_then(|p| p.as_str()),
+            Some("sim/decode"),
+            "args.path carries the aggregate path for hierarchy-aware tooling"
+        );
+        assert_eq!(report.threads(), 1);
+    }
+}

@@ -1,0 +1,344 @@
+//! Hierarchical wall-time span profiling (`--profile`).
+//!
+//! A [`span`] opens a named phase and returns a [`SpanGuard`]; dropping
+//! the guard closes the phase and records its wall time into a
+//! process-wide aggregate keyed by the `/`-joined path of open spans on
+//! the current thread (`"sim/measured-run/oracle-step"`). Spans nest
+//! per thread, so worker-pool phases aggregate under their worker's
+//! job span while the main thread's phases aggregate under its own.
+//!
+//! The profiler is **off by default** and costs one relaxed atomic load
+//! per call site until [`enable`] is called — hot paths can therefore
+//! stay instrumented unconditionally. Once enabled:
+//!
+//! * every span drop updates the aggregate ([`aggregate`], a
+//!   [`ProfileAgg`] snapshot usable for before/after diffs), and
+//! * with event capture on (`enable(true)`), every span additionally
+//!   records a timeline event for Chrome Trace Event export
+//!   ([`report`] → [`ProfileReport::to_chrome_trace`]), bounded at
+//!   [`MAX_EVENTS`] to keep memory finite.
+//!
+//! Phases that are far too fine-grained for a guard per occurrence
+//! (e.g. a per-commit oracle check) batch their own timing and flush it
+//! once via [`record_external`]. Named side counts (cache hits,
+//! instructions warmed) attach to the innermost open span via [`add`].
+//!
+//! Enabling is one-way for the life of the process: the profiler is a
+//! process-wide singleton and racing a disable against in-flight guards
+//! would tear half-recorded spans.
+
+use crate::profile::{ProfileAgg, ProfileReport, SpanEvent, SpanStat};
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Cap on captured timeline events; beyond it spans still aggregate
+/// but no longer append events ([`ProfileReport::dropped_events`]
+/// counts the overflow).
+pub const MAX_EVENTS: usize = 1 << 20;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static CAPTURE: AtomicBool = AtomicBool::new(false);
+static NEXT_TID: AtomicU32 = AtomicU32::new(1);
+
+/// Aggregate + timeline state behind one mutex. Spans are coarse
+/// (phases, jobs), so contention is negligible; the linear `stats`
+/// scan is fine for the ~dozen distinct paths a run produces.
+struct Inner {
+    stats: Vec<(String, SpanStat)>,
+    events: Vec<SpanEvent>,
+    dropped_events: u64,
+    epoch: Option<Instant>,
+}
+
+static INNER: Mutex<Inner> = Mutex::new(Inner {
+    stats: Vec::new(),
+    events: Vec::new(),
+    dropped_events: 0,
+    epoch: None,
+});
+
+thread_local! {
+    /// Names of the spans currently open on this thread, outermost
+    /// first — the source of every span's aggregate path.
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+    /// Small dense thread id for trace events (0 = not yet assigned).
+    static TID: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Turns the profiler on (idempotent; never turns it off). With
+/// `capture_events` true, spans also record timeline events for Chrome
+/// Trace export; repeated calls can upgrade aggregation-only profiling
+/// to event capture but never downgrade it.
+pub fn enable(capture_events: bool) {
+    {
+        let mut inner = INNER.lock().expect("profiler lock");
+        if inner.epoch.is_none() {
+            inner.epoch = Some(Instant::now());
+        }
+    }
+    if capture_events {
+        CAPTURE.store(true, Ordering::Release);
+    }
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// True once [`enable`] has been called. The only cost an instrumented
+/// call site pays while profiling is off.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// This thread's dense trace id, assigned on first use.
+fn tid() -> u32 {
+    TID.with(|t| {
+        let v = t.get();
+        if v != 0 {
+            v
+        } else {
+            let v = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+            t.set(v);
+            v
+        }
+    })
+}
+
+/// The `/`-joined path of spans currently open on this thread.
+fn current_path() -> String {
+    STACK.with(|s| s.borrow().join("/"))
+}
+
+/// Opens a span named `name` nested under the spans already open on
+/// this thread. Returns an inert guard (no clock read, no allocation)
+/// while the profiler is disabled.
+pub fn span(name: &'static str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { active: None };
+    }
+    SpanGuard::open(name, None)
+}
+
+/// Like [`span`], but the timeline event carries `label` as its display
+/// name (aggregation still uses the static `name`, keeping the phase
+/// key space small while the Chrome trace shows per-instance detail —
+/// e.g. `sim-job` spans labeled with their benchmark).
+pub fn labeled_span(name: &'static str, label: &str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { active: None };
+    }
+    SpanGuard::open(name, Some(label.to_string()))
+}
+
+/// Adds `n` to the named counter of the innermost open span on this
+/// thread (or of the root when no span is open). No-op while disabled.
+pub fn add(counter: &'static str, n: u64) {
+    if !enabled() || n == 0 {
+        return;
+    }
+    let path = current_path();
+    let mut inner = INNER.lock().expect("profiler lock");
+    let stat = entry(&mut inner.stats, &path);
+    *stat.counters.entry(counter).or_insert(0) += n;
+}
+
+/// Records externally-batched timing as a child span `name` of the
+/// innermost open span: `total_ns` of wall time over `count`
+/// occurrences. For phases far too frequent for a guard each (a
+/// per-commit oracle check, say) — the caller accumulates and flushes
+/// once. Produces no timeline event. No-op while disabled.
+pub fn record_external(name: &'static str, total_ns: u64, count: u64) {
+    if !enabled() || (total_ns == 0 && count == 0) {
+        return;
+    }
+    let mut path = current_path();
+    if !path.is_empty() {
+        path.push('/');
+    }
+    path.push_str(name);
+    let mut inner = INNER.lock().expect("profiler lock");
+    let stat = entry(&mut inner.stats, &path);
+    stat.total_ns += total_ns;
+    stat.count += count;
+}
+
+/// A snapshot of the aggregate (per-path wall time, counts, counters).
+/// Cheap enough to take before and after a unit of work and diff with
+/// [`ProfileAgg::since`].
+pub fn aggregate() -> ProfileAgg {
+    let inner = INNER.lock().expect("profiler lock");
+    ProfileAgg::from_entries(inner.stats.iter().cloned())
+}
+
+/// The full profile: the aggregate plus the captured timeline events.
+/// Draining — events (and the dropped-event count) are handed over and
+/// cleared so repeated exports never duplicate them; the aggregate is
+/// cumulative.
+pub fn report() -> ProfileReport {
+    let mut inner = INNER.lock().expect("profiler lock");
+    ProfileReport {
+        agg: ProfileAgg::from_entries(inner.stats.iter().cloned()),
+        events: std::mem::take(&mut inner.events),
+        dropped_events: std::mem::replace(&mut inner.dropped_events, 0),
+    }
+}
+
+fn entry<'a>(stats: &'a mut Vec<(String, SpanStat)>, path: &str) -> &'a mut SpanStat {
+    if let Some(i) = stats.iter().position(|(p, _)| p == path) {
+        return &mut stats[i].1;
+    }
+    stats.push((path.to_string(), SpanStat::default()));
+    &mut stats.last_mut().expect("just pushed").1
+}
+
+/// RAII guard for an open span: records the span's wall time (and,
+/// with capture on, a timeline event) when dropped. Guards must drop
+/// in LIFO order on their thread — the natural result of holding them
+/// in scopes.
+#[must_use = "a span measures nothing unless the guard lives across the phase"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    active: Option<ActiveSpan>,
+}
+
+#[derive(Debug)]
+struct ActiveSpan {
+    path: String,
+    label: Option<String>,
+    tid: u32,
+    start: Instant,
+}
+
+impl SpanGuard {
+    fn open(name: &'static str, label: Option<String>) -> SpanGuard {
+        let path = STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            stack.push(name);
+            stack.join("/")
+        });
+        let tid = tid();
+        // Read the clock last so bookkeeping is excluded from the span.
+        SpanGuard {
+            active: Some(ActiveSpan {
+                path,
+                label,
+                tid,
+                start: Instant::now(),
+            }),
+        }
+    }
+
+    /// True when this guard is actually recording (the profiler was
+    /// enabled when the span opened).
+    pub fn is_recording(&self) -> bool {
+        self.active.is_some()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(active) = self.active.take() else {
+            return;
+        };
+        let dur_ns = active.start.elapsed().as_nanos() as u64;
+        STACK.with(|s| {
+            s.borrow_mut().pop();
+        });
+        let mut inner = INNER.lock().expect("profiler lock");
+        let stat = entry(&mut inner.stats, &active.path);
+        stat.total_ns += dur_ns;
+        stat.count += 1;
+        if CAPTURE.load(Ordering::Relaxed) {
+            if inner.events.len() < MAX_EVENTS {
+                let start_ns = inner
+                    .epoch
+                    .and_then(|e| active.start.checked_duration_since(e))
+                    .map(|d| d.as_nanos() as u64)
+                    .unwrap_or(0);
+                let name = active.label.unwrap_or_else(|| {
+                    active
+                        .path
+                        .rsplit('/')
+                        .next()
+                        .unwrap_or(&active.path)
+                        .to_string()
+                });
+                inner.events.push(SpanEvent {
+                    path: active.path,
+                    name,
+                    tid: active.tid,
+                    start_ns,
+                    dur_ns,
+                });
+            } else {
+                inner.dropped_events += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One test owns the global profiler lifecycle: the pre-enable
+    /// check must run before anything enables, and keeping every
+    /// global interaction in a single `#[test]` is what guarantees the
+    /// ordering under parallel test execution.
+    #[test]
+    fn lifecycle_from_disabled_to_nested_recording() {
+        let inert = span("never-recorded");
+        assert!(!inert.is_recording(), "disabled profiler hands out no-ops");
+        drop(inert);
+
+        enable(true);
+        assert!(enabled());
+        {
+            let _outer = span("ut-outer");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            {
+                let _inner = labeled_span("ut-inner", "inner #0");
+                add("ticks", 3);
+                record_external("ut-ext", 500, 2);
+            }
+        }
+
+        let agg = aggregate();
+        let outer = agg.spans.get("ut-outer").expect("outer aggregated");
+        let inner = agg
+            .spans
+            .get("ut-outer/ut-inner")
+            .expect("inner nests under outer");
+        let ext = agg
+            .spans
+            .get("ut-outer/ut-inner/ut-ext")
+            .expect("external batch nests under the innermost span");
+        assert_eq!(outer.count, 1);
+        assert_eq!(inner.count, 1);
+        assert!(outer.total_ns >= inner.total_ns, "child time <= parent");
+        assert_eq!(inner.counters.get("ticks"), Some(&3));
+        assert_eq!(ext.total_ns, 500);
+        assert_eq!(ext.count, 2);
+        assert!(agg.since(&agg).spans.is_empty(), "self-diff is empty");
+
+        let first_report = report();
+        let mine: Vec<_> = first_report
+            .events
+            .iter()
+            .filter(|e| e.path.starts_with("ut-"))
+            .collect();
+        assert_eq!(mine.len(), 2, "one event per guard, none for external");
+        let inner_ev = mine.iter().find(|e| e.path.ends_with("ut-inner")).unwrap();
+        let outer_ev = mine.iter().find(|e| e.path == "ut-outer").unwrap();
+        assert_eq!(inner_ev.name, "inner #0", "label overrides display name");
+        assert!(inner_ev.start_ns >= outer_ev.start_ns);
+        assert!(
+            inner_ev.start_ns + inner_ev.dur_ns <= outer_ev.start_ns + outer_ev.dur_ns,
+            "child interval is contained in the parent interval"
+        );
+        assert!(
+            report().events.iter().all(|e| !e.path.starts_with("ut-")),
+            "report drains captured events"
+        );
+    }
+}

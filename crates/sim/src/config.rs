@@ -263,9 +263,10 @@ impl SimConfig {
     }
 }
 
-/// A structurally invalid [`SimConfig`] — reachable from bad
-/// command-line input, hence an error rather than a panic.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// A structurally invalid [`SimConfig`] or run configuration —
+/// reachable from bad command-line input, hence an error rather than
+/// a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ConfigError {
     /// A capacity, width or latency that must be positive is zero.
     ZeroParameter {
@@ -277,11 +278,22 @@ pub enum ConfigError {
         /// The requested limit.
         requested: usize,
     },
+    /// An output path (`--profile-out`, `--telemetry-out`, …) cannot
+    /// be written — caught up front so a long simulation never runs
+    /// just to fail at the final write.
+    UnwritableOutput {
+        /// The flag that supplied the path.
+        flag: &'static str,
+        /// The offending path as given.
+        path: String,
+        /// Why the path is unwritable.
+        reason: &'static str,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match *self {
+        match self {
             ConfigError::ZeroParameter { what } => {
                 write!(f, "{what} must be positive")
             }
@@ -290,11 +302,45 @@ impl std::fmt::Display for ConfigError {
                 "trace_limit {requested} exceeds the in-memory cap {MAX_TRACE_LIMIT}; \
                  use a streaming trace sink for longer traces"
             ),
+            ConfigError::UnwritableOutput { flag, path, reason } => {
+                write!(f, "{flag} {path}: {reason}")
+            }
         }
     }
 }
 
 impl std::error::Error for ConfigError {}
+
+/// Checks that `path`'s parent directory exists, is a directory, and
+/// is not read-only — the up-front guard behind every `*-out` flag, so
+/// an unwritable destination is a typed [`ConfigError`] before the run
+/// instead of an I/O panic after it.
+///
+/// # Errors
+///
+/// [`ConfigError::UnwritableOutput`] naming the flag, path and reason.
+pub fn validate_output_parent(flag: &'static str, path: &str) -> Result<(), ConfigError> {
+    let unwritable = |reason| ConfigError::UnwritableOutput {
+        flag,
+        path: path.to_string(),
+        reason,
+    };
+    if path.is_empty() {
+        return Err(unwritable("empty path"));
+    }
+    let parent = match std::path::Path::new(path).parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => std::path::Path::new("."),
+    };
+    match std::fs::metadata(parent) {
+        Err(_) => Err(unwritable("parent directory does not exist")),
+        Ok(meta) if !meta.is_dir() => Err(unwritable("parent is not a directory")),
+        Ok(meta) if meta.permissions().readonly() => {
+            Err(unwritable("parent directory is read-only"))
+        }
+        Ok(_) => Ok(()),
+    }
+}
 
 #[cfg(test)]
 #[allow(clippy::field_reassign_with_default)] // explicit Table 1 tweaks read better
@@ -446,5 +492,40 @@ mod tests {
         c.max_cycles = 0;
         let err = c.validate().expect_err("zero max_cycles is invalid");
         assert!(err.to_string().contains("max_cycles"), "{err}");
+    }
+
+    #[test]
+    fn output_parent_validation() {
+        let dir = std::env::temp_dir().join(format!("nwo-cfg-out-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let ok = dir.join("trace.json");
+        validate_output_parent("--profile-out", ok.to_str().unwrap())
+            .expect("existing writable parent is accepted");
+        validate_output_parent("--profile-out", "bare-name.json")
+            .expect("a bare filename writes to the current directory");
+
+        let missing = dir.join("no-such-subdir/trace.json");
+        let err = validate_output_parent("--profile-out", missing.to_str().unwrap())
+            .expect_err("missing parent is rejected");
+        assert_eq!(
+            err,
+            ConfigError::UnwritableOutput {
+                flag: "--profile-out",
+                path: missing.to_str().unwrap().to_string(),
+                reason: "parent directory does not exist",
+            }
+        );
+        assert!(err.to_string().contains("--profile-out"), "{err}");
+
+        let file = dir.join("plain-file");
+        std::fs::write(&file, b"x").expect("write");
+        let through_file = format!("{}/tele.jsonl", file.display());
+        let err = validate_output_parent("--telemetry-out", &through_file)
+            .expect_err("a file is not a directory");
+        assert!(
+            err.to_string().contains("parent is not a directory"),
+            "{err}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -42,7 +42,9 @@ mod machine;
 mod report;
 mod stats;
 
-pub use config::{ConfigError, Optimization, PredictorChoice, SimConfig, MAX_TRACE_LIMIT};
+pub use config::{
+    validate_output_parent, ConfigError, Optimization, PredictorChoice, SimConfig, MAX_TRACE_LIMIT,
+};
 pub use machine::{DeadlockSnapshot, Machine, SimError, TraceRecord};
 pub use nwo_ckpt as ckpt;
 pub use nwo_obs as obs;
@@ -177,6 +179,16 @@ impl Simulator {
     /// disables the stream.
     pub fn set_interval_stats(&mut self, every: u64, out: Box<dyn std::io::Write>) {
         self.machine.set_interval_stats(every, out);
+    }
+
+    /// Streams compact per-interval telemetry samples to `out` as one
+    /// JSON line every `every` cycles (`--telemetry-out`): cycle, IPC,
+    /// stall breakdown, power and width-histogram deciles — all
+    /// **deltas over the interval**, unlike the cumulative
+    /// [`Simulator::set_interval_stats`] snapshots. `every == 0`
+    /// disables the stream.
+    pub fn set_telemetry(&mut self, every: u64, out: Box<dyn std::io::Write>) {
+        self.machine.set_telemetry(every, out);
     }
 
     /// Builds a report from the current state (also usable mid-run).

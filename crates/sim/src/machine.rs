@@ -266,6 +266,79 @@ pub struct Machine {
     /// cycles the full metrics snapshot is appended to `0.sink` as one
     /// JSONL line.
     interval: Option<(u64, nwo_obs::JsonlSink<Box<dyn std::io::Write>>)>,
+    /// Interval telemetry (`--telemetry-out`): compact per-interval
+    /// delta samples, distinct from the cumulative `interval` stream.
+    telemetry: Option<Telemetry>,
+    /// Deterministic phase counters exported as the `prof.*` snapshot
+    /// group. Deliberately machine-local (never read from the global
+    /// profiler) so snapshots stay byte-identical between runs even
+    /// when other threads are profiling.
+    phase: PhaseCounters,
+    /// Wall time spent in oracle commit checks during the current
+    /// `run`, batched here (one `Instant` pair per commit is the whole
+    /// cost) and flushed once per run to the span profiler as an
+    /// `oracle-step` child — a per-commit `SpanGuard` would swamp the
+    /// measurement with its own bookkeeping.
+    oracle_span_ns: u64,
+    oracle_span_checks: u64,
+}
+
+/// Deterministic lifetime counters behind the `prof.*` snapshot group.
+#[derive(Debug, Clone, Copy, Default)]
+struct PhaseCounters {
+    warmup_calls: u64,
+    warmup_insts: u64,
+    run_calls: u64,
+    ckpt_restores: u64,
+}
+
+/// State of the `--telemetry-out` stream: the sink plus the previous
+/// sample's cumulative values, so each emitted line carries deltas
+/// over its interval rather than run-to-date totals.
+struct Telemetry {
+    every: u64,
+    sink: nwo_obs::JsonlSink<Box<dyn std::io::Write>>,
+    samples: u64,
+    last_cycle: u64,
+    last_committed: u64,
+    last_stall: nwo_obs::StallBreakdown,
+    last_width: crate::stats::WidthHistogram,
+    /// Cumulative (baseline, gated) mW·cycle sums at the last sample.
+    last_power: (f64, f64),
+}
+
+/// Deciles (p10..p90) of the operand-width distribution over one
+/// telemetry interval: `now - last` per width bucket, then for each
+/// decile `d` the smallest width whose cumulative interval count
+/// reaches `d/10` of the interval total. All zeros for an empty
+/// interval.
+fn width_deciles(
+    now: &crate::stats::WidthHistogram,
+    last: &crate::stats::WidthHistogram,
+) -> [u32; 9] {
+    let mut delta = [0u64; 65];
+    let mut total = 0u64;
+    for (n, d) in delta.iter_mut().enumerate() {
+        *d = now.at(n as u32).saturating_sub(last.at(n as u32));
+        total += *d;
+    }
+    let mut out = [0u32; 9];
+    if total == 0 {
+        return out;
+    }
+    let mut cum = 0u64;
+    let mut next = 0usize;
+    for (n, d) in delta.iter().enumerate() {
+        cum += d;
+        while next < 9 && cum * 10 >= total * (next as u64 + 1) {
+            out[next] = n as u32;
+            next += 1;
+        }
+        if next == 9 {
+            break;
+        }
+    }
+    out
 }
 
 impl fmt::Debug for Machine {
@@ -328,6 +401,10 @@ impl Machine {
             stats: SimStats::default(),
             stall_pcs: None,
             interval: None,
+            telemetry: None,
+            phase: PhaseCounters::default(),
+            oracle_span_ns: 0,
+            oracle_span_checks: 0,
             config,
         }
     }
@@ -443,6 +520,97 @@ impl Machine {
         self.interval = (every > 0).then(|| (every, nwo_obs::JsonlSink::new(out)));
     }
 
+    /// Streams one compact telemetry sample to `out` as a JSON line
+    /// every `every` cycles of [`Machine::run`]: cycle, interval IPC,
+    /// per-cause stall deltas, interval power, and deciles of the
+    /// committed operand-width distribution — each value a **delta
+    /// over the interval** (the cumulative counterpart is
+    /// [`Machine::set_interval_stats`]). `every == 0` disables the
+    /// stream.
+    pub fn set_telemetry(&mut self, every: u64, out: Box<dyn std::io::Write>) {
+        self.telemetry = (every > 0).then(|| Telemetry {
+            every,
+            sink: nwo_obs::JsonlSink::new(out),
+            samples: 0,
+            last_cycle: 0,
+            last_committed: 0,
+            last_stall: nwo_obs::StallBreakdown::default(),
+            last_width: crate::stats::WidthHistogram::new(),
+            last_power: (0.0, 0.0),
+        });
+    }
+
+    /// Emits one telemetry sample and rolls the delta baseline forward.
+    fn emit_telemetry(&mut self) {
+        let Some(mut t) = self.telemetry.take() else {
+            return;
+        };
+        let line = self.telemetry_line(&mut t);
+        t.sink.write_line(&line);
+        t.samples += 1;
+        self.telemetry = Some(t);
+    }
+
+    /// Builds the JSON line for one telemetry sample, updating the
+    /// stream's last-sample baselines in the process.
+    fn telemetry_line(&self, t: &mut Telemetry) -> String {
+        use std::fmt::Write as _;
+        let cycle = self.cycle;
+        let committed = self.stats.committed;
+        let dcycles = cycle.saturating_sub(t.last_cycle);
+        let dcommit = committed.saturating_sub(t.last_committed);
+        let ipc = if dcycles > 0 {
+            dcommit as f64 / dcycles as f64
+        } else {
+            0.0
+        };
+        // The power accumulator exposes per-cycle averages; multiplying
+        // back by the cycle count recovers the cumulative mW·cycle sums
+        // this stream diffs between samples.
+        let pr = self.stats.power.report(cycle.max(1));
+        let base_sum = pr.baseline_mw_per_cycle * cycle as f64;
+        let gated_sum = pr.gated_mw_per_cycle * cycle as f64;
+        let denom = dcycles.max(1) as f64;
+        let baseline_mw = (base_sum - t.last_power.0) / denom;
+        let gated_mw = (gated_sum - t.last_power.1) / denom;
+
+        let mut line = String::with_capacity(256);
+        let _ = write!(
+            line,
+            "{{\"t\": \"telemetry\", \"cycle\": {cycle}, \"committed\": {committed}, \
+             \"interval_cycles\": {dcycles}, \"interval_committed\": {dcommit}, \"ipc\": "
+        );
+        nwo_obs::json::write_f64(&mut line, ipc);
+        line.push_str(", \"stall\": {");
+        for (i, (cause, now)) in self.stats.stall.iter().enumerate() {
+            if i > 0 {
+                line.push_str(", ");
+            }
+            let delta = now.saturating_sub(t.last_stall.get(cause));
+            let _ = write!(line, "\"{}\": {delta}", cause.name());
+        }
+        line.push_str("}, \"power_mw\": {\"baseline\": ");
+        nwo_obs::json::write_f64(&mut line, baseline_mw);
+        line.push_str(", \"gated\": ");
+        nwo_obs::json::write_f64(&mut line, gated_mw);
+        line.push_str("}, \"width_deciles\": [");
+        let deciles = width_deciles(&self.stats.width_committed, &t.last_width);
+        for (i, d) in deciles.iter().enumerate() {
+            if i > 0 {
+                line.push_str(", ");
+            }
+            let _ = write!(line, "{d}");
+        }
+        line.push_str("]}");
+
+        t.last_cycle = cycle;
+        t.last_committed = committed;
+        t.last_stall = self.stats.stall.clone();
+        t.last_width = self.stats.width_committed.clone();
+        t.last_power = (base_sum, gated_sum);
+        line
+    }
+
     /// Serializes the machine's warmed state into a versioned checkpoint
     /// container: a `meta` identity section (warm-state config
     /// fingerprint + program code digest), the architected front-end
@@ -455,6 +623,7 @@ impl Machine {
     /// [`Machine::run`]), which is the only place the simulator takes
     /// them.
     pub fn checkpoint(&self) -> Vec<u8> {
+        let _prof = nwo_obs::span::span("ckpt-io");
         debug_assert!(
             self.cycle == 0 && self.window.is_empty() && self.ifq.is_empty(),
             "checkpoints are taken at the warmup boundary"
@@ -501,6 +670,7 @@ impl Machine {
     /// a different program, machine shape, or already-run machine.
     pub fn restore_checkpoint(&mut self, bytes: &[u8]) -> Result<(), nwo_ckpt::CkptError> {
         use nwo_ckpt::CkptError;
+        let _prof = nwo_obs::span::span("restore");
         if self.cycle != 0 || self.stats.committed != 0 {
             return Err(CkptError::Malformed(
                 "restore requires a machine that has not begun timed simulation".into(),
@@ -569,6 +739,7 @@ impl Machine {
             let (regs, pc, halted, mem) = self.frontend.arch_state();
             oracle.resync(regs, pc, halted, mem);
         }
+        self.phase.ckpt_restores += 1;
         Ok(())
     }
 
@@ -621,6 +792,27 @@ impl Machine {
         }
         r.source("power", &stats.power.report(denom));
         r.source("mem_ext", &stats.mem_ext.report(denom));
+        // Machine-local phase counters only — never global profiler
+        // state, which other threads may be mutating — so identical
+        // runs keep producing byte-identical snapshots.
+        r.group("prof", |r| {
+            r.counter("warmup_calls", self.phase.warmup_calls);
+            r.counter("warmup_insts", self.phase.warmup_insts);
+            r.counter("run_calls", self.phase.run_calls);
+            r.counter("ckpt_restores", self.phase.ckpt_restores);
+            r.counter(
+                "oracle_checks",
+                self.oracle.as_ref().map_or(0, OracleChecker::checked),
+            );
+        });
+        r.group("telemetry", |r| {
+            r.counter("every", self.telemetry.as_ref().map_or(0, |t| t.every));
+            r.counter("samples", self.telemetry.as_ref().map_or(0, |t| t.samples));
+            r.counter(
+                "interval_every",
+                self.interval.as_ref().map_or(0, |(e, _)| *e),
+            );
+        });
         r.finish()
     }
 
@@ -633,6 +825,10 @@ impl Machine {
     /// [`SimError::BadFetch`] if the program runs off the rails;
     /// warming past `halt` simply stops early.
     pub fn warmup(&mut self, insts: u64) -> Result<u64, SimError> {
+        let _prof = nwo_obs::span::span("warmup");
+        let mut oracle_ns = 0u64;
+        let mut oracle_checks = 0u64;
+        self.phase.warmup_calls += 1;
         let mut n = 0;
         while n < insts && !self.frontend.halted() {
             let pc = self.frontend.pc();
@@ -678,12 +874,21 @@ impl Machine {
                     packed: false,
                     replayed: false,
                 };
-                if let Err(report) = oracle.check_commit(0, &rec, record) {
+                let t0 = nwo_obs::span::enabled().then(std::time::Instant::now);
+                let checked = oracle.check_commit(0, &rec, record);
+                if let Some(t0) = t0 {
+                    oracle_ns += t0.elapsed().as_nanos() as u64;
+                    oracle_checks += 1;
+                }
+                if let Err(report) = checked {
                     return Err(SimError::Divergence(report));
                 }
             }
             n += 1;
         }
+        self.phase.warmup_insts += n;
+        nwo_obs::span::add("insts", n);
+        nwo_obs::span::record_external("oracle-step", oracle_ns, oracle_checks);
         Ok(n)
     }
 
@@ -694,6 +899,11 @@ impl Machine {
     ///
     /// See [`SimError`].
     pub fn run(&mut self, max_insts: u64) -> Result<(), SimError> {
+        let _prof = nwo_obs::span::span("measured-run");
+        let start_cycle = self.cycle;
+        self.phase.run_calls += 1;
+        self.oracle_span_ns = 0;
+        self.oracle_span_checks = 0;
         while !self.done && self.stats.committed < max_insts {
             if self.frontend.halted() && self.window.is_empty() && self.ifq.is_empty() {
                 // Warmup (or a restored checkpoint of one) consumed the
@@ -720,6 +930,11 @@ impl Machine {
                     }
                 }
             }
+            if let Some(every) = self.telemetry.as_ref().map(|t| t.every) {
+                if self.cycle.is_multiple_of(every) {
+                    self.emit_telemetry();
+                }
+            }
             if self.cycle - self.last_commit_cycle > 200_000 {
                 return Err(self.deadlock_error());
             }
@@ -729,6 +944,22 @@ impl Machine {
         if let Some((_, sink)) = &mut self.interval {
             TraceSink::flush(sink);
         }
+        if self.telemetry.is_some() {
+            // Final partial-interval sample, so the stream always ends
+            // at the last cycle; then flush.
+            if self
+                .telemetry
+                .as_ref()
+                .is_some_and(|t| t.last_cycle < self.cycle)
+            {
+                self.emit_telemetry();
+            }
+            if let Some(t) = &mut self.telemetry {
+                TraceSink::flush(&mut t.sink);
+            }
+        }
+        nwo_obs::span::add("cycles", self.cycle - start_cycle);
+        nwo_obs::span::record_external("oracle-step", self.oracle_span_ns, self.oracle_span_checks);
         Ok(())
     }
 
@@ -1532,7 +1763,16 @@ impl Machine {
                 // wrong statistics accumulate.
                 let cycle = self.cycle;
                 if let Some(oracle) = self.oracle.as_mut() {
-                    if let Err(report) = oracle.check_commit(cycle, &e.rec, record) {
+                    // Per-commit timing is batched into the run-level
+                    // accumulators (see `oracle_span_ns`) — one clock
+                    // pair per commit, no per-commit span guards.
+                    let t0 = nwo_obs::span::enabled().then(std::time::Instant::now);
+                    let checked = oracle.check_commit(cycle, &e.rec, record);
+                    if let Some(t0) = t0 {
+                        self.oracle_span_ns += t0.elapsed().as_nanos() as u64;
+                        self.oracle_span_checks += 1;
+                    }
+                    if let Err(report) = checked {
                         return Err(SimError::Divergence(report));
                     }
                 }

@@ -271,3 +271,152 @@ fn snapshot_json_is_stable_and_parseable() {
          intentional, update the golden file to the keys printed above"
     );
 }
+
+/// A retaining sink sized above the program's commit count must capture
+/// every commit — no phantom records, no premature wrap — and the
+/// pipeline diagram must render the complete, short trace.
+#[test]
+fn ring_sink_and_pipeview_handle_fewer_commits_than_capacity() {
+    use nwo::sim::obs::{pipeview, RingSink};
+
+    let program = golden_program();
+    for sink in [RingSink::keep_first(1 << 14), RingSink::keep_last(1 << 14)] {
+        let mut sim = Simulator::new(&program, SimConfig::default());
+        sim.set_trace_sink(Box::new(sink));
+        let report = sim.run(u64::MAX).expect("halts");
+        let commits = sim.trace_commits();
+        assert!(
+            (commits.len() as u64) < (1 << 14),
+            "kernel must be smaller than the ring for this test"
+        );
+        assert_eq!(
+            commits.len() as u64,
+            report.stats.committed,
+            "a half-empty ring holds exactly the committed records"
+        );
+        for (i, r) in commits.iter().enumerate() {
+            assert_eq!(r.seq, i as u64, "records stay dense and ordered");
+        }
+
+        let diagram = pipeview::render(&commits, &|_, raw| {
+            nwo::isa::Instr::decode(raw)
+                .map(|ins| ins.to_string())
+                .unwrap_or_else(|_| format!("{raw:08x}"))
+        });
+        assert!(!diagram.is_empty());
+        assert!(
+            diagram.contains("addq"),
+            "diagram disassembles the kernel body:\n{diagram}"
+        );
+    }
+}
+
+/// Fixed name pool for the span-nesting property (the span API takes
+/// `&'static str`); the `pt-` prefix keeps these events distinguishable
+/// from spans recorded by other tests in this process.
+const PT_NAMES: [&str; 4] = ["pt-a", "pt-b", "pt-c", "pt-d"];
+
+/// Interprets a random action tape as a span tree: values 0..4 open a
+/// guard for the matching [`PT_NAMES`] entry (depth-capped), 4 closes
+/// the innermost open guard. Leftover guards unwind innermost-first,
+/// exactly like scope exit.
+fn exec_span_actions(actions: &[u8]) {
+    let mut guards = Vec::new();
+    for &a in actions {
+        match a {
+            0..=3 if guards.len() < 6 => {
+                guards.push(nwo::sim::obs::span::span(PT_NAMES[a as usize]));
+            }
+            4 => drop(guards.pop()),
+            _ => {}
+        }
+    }
+    while let Some(g) = guards.pop() {
+        drop(g);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// RAII span guards produce well-formed trees: on one thread, any
+    /// two recorded spans are either disjoint in time or properly
+    /// nested, and a nested span's aggregate path extends its
+    /// enclosing span's path — for arbitrary nesting shapes.
+    #[test]
+    fn span_events_nest_without_overlap(
+        actions in prop::collection::vec(0u8..5, 1..48),
+    ) {
+        use nwo::sim::obs::span;
+
+        span::enable(true);
+        // Drain events left over from the previous case (and from any
+        // concurrently profiling test in this process).
+        let _ = span::report();
+
+        // Guarantee at least one recorded span whatever the tape says.
+        exec_span_actions(&[0]);
+        exec_span_actions(&actions);
+
+        let events: Vec<_> = span::report()
+            .events
+            .into_iter()
+            .filter(|e| e.name.starts_with("pt-"))
+            .collect();
+        prop_assert!(!events.is_empty(), "the tree recorded at least its root");
+        let tid = events[0].tid;
+        for e in &events {
+            prop_assert_eq!(e.tid, tid, "single-threaded case, single tid");
+        }
+
+        for (i, a) in events.iter().enumerate() {
+            let (a0, a1) = (a.start_ns, a.start_ns + a.dur_ns);
+            for b in &events[i + 1..] {
+                let (b0, b1) = (b.start_ns, b.start_ns + b.dur_ns);
+                let disjoint = a1 <= b0 || b1 <= a0;
+                let a_in_b = b0 <= a0 && a1 <= b1;
+                let b_in_a = a0 <= b0 && b1 <= a1;
+                prop_assert!(
+                    disjoint || a_in_b || b_in_a,
+                    "spans overlap without nesting: {:?} [{a0},{a1}] vs {:?} [{b0},{b1}]",
+                    a.path, b.path
+                );
+                // Containment in time must match containment in the
+                // aggregate path (same-path spans are sequential
+                // re-entries, handled by the disjoint arm).
+                if a_in_b && !disjoint && a.path != b.path {
+                    prop_assert!(
+                        a.path.starts_with(&format!("{}/", b.path)),
+                        "{:?} runs inside {:?} but is not its descendant",
+                        a.path, b.path
+                    );
+                }
+                if b_in_a && !disjoint && a.path != b.path {
+                    prop_assert!(
+                        b.path.starts_with(&format!("{}/", a.path)),
+                        "{:?} runs inside {:?} but is not its descendant",
+                        b.path, a.path
+                    );
+                }
+            }
+        }
+
+        // Children never outlive their parent: every event with a
+        // nested path fits inside some event carrying the parent path.
+        for e in &events {
+            if let Some(parent_path) = e.path.rfind('/').map(|cut| &e.path[..cut]) {
+                let inside_parent = events.iter().any(|p| {
+                    p.path == parent_path
+                        && p.start_ns <= e.start_ns
+                        && e.start_ns + e.dur_ns <= p.start_ns + p.dur_ns
+                });
+                prop_assert!(
+                    inside_parent,
+                    "{:?} has no enclosing {:?} event",
+                    e.path,
+                    parent_path
+                );
+            }
+        }
+    }
+}
