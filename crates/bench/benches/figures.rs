@@ -25,6 +25,12 @@ fn main() {
     } else {
         args.iter().map(String::as_str).collect()
     };
+    // NWO_JOBS=0 (or garbage) aborts up front with the typed error
+    // instead of silently running at default parallelism.
+    if let Err(e) = nwo_bench::runner::jobs_from_env_checked() {
+        eprintln!("{e}");
+        std::process::exit(2);
+    }
     println!("nwo experiment harness — reproducing Brooks & Martonosi, HPCA 1999");
     match run_harness(&selected) {
         Ok(summary) if summary.failures.is_empty() => {

@@ -107,6 +107,31 @@ pub fn suite() -> Vec<Benchmark> {
     experiment_suite(harness_scale())
 }
 
+/// Header line of the bench table, shared by `nwo bench` and the
+/// `nwo serve` result frames so both surfaces stay byte-identical.
+pub fn bench_table_header() -> String {
+    format!(
+        "{:<11} {:>6} {:>10} {:>9} {:>7} {:>8} {:>9}",
+        "benchmark", "scale", "instrs", "cycles", "ipc", "narrow16", "verified"
+    )
+}
+
+/// One bench-table row for a verified report. Every number comes from
+/// the deterministic simulator, so the row is byte-identical however
+/// the report was obtained — fresh run, memo hit, or disk cache.
+pub fn bench_table_row(name: &str, scale: u32, report: &SimReport) -> String {
+    format!(
+        "{:<11} {:>6} {:>10} {:>9} {:>7.3} {:>7.1}% {:>9}",
+        name,
+        scale,
+        report.stats.committed,
+        report.stats.cycles,
+        report.ipc(),
+        report.stats.breakdown.narrow16_total_fraction() * 100.0,
+        "ok"
+    )
+}
+
 /// Geometric-mean speedup in percent over pairs of (baseline, variant)
 /// cycle counts.
 pub fn mean_speedup_percent(pairs: &[(u64, u64)]) -> f64 {

@@ -32,7 +32,7 @@
 //!   kernel exactly once, however many machine variants it times.
 
 use crate::run_with_warm_state;
-use nwo_ckpt::CacheDir;
+use nwo_ckpt::{with_retry, CacheDir};
 use nwo_sim::{SimConfig, SimReport};
 use nwo_workloads::Benchmark;
 use std::collections::{HashMap, VecDeque};
@@ -71,9 +71,21 @@ pub struct JobHandle {
     /// True when submission found the key already present — the
     /// simulation is (or will be) shared with an earlier submission.
     pub memo_hit: bool,
+    /// True when submission was answered directly from the
+    /// `NWO_CACHE_DIR` disk cache (no job was enqueued).
+    pub disk_hit: bool,
 }
 
 impl JobHandle {
+    /// Non-blocking probe: `Some` with the finished result, `None`
+    /// while the simulation is still queued or running. This is what
+    /// lets the serve daemon poll a job under its per-request watchdog
+    /// and keep servicing cancel frames instead of parking a thread in
+    /// [`JobHandle::result`].
+    pub fn try_result(&self) -> Option<Result<Arc<SimReport>, String>> {
+        self.slot.result.lock().unwrap().clone()
+    }
+
     /// Blocks until the simulation finishes and returns its report, or
     /// the failure message if the simulation panicked.
     ///
@@ -115,8 +127,12 @@ pub struct RunnerCounters {
     pub disk_hits: u64,
     /// Functional warmups actually executed (`NWO_WARMUP` mode).
     pub warmups_run: u64,
-    /// Simulations that reused an already-built warm checkpoint.
+    /// Simulations that reused an already-built warm checkpoint from
+    /// this process's in-memory slot.
     pub warm_hits: u64,
+    /// Warm checkpoints loaded from the `NWO_CACHE_DIR` disk cache —
+    /// warmups some earlier process (or server run) already paid for.
+    pub warm_disk_hits: u64,
 }
 
 /// A queued simulation.
@@ -262,6 +278,7 @@ impl Runner {
                 counters.memo_hits += 1;
             }
         }
+        let mut disk_hit = false;
         if !memo_hit {
             let disk_key = self
                 .shared
@@ -276,6 +293,7 @@ impl Runner {
             });
             if let Some(report) = loaded.flatten() {
                 self.shared.counters.lock().unwrap().disk_hits += 1;
+                disk_hit = true;
                 slot.fill(Ok(Arc::new(report)));
             } else {
                 let mut queue = self.shared.queue.lock().unwrap();
@@ -290,7 +308,11 @@ impl Runner {
                 self.shared.available.notify_one();
             }
         }
-        JobHandle { slot, memo_hit }
+        JobHandle {
+            slot,
+            memo_hit,
+            disk_hit,
+        }
     }
 
     /// Attempts to answer a submission from the disk cache. Transient
@@ -426,49 +448,80 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
-/// Runs a disk-cache operation up to three times, backing off ~10ms then
-/// ~40ms between attempts. Shared filesystems fail transiently; a cache
-/// miss costs a full re-simulation, so a couple of cheap retries pay for
-/// themselves many times over. The final error is returned unchanged.
-fn with_retry<T>(
-    mut op: impl FnMut() -> Result<T, nwo_ckpt::CkptError>,
-) -> Result<T, nwo_ckpt::CkptError> {
-    let mut delay = std::time::Duration::from_millis(10);
-    let mut last = None;
-    for attempt in 0..3 {
-        if attempt > 0 {
-            std::thread::sleep(delay);
-            delay *= 4;
-        }
-        match op() {
-            Ok(v) => return Ok(v),
-            Err(e) => last = Some(e),
-        }
-    }
-    Err(last.expect("retry loop ran at least once"))
+/// Where one `warm_bytes` call got its checkpoint from, for counter
+/// attribution.
+enum WarmSource {
+    /// Another submission already initialized the in-process slot.
+    Memo,
+    /// Loaded from the persistent cache (`NWO_CACHE_DIR`).
+    Disk,
+    /// Built by fast-forwarding here (and spilled to disk if enabled).
+    Built,
 }
 
 /// The warm checkpoint for `(bench, scale, warm fingerprint)`, building
 /// it on first use. Concurrent requests for the same key block on one
-/// warmup instead of duplicating it.
+/// warmup instead of duplicating it, and with `NWO_CACHE_DIR` set the
+/// built image is spilled to [`CacheDir`] so sibling processes and
+/// server restarts reuse it instead of rewarming.
 fn warm_bytes(shared: &Shared, bench: &Benchmark, scale: u32, config: &SimConfig) -> Arc<Vec<u8>> {
     let key: WarmKey = (bench.name, scale, config.warm_fingerprint());
     let cell = {
         let mut warm = shared.warm.lock().unwrap();
         Arc::clone(warm.entry(key).or_default())
     };
-    let mut built = false;
+    let mut source = WarmSource::Memo;
     let bytes = Arc::clone(cell.get_or_init(|| {
-        built = true;
-        Arc::new(crate::warm_checkpoint(bench, config, shared.warm_insts))
+        if let Some(loaded) = load_warm_from_disk(shared, bench.name, scale, config) {
+            source = WarmSource::Disk;
+            return Arc::new(loaded);
+        }
+        source = WarmSource::Built;
+        let bytes = crate::warm_checkpoint(bench, config, shared.warm_insts);
+        if let Some(disk) = &shared.disk {
+            let key = warm_disk_key(bench.name, scale, config, shared.warm_insts);
+            if let Err(e) = with_retry(|| disk.store(&key, &bytes)) {
+                eprintln!("NWO_CACHE_DIR: cannot store {key}: {e}");
+            }
+        }
+        Arc::new(bytes)
     }));
     let mut counters = shared.counters.lock().unwrap();
-    if built {
-        counters.warmups_run += 1;
-    } else {
-        counters.warm_hits += 1;
+    match source {
+        WarmSource::Memo => counters.warm_hits += 1,
+        WarmSource::Disk => counters.warm_disk_hits += 1,
+        WarmSource::Built => counters.warmups_run += 1,
     }
     bytes
+}
+
+/// Attempts to load a persisted warm checkpoint. `run_with_warm_state`
+/// panics on a rejected warm image, so a stale or corrupt disk entry
+/// must be detected here and degrade to a rebuild, not a panic:
+/// [`nwo_ckpt::CheckpointReader::from_bytes`] re-verifies the container
+/// magic, format version, code salt and per-section CRCs.
+fn load_warm_from_disk(
+    shared: &Shared,
+    name: &str,
+    scale: u32,
+    config: &SimConfig,
+) -> Option<Vec<u8>> {
+    let disk = shared.disk.as_ref()?;
+    let key = warm_disk_key(name, scale, config, shared.warm_insts);
+    let bytes = with_retry(|| disk.load(&key)).ok().flatten()?;
+    nwo_ckpt::CheckpointReader::from_bytes(&bytes).ok()?;
+    Some(bytes)
+}
+
+/// Disk key for a persisted warm checkpoint: program identity, the
+/// warm-relevant config fingerprint, the warmup budget and the code
+/// salt (also embedded in the blob and re-verified on load).
+fn warm_disk_key(name: &str, scale: u32, config: &SimConfig, warm_insts: u64) -> String {
+    format!(
+        "warm-{name}-s{scale}-{:016x}-w{warm_insts}-{:016x}",
+        config.warm_fingerprint(),
+        nwo_ckpt::code_salt()
+    )
 }
 
 /// Disk-cache key: every component that can change the report —
@@ -495,16 +548,44 @@ fn panic_message(bench: &Benchmark, payload: &(dyn std::any::Any + Send)) -> Str
 
 /// Worker count from the environment: `NWO_JOBS` when set to a positive
 /// integer, otherwise the machine's available parallelism.
+///
+/// Tolerant fallback for late consumers like [`Runner::global`];
+/// entry points that can still report an error should call
+/// [`jobs_from_env_checked`] first so `NWO_JOBS=0` fails loudly.
 pub fn jobs_from_env() -> usize {
     std::env::var("NWO_JOBS")
         .ok()
         .and_then(|s| s.parse().ok())
         .filter(|&n| n > 0)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1)
-        })
+        .unwrap_or_else(default_parallelism)
+}
+
+/// Machine parallelism, the `NWO_JOBS`-unset default.
+fn default_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Validating worker count: unset `NWO_JOBS` means available
+/// parallelism, but a set-and-useless value (`0`, or not an integer)
+/// is a typed [`nwo_sim::ConfigError`] instead of a silent fallback —
+/// the CLI, the bench harness and `nwo serve` all check this up front
+/// so a typo'd job count aborts before any simulation starts.
+///
+/// # Errors
+///
+/// [`nwo_sim::ConfigError::ZeroParameter`] when `NWO_JOBS` is set but
+/// does not parse as a positive integer.
+pub fn jobs_from_env_checked() -> Result<usize, nwo_sim::ConfigError> {
+    match std::env::var("NWO_JOBS") {
+        Err(_) => Ok(default_parallelism()),
+        Ok(s) => s.trim().parse::<usize>().ok().filter(|&n| n > 0).ok_or(
+            nwo_sim::ConfigError::ZeroParameter {
+                what: "NWO_JOBS worker count",
+            },
+        ),
+    }
 }
 
 /// Submits `(benchmark, config)` pairs on the [global](Runner::global)
@@ -543,6 +624,7 @@ mod tests {
             disk_hits: 1,
             warmups_run: 4,
             warm_hits: 4,
+            warm_disk_hits: 3,
         };
         let line = progress_json("experiments", 3, 7, &counters, 1, 12.34);
         let v = nwo_sim::obs::json::parse(&line).expect("progress line parses");
@@ -765,6 +847,82 @@ mod tests {
         // run_with_warm_state verified architected output internally;
         // the warmed runs also agree with each other.
         assert_eq!(reports[0].out_quads, reports[1].out_quads);
+    }
+
+    #[test]
+    fn warm_checkpoints_persist_across_runners() {
+        let scratch = ScratchCache::new("warm-persist");
+        let bench = small_bench();
+
+        // Cold: the warmup runs once and spills its image to disk.
+        let cold = Runner::with_options(1, Some(scratch.dir()), 500);
+        let first = cold.submit(&bench, 0, base_config()).wait();
+        let counters = cold.counters();
+        assert_eq!(counters.warmups_run, 1, "cold run pays the warmup");
+        assert_eq!(counters.warm_disk_hits, 0);
+        let key = warm_disk_key(bench.name, 0, &base_config(), 500);
+        assert!(
+            scratch.dir().load(&key).unwrap().is_some(),
+            "warm image spilled under {key}"
+        );
+        drop(cold);
+
+        // A fresh runner ("server restart"): different config same warm
+        // fingerprint, so the memo would miss — the disk answers instead
+        // and no rewarm runs. (The result cache key differs, so the
+        // simulation itself re-runs and must still verify.)
+        let warm = Runner::with_options(1, Some(scratch.dir()), 500);
+        let second = warm.submit(&bench, 0, crate::gating_config()).wait();
+        let counters = warm.counters();
+        assert_eq!(counters.warmups_run, 0, "restart reuses the spilled image");
+        assert_eq!(counters.warm_disk_hits, 1);
+        assert_eq!(counters.sims_run, 1);
+        assert_eq!(
+            first.stats.committed, second.stats.committed,
+            "warm source must not change architected work"
+        );
+    }
+
+    #[test]
+    fn corrupt_warm_checkpoint_degrades_to_a_rebuild() {
+        let scratch = ScratchCache::new("warm-corrupt");
+        let bench = small_bench();
+        let key = warm_disk_key(bench.name, 0, &base_config(), 500);
+        let dir = scratch.dir();
+        dir.store(&key, b"not a checkpoint")
+            .expect("stores garbage");
+
+        // `run_with_warm_state` panics on a bad warm image, so this only
+        // passes if validation rejected the blob before use.
+        let runner = Runner::with_options(1, Some(dir), 500);
+        let report = runner.submit(&bench, 0, base_config()).wait();
+        let counters = runner.counters();
+        assert_eq!(counters.warm_disk_hits, 0, "garbage never counts as a hit");
+        assert_eq!(counters.warmups_run, 1, "the warmup re-runs");
+        assert!(report.stats.committed > 0);
+
+        // The rebuild overwrote the entry with a valid image.
+        let bytes = scratch
+            .dir()
+            .load(&key)
+            .expect("readable")
+            .expect("present");
+        assert!(nwo_ckpt::CheckpointReader::from_bytes(&bytes).is_ok());
+    }
+
+    #[test]
+    fn try_result_is_none_until_done_then_some() {
+        let runner = Runner::with_jobs(1);
+        let bench = small_bench();
+        let handle = runner.submit(&bench, 0, base_config());
+        // May or may not be finished yet; after wait() it must be Some.
+        let report = handle.wait();
+        let polled = handle
+            .try_result()
+            .expect("finished job polls as Some")
+            .expect("successful job");
+        assert!(Arc::ptr_eq(&report, &polled));
+        assert!(!handle.disk_hit, "no disk cache configured");
     }
 
     #[test]

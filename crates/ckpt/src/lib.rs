@@ -767,6 +767,34 @@ impl CacheDir {
     }
 }
 
+/// Runs a cache I/O operation up to three times, backing off ~10ms then
+/// ~40ms between attempts. Shared filesystems fail transiently; a cache
+/// miss costs a full re-simulation, so a couple of cheap retries pay for
+/// themselves many times over. The final error is returned unchanged.
+///
+/// Shared by every [`CacheDir`] consumer — the bench runner's disk
+/// result cache, its warm-checkpoint spill and the `nwo-serve` daemon's
+/// server-side cache I/O all retry with the same policy.
+///
+/// # Errors
+///
+/// The last [`CkptError`] once all attempts are exhausted.
+pub fn with_retry<T>(mut op: impl FnMut() -> Result<T, CkptError>) -> Result<T, CkptError> {
+    let mut delay = std::time::Duration::from_millis(10);
+    let mut last = None;
+    for attempt in 0..3 {
+        if attempt > 0 {
+            std::thread::sleep(delay);
+            delay *= 4;
+        }
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(last.expect("retry loop ran at least once"))
+}
+
 /// Saves checkpoint `bytes` to `path` (convenience over `fs::write` with
 /// a typed error).
 ///
@@ -998,6 +1026,24 @@ mod tests {
         // Exhausted budget: operations succeed from now on.
         cache.store("k", b"v").unwrap();
         assert_eq!(clone.load("k").unwrap().as_deref(), Some(&b"v"[..]));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn with_retry_absorbs_transient_faults_and_surfaces_persistent_ones() {
+        let root = std::env::temp_dir().join(format!("nwo-ckpt-retry-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        // Two injected faults: the third attempt of one operation wins.
+        let cache = CacheDir::with_injected_faults(&root, 2);
+        with_retry(|| cache.store("k", b"v")).expect("retries through 2 faults");
+        assert_eq!(cache.load("k").unwrap().as_deref(), Some(&b"v"[..]));
+        // More faults than one operation's attempts: the final error
+        // surfaces unchanged.
+        let flaky = CacheDir::with_injected_faults(&root, 99);
+        assert!(matches!(
+            with_retry(|| flaky.load("k")),
+            Err(CkptError::Io(_))
+        ));
         let _ = std::fs::remove_dir_all(&root);
     }
 

@@ -60,6 +60,19 @@ usage:
        seeded deterministic fault injection: verify the oracle detects every
        architectural fault and the machine degrades gracefully otherwise
        (see docs/verification.md)
+  nwo serve [--addr host:port] [--queue-depth N] [--jobs N]
+            [--addr-file <path>]
+       simulation-as-a-service daemon on the cached worker pool: framed
+       TCP protocol, bounded admission, NWO_WATCHDOG_SECS watchdog,
+       NWO_CACHE_DIR/NWO_WARMUP cache tiers, graceful drain on SIGTERM
+       or a shutdown frame (exit 0 clean, 5 if jobs leaked); env
+       fallbacks NWO_SERVE_ADDR / NWO_SERVE_QUEUE (see docs/serving.md)
+  nwo client <addr> sweep [name ...] [--scale N] [--gating] [--packing]
+                          [--replay] [--perfect] [--wide] [--eight]
+       run a sweep through a daemon; stdout is byte-identical to
+       `nwo bench` with the same arguments, side frames go to stderr
+  nwo client <addr> status|cancel <job>|shutdown
+       inspect serve.* metrics, abandon a job, or drain the daemon
 ";
 
 /// Loads a program from assembly source (`.s`) or an NWO1 image.
@@ -692,13 +705,19 @@ pub fn dbg(args: &[String]) -> Result<(), String> {
 /// Applies a `--jobs N` flag by exporting `NWO_JOBS` before the global
 /// worker pool spins up (the pool reads the variable once, on first
 /// use, so the flag must come before any simulation is submitted).
-fn set_jobs(value: &str) -> Result<(), String> {
-    let n: usize = value
-        .parse()
-        .map_err(|_| "--jobs needs a positive number".to_string())?;
-    if n == 0 {
-        return Err("--jobs needs a positive number".to_string());
-    }
+/// `--jobs 0` and garbage surface the same typed
+/// [`nwo_sim::ConfigError`] as `NWO_JOBS=0` — never a silent fallback.
+pub(crate) fn set_jobs(value: &str) -> Result<(), String> {
+    let n = value
+        .parse::<usize>()
+        .ok()
+        .filter(|&n| n > 0)
+        .ok_or_else(|| {
+            nwo_sim::ConfigError::ZeroParameter {
+                what: "--jobs worker count",
+            }
+            .to_string()
+        })?;
     std::env::set_var("NWO_JOBS", n.to_string());
     Ok(())
 }
@@ -739,6 +758,9 @@ pub fn bench(args: &[String]) -> Result<(), String> {
     if profile || profile_out.is_some() {
         nwo_sim::obs::span::enable(profile_out.is_some());
     }
+    // NWO_JOBS=0 (or garbage) aborts up front with the typed error
+    // instead of silently running at default parallelism.
+    nwo_bench::runner::jobs_from_env_checked().map_err(|e| e.to_string())?;
     let root_span = nwo_sim::obs::span::span("bench");
     if names.is_empty() {
         names = BENCHMARK_NAMES.iter().map(|s| s.to_string()).collect();
@@ -757,24 +779,14 @@ pub fn bench(args: &[String]) -> Result<(), String> {
         let handle = Runner::global().submit(&bench, scale, SimConfig::default());
         jobs.push((name, scale, handle));
     }
-    println!(
-        "{:<11} {:>6} {:>10} {:>9} {:>7} {:>8} {:>9}",
-        "benchmark", "scale", "instrs", "cycles", "ipc", "narrow16", "verified"
-    );
+    // Rows come from the same shared formatter as `nwo serve` result
+    // frames, keeping the two surfaces byte-identical.
+    println!("{}", nwo_bench::bench_table_header());
     for (name, scale, handle) in &jobs {
         // The runner verifies each report against the reference output
         // and surfaces a divergence as an error.
         let report = handle.result()?;
-        println!(
-            "{:<11} {:>6} {:>10} {:>9} {:>7.3} {:>7.1}% {:>9}",
-            name,
-            scale,
-            report.stats.committed,
-            report.stats.cycles,
-            report.ipc(),
-            report.stats.breakdown.narrow16_total_fraction() * 100.0,
-            "ok"
-        );
+        println!("{}", nwo_bench::bench_table_row(name, *scale, &report));
     }
     drop(root_span);
     finish_profile(profile, profile_out.as_deref())
@@ -811,6 +823,9 @@ pub fn experiments(args: &[String]) -> Result<(), String> {
         // file was requested.
         nwo_sim::obs::span::enable(profile_out.is_some());
     }
+    // NWO_JOBS=0 (or garbage) aborts up front with the typed error
+    // instead of silently running at default parallelism.
+    nwo_bench::runner::jobs_from_env_checked().map_err(|e| e.to_string())?;
     let selected: Vec<&str> = if names.is_empty() {
         experiment_names()
     } else {

@@ -12,10 +12,15 @@
 //!                                       run benchmark kernels, verified
 //! nwo experiments [name ...] [--jobs N] regenerate the paper's figures
 //! nwo fault-campaign [flags]            seeded fault-injection coverage run
+//! nwo serve [flags]                     simulation-as-a-service daemon
+//!                                       (exit 0 clean drain / 5 leaked jobs)
+//! nwo client <addr> <action> [args]     drive a daemon: sweep, status,
+//!                                       cancel, shutdown
 //! ```
 
 mod commands;
 mod debugger;
+mod service;
 
 use std::process::ExitCode;
 
@@ -45,6 +50,18 @@ fn main() -> ExitCode {
             };
         }
         "dbg" => commands::dbg(rest),
+        // `serve` maps its drain outcome to the exit code (0 clean,
+        // 5 when jobs leaked), like `ckpt`'s distinguishing codes.
+        "serve" => {
+            return match service::serve(rest) {
+                Ok(code) => ExitCode::from(code),
+                Err(message) => {
+                    eprintln!("nwo: {message}");
+                    ExitCode::from(1)
+                }
+            };
+        }
+        "client" => service::client(rest),
         "bench" => commands::bench(rest),
         "experiments" => commands::experiments(rest),
         "fault-campaign" => commands::fault_campaign(rest),

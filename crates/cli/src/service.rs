@@ -1,0 +1,178 @@
+//! `nwo serve` and `nwo client` — the daemon and its command-line
+//! client. See `docs/serving.md` for the wire format and examples.
+
+use nwo_bench::runner::{jobs_from_env_checked, Runner};
+use nwo_serve::{parse_queue_depth, Client, ServeOptions, Server};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// `nwo serve` exit code when the drain left jobs running.
+pub const SERVE_LEAKED: u8 = 5;
+
+/// The SIGTERM/SIGINT flag the accept loop polls. Static because the
+/// C signal handler has no closure state.
+static STOP: AtomicBool = AtomicBool::new(false);
+
+/// Installs a minimal SIGTERM/SIGINT handler that sets [`STOP`] —
+/// raw `signal(2)` via the C runtime already linked into every Rust
+/// binary, because the workspace takes no external crates. Setting an
+/// `AtomicBool` is within the async-signal-safety rules.
+#[cfg(unix)]
+fn install_stop_handler() {
+    extern "C" fn on_signal(_sig: i32) {
+        STOP.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_signal);
+        signal(SIGINT, on_signal);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_stop_handler() {}
+
+/// `nwo serve [--addr A] [--queue-depth N] [--jobs N] [--addr-file P]`
+///
+/// Binds the daemon, prints the bound address, and serves until a
+/// `shutdown` frame or SIGTERM/SIGINT, then drains. Returns the
+/// process exit code: 0 after a clean drain, [`SERVE_LEAKED`] when
+/// jobs were abandoned mid-flight.
+///
+/// # Errors
+///
+/// Flag/env validation failures (typed `ConfigError` text) and socket
+/// errors.
+pub fn serve(args: &[String]) -> Result<u8, String> {
+    let mut options = ServeOptions::from_env().map_err(|e| e.to_string())?;
+    let mut addr_file: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => options.addr = it.next().ok_or("--addr needs host:port")?.clone(),
+            "--queue-depth" => {
+                let value = it.next().ok_or("--queue-depth needs a positive number")?;
+                options.queue_depth = parse_queue_depth(value).map_err(|e| e.to_string())?;
+            }
+            "--jobs" => crate::commands::set_jobs(it.next().ok_or("--jobs needs a number")?)?,
+            "--addr-file" => addr_file = Some(it.next().ok_or("--addr-file needs a path")?.clone()),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    // Validate concurrency up front: NWO_JOBS=0 (or --jobs 0, caught in
+    // set_jobs) must abort here, not silently fall back inside the pool.
+    let jobs = jobs_from_env_checked().map_err(|e| e.to_string())?;
+    let runner = Arc::new(Runner::with_options(
+        jobs,
+        nwo_sim::ckpt::CacheDir::from_env("NWO_CACHE_DIR"),
+        nwo_bench::warmup_insts(),
+    ));
+    let server = Server::bind(&options, runner).map_err(|e| format!("{}: {e}", options.addr))?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    if let Some(path) = &addr_file {
+        std::fs::write(path, addr.to_string()).map_err(|e| format!("{path}: {e}"))?;
+    }
+    eprintln!(
+        "nwo serve: listening on {addr} ({jobs} workers, queue depth {})",
+        options.queue_depth
+    );
+    install_stop_handler();
+    let report = server.run_until(&STOP);
+    if report.leaked > 0 {
+        eprintln!(
+            "nwo serve: drain abandoned {} running job(s)",
+            report.leaked
+        );
+        // Worker threads may be parked mid-simulation; skip their
+        // destructors and report the leak through the exit code.
+        std::process::exit(i32::from(SERVE_LEAKED));
+    }
+    eprintln!("nwo serve: drained cleanly");
+    Ok(0)
+}
+
+/// `nwo client <addr> <sweep|status|cancel|shutdown> [args]`
+///
+/// The sweep action prints the result table on stdout — byte-identical
+/// to `nwo bench` with the same arguments — and routes every
+/// run-specific frame (accepted/progress/done) to stderr.
+///
+/// # Errors
+///
+/// Connection failures, server `error` frames, and bad arguments.
+pub fn client(args: &[String]) -> Result<(), String> {
+    let (addr, rest) = args
+        .split_first()
+        .ok_or("client needs <addr> <sweep|status|cancel|shutdown>")?;
+    let (action, rest) = rest
+        .split_first()
+        .ok_or("client needs an action: sweep, status, cancel or shutdown")?;
+    let mut client = Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    match action.as_str() {
+        "sweep" => {
+            let mut benches: Vec<String> = Vec::new();
+            let mut scale: Option<u32> = None;
+            let mut flags: Vec<&str> = Vec::new();
+            let mut linger_ms: u64 = 0;
+            let mut it = rest.iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--scale" => {
+                        scale = Some(
+                            it.next()
+                                .ok_or("--scale needs a number")?
+                                .parse()
+                                .map_err(|_| "--scale needs a number")?,
+                        )
+                    }
+                    "--gating" => flags.push("gating"),
+                    "--packing" => flags.push("packing"),
+                    "--replay" => flags.push("replay"),
+                    "--perfect" => flags.push("perfect"),
+                    "--wide" => flags.push("wide"),
+                    "--eight" => flags.push("eight"),
+                    // Testing aid: hold the admission slot after the
+                    // sweep finishes (exercises busy/cancel/watchdog).
+                    "--linger-ms" => {
+                        linger_ms = it
+                            .next()
+                            .ok_or("--linger-ms needs a number")?
+                            .parse()
+                            .map_err(|_| "--linger-ms needs a number")?
+                    }
+                    _ if !a.starts_with('-') => benches.push(a.clone()),
+                    other => return Err(format!("unexpected argument `{other}`")),
+                }
+            }
+            let outcome = client.sweep(&benches, scale, &flags, linger_ms)?;
+            for frame in &outcome.side_frames {
+                eprintln!("{frame}");
+            }
+            print!("{}", outcome.table);
+            Ok(())
+        }
+        "status" => {
+            println!("{}", client.status()?);
+            Ok(())
+        }
+        "cancel" => {
+            let [job] = rest else {
+                return Err("cancel needs a job id (from the accepted frame)".to_string());
+            };
+            let job: u64 = job.parse().map_err(|_| "cancel needs a numeric job id")?;
+            println!("{}", client.cancel(job)?);
+            Ok(())
+        }
+        "shutdown" => {
+            println!("{}", client.shutdown()?);
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown client action `{other}`; known: sweep, status, cancel, shutdown"
+        )),
+    }
+}

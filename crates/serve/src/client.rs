@@ -1,0 +1,162 @@
+//! A minimal blocking client for the serve protocol — also the test
+//! harness: `nwo client` and the integration tests both drive the
+//! daemon through this type.
+
+use crate::proto;
+use crate::wire::{read_frame, write_frame, Frame, WireError};
+use std::net::TcpStream;
+
+/// One connection to an `nwo serve` daemon.
+pub struct Client {
+    stream: TcpStream,
+}
+
+/// Everything a completed sweep produced, split by stream: the
+/// deterministic result table (stdout material) and the run-specific
+/// side frames (stderr material).
+#[derive(Debug, Default)]
+pub struct SweepOutcome {
+    /// The bench table from the `result` frame — byte-identical across
+    /// clients, cache tiers and worker counts.
+    pub table: String,
+    /// The raw `accepted`, `progress` and `done` frames, in arrival
+    /// order.
+    pub side_frames: Vec<String>,
+    /// The server-assigned job id from the `accepted` frame.
+    pub job: Option<u64>,
+}
+
+impl Client {
+    /// Connects to `addr` (`host:port`).
+    ///
+    /// # Errors
+    ///
+    /// Any socket error from `TcpStream::connect`.
+    pub fn connect(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Sends one request payload.
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`] from the socket.
+    pub fn send(&mut self, payload: &str) -> Result<(), WireError> {
+        write_frame(&mut self.stream, payload)
+    }
+
+    /// Reads the next frame payload; `None` on clean EOF.
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`] from the socket or codec.
+    pub fn next_frame(&mut self) -> Result<Option<String>, WireError> {
+        loop {
+            match read_frame(&mut self.stream)? {
+                Frame::Payload(payload) => return Ok(Some(payload)),
+                Frame::Idle => {}
+                Frame::Eof => return Ok(None),
+            }
+        }
+    }
+
+    /// Runs one sweep request to completion: sends it, collects frames
+    /// until `done`, and splits the deterministic table from the
+    /// run-specific side frames.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message: a server `error` frame's code and
+    /// detail, a protocol violation, or a socket failure.
+    pub fn sweep(
+        &mut self,
+        benches: &[String],
+        scale: Option<u32>,
+        flags: &[&str],
+        linger_ms: u64,
+    ) -> Result<SweepOutcome, String> {
+        let request = proto::sweep_request(1, benches, scale, flags, linger_ms);
+        self.send(&request).map_err(|e| e.to_string())?;
+        let mut outcome = SweepOutcome::default();
+        loop {
+            let frame = self
+                .next_frame()
+                .map_err(|e| e.to_string())?
+                .ok_or("server closed the connection mid-request")?;
+            let v = nwo_obs::json::parse(&frame).map_err(|e| format!("unparseable frame: {e}"))?;
+            match v.get("t").and_then(|t| t.as_str()) {
+                Some("accepted") => {
+                    outcome.job = v.get("job").and_then(|j| j.as_u64());
+                    outcome.side_frames.push(frame);
+                }
+                Some("progress") => outcome.side_frames.push(frame),
+                Some("result") => {
+                    outcome.table = v
+                        .get("table")
+                        .and_then(|t| t.as_str())
+                        .ok_or("result frame without a table")?
+                        .to_string();
+                }
+                Some("done") => {
+                    outcome.side_frames.push(frame);
+                    return Ok(outcome);
+                }
+                Some("error") => {
+                    let code = v.get("code").and_then(|c| c.as_str()).unwrap_or("?");
+                    let detail = v.get("detail").and_then(|d| d.as_str()).unwrap_or("");
+                    return Err(format!("server error [{code}]: {detail}"));
+                }
+                other => return Err(format!("unexpected frame {other:?}: {frame}")),
+            }
+        }
+    }
+
+    /// Requests the server's status frame (metrics snapshot included).
+    ///
+    /// # Errors
+    ///
+    /// A socket/codec failure or an unexpected response frame.
+    pub fn status(&mut self) -> Result<String, String> {
+        self.send(&proto::plain_request("status", 1))
+            .map_err(|e| e.to_string())?;
+        self.expect_one()
+    }
+
+    /// Cancels server job `job`.
+    ///
+    /// # Errors
+    ///
+    /// A socket/codec failure or an `error` response (unknown job).
+    pub fn cancel(&mut self, job: u64) -> Result<String, String> {
+        self.send(&proto::cancel_request(1, job))
+            .map_err(|e| e.to_string())?;
+        self.expect_one()
+    }
+
+    /// Asks the server to drain and stop.
+    ///
+    /// # Errors
+    ///
+    /// A socket/codec failure or an unexpected response frame.
+    pub fn shutdown(&mut self) -> Result<String, String> {
+        self.send(&proto::plain_request("shutdown", 1))
+            .map_err(|e| e.to_string())?;
+        self.expect_one()
+    }
+
+    fn expect_one(&mut self) -> Result<String, String> {
+        let frame = self
+            .next_frame()
+            .map_err(|e| e.to_string())?
+            .ok_or("server closed the connection before answering")?;
+        let v = nwo_obs::json::parse(&frame).map_err(|e| format!("unparseable frame: {e}"))?;
+        if v.get("t").and_then(|t| t.as_str()) == Some("error") {
+            let code = v.get("code").and_then(|c| c.as_str()).unwrap_or("?");
+            let detail = v.get("detail").and_then(|d| d.as_str()).unwrap_or("");
+            return Err(format!("server error [{code}]: {detail}"));
+        }
+        Ok(frame)
+    }
+}

@@ -1,0 +1,103 @@
+//! `serve.*` metrics: admission, outcome and cache-tier counters
+//! exposed through the obs registry, so a `status` request returns the
+//! same snapshot shape (`Snapshot::to_json_line`) as every other
+//! metrics surface in the repo.
+
+use nwo_bench::runner::RunnerCounters;
+use nwo_obs::{MetricSource, Registry};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic server counters plus the live active-jobs gauge. All
+/// relaxed atomics: they are statistics, never synchronization.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    /// Requests admitted past the bounded queue.
+    pub accepted: AtomicU64,
+    /// Requests rejected by admission control (`busy` / `draining`).
+    pub rejected: AtomicU64,
+    /// Requests that returned a result frame.
+    pub completed: AtomicU64,
+    /// Requests abandoned by a cancel frame.
+    pub cancelled: AtomicU64,
+    /// Requests killed by the per-request watchdog.
+    pub timeouts: AtomicU64,
+    /// Requests whose simulation failed (divergence, panic).
+    pub failed: AtomicU64,
+    /// Connections accepted over the server's lifetime.
+    pub connections: AtomicU64,
+    /// Jobs currently holding an admission slot.
+    pub active: AtomicU64,
+}
+
+impl ServeMetrics {
+    /// Relaxed increment, the only mutation the server needs.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl MetricSource for ServeMetrics {
+    fn collect(&self, registry: &mut Registry) {
+        registry.counter("accepted", self.accepted.load(Ordering::Relaxed));
+        registry.counter("rejected", self.rejected.load(Ordering::Relaxed));
+        registry.counter("completed", self.completed.load(Ordering::Relaxed));
+        registry.counter("cancelled", self.cancelled.load(Ordering::Relaxed));
+        registry.counter("timeouts", self.timeouts.load(Ordering::Relaxed));
+        registry.counter("failed", self.failed.load(Ordering::Relaxed));
+        registry.counter("connections", self.connections.load(Ordering::Relaxed));
+        registry.gauge("active", self.active.load(Ordering::Relaxed) as f64);
+    }
+}
+
+/// Collects the serve counters and the runner's cache-tier counters
+/// into one snapshot under the `serve.` namespace — cache-hit tiers
+/// (`serve.cache.memo_hits` / `disk_hits` / `warm_hits` /
+/// `warm_disk_hits`) sit next to the admission counters so a single
+/// `status` frame answers "is the cache working".
+pub fn serve_snapshot(metrics: &ServeMetrics, cache: &RunnerCounters) -> nwo_obs::Snapshot {
+    let mut registry = Registry::new();
+    registry.group("serve", |r| {
+        metrics.collect(r);
+        r.group("cache", |r| {
+            r.counter("submitted", cache.submitted);
+            r.counter("memo_hits", cache.memo_hits);
+            r.counter("disk_hits", cache.disk_hits);
+            r.counter("sims_run", cache.sims_run);
+            r.counter("warmups_run", cache.warmups_run);
+            r.counter("warm_hits", cache.warm_hits);
+            r.counter("warm_disk_hits", cache.warm_disk_hits);
+        });
+    });
+    registry.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_namespaces_admission_and_cache_tiers() {
+        let metrics = ServeMetrics::default();
+        ServeMetrics::bump(&metrics.accepted);
+        ServeMetrics::bump(&metrics.accepted);
+        ServeMetrics::bump(&metrics.rejected);
+        metrics.active.store(1, Ordering::Relaxed);
+        let cache = RunnerCounters {
+            submitted: 5,
+            memo_hits: 2,
+            disk_hits: 1,
+            sims_run: 2,
+            warmups_run: 1,
+            warm_hits: 1,
+            warm_disk_hits: 1,
+        };
+        let snap = serve_snapshot(&metrics, &cache);
+        assert_eq!(snap.counter("serve.accepted"), Some(2));
+        assert_eq!(snap.counter("serve.rejected"), Some(1));
+        assert_eq!(snap.gauge("serve.active"), Some(1.0));
+        assert_eq!(snap.counter("serve.cache.memo_hits"), Some(2));
+        assert_eq!(snap.counter("serve.cache.warm_disk_hits"), Some(1));
+        // The line is parseable JSON, like every obs snapshot.
+        nwo_obs::json::parse(&snap.to_json_line()).expect("snapshot line parses");
+    }
+}

@@ -1,0 +1,276 @@
+//! Length-prefixed frame codec for the `nwo serve` TCP protocol.
+//!
+//! Every message on the wire — in either direction — is one frame:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"NWOS"
+//! 4       2     wire version, u16 little-endian (currently 1)
+//! 6       4     payload length, u32 little-endian (max 1 MiB)
+//! 10      len   payload: one UTF-8 JSON object
+//! ```
+//!
+//! The codec is deliberately self-describing and versioned, like the
+//! `NWOC` checkpoint container: a client from a different build fails
+//! with a typed [`WireError::Version`] instead of desynchronizing, and
+//! a non-`nwo` peer (an HTTP probe, a port scanner) dies on
+//! [`WireError::BadMagic`] before any payload is read.
+
+use std::io::{Read, Write};
+
+/// Frame magic, first on the wire.
+pub const MAGIC: [u8; 4] = *b"NWOS";
+
+/// Protocol version embedded in every frame header.
+pub const WIRE_VERSION: u16 = 1;
+
+/// Maximum payload length. Result tables and metric snapshots are a
+/// few KiB; anything near this bound is a corrupt or hostile header.
+pub const MAX_FRAME_LEN: u32 = 1 << 20;
+
+/// A framing failure.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying socket failed.
+    Io(std::io::Error),
+    /// The first four bytes were not [`MAGIC`] — not an `nwo` peer.
+    BadMagic([u8; 4]),
+    /// The peer speaks a different protocol version.
+    Version(u16),
+    /// The declared payload length exceeds [`MAX_FRAME_LEN`].
+    TooLong(u32),
+    /// The payload was not valid UTF-8.
+    Utf8,
+    /// The connection closed mid-frame.
+    Truncated,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "socket error: {e}"),
+            WireError::BadMagic(m) => write!(f, "bad frame magic {m:02x?} (not an nwo peer)"),
+            WireError::Version(v) => {
+                write!(
+                    f,
+                    "peer speaks wire version {v}, this build speaks {WIRE_VERSION}"
+                )
+            }
+            WireError::TooLong(n) => write!(f, "declared frame length {n} exceeds {MAX_FRAME_LEN}"),
+            WireError::Utf8 => write!(f, "frame payload is not UTF-8"),
+            WireError::Truncated => write!(f, "connection closed mid-frame"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> WireError {
+        WireError::Io(e)
+    }
+}
+
+/// Outcome of one [`read_frame`] call.
+#[derive(Debug)]
+pub enum Frame {
+    /// A complete frame's payload.
+    Payload(String),
+    /// A read timeout fired before any byte of a frame arrived — the
+    /// connection is idle (the server uses this to poll its drain
+    /// flag between requests).
+    Idle,
+    /// The peer closed the connection cleanly at a frame boundary.
+    Eof,
+}
+
+/// Writes one frame and flushes.
+///
+/// # Errors
+///
+/// [`WireError::TooLong`] when `payload` exceeds [`MAX_FRAME_LEN`];
+/// otherwise any socket error.
+pub fn write_frame(w: &mut impl Write, payload: &str) -> Result<(), WireError> {
+    let bytes = payload.as_bytes();
+    if bytes.len() > MAX_FRAME_LEN as usize {
+        return Err(WireError::TooLong(bytes.len() as u32));
+    }
+    let mut head = [0u8; 10];
+    head[..4].copy_from_slice(&MAGIC);
+    head[4..6].copy_from_slice(&WIRE_VERSION.to_le_bytes());
+    head[6..10].copy_from_slice(&(bytes.len() as u32).to_le_bytes());
+    w.write_all(&head)?;
+    w.write_all(bytes)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame. A clean EOF *between* frames is [`Frame::Eof`]; a
+/// read timeout before the first byte is [`Frame::Idle`]; anything
+/// torn mid-frame is an error. Once a frame has started, timeouts keep
+/// reading — a peer that began a header is expected to finish it.
+///
+/// # Errors
+///
+/// Any [`WireError`]: socket failure, foreign magic or version, an
+/// oversized declared length, a mid-frame close, or non-UTF-8 payload.
+pub fn read_frame(r: &mut impl Read) -> Result<Frame, WireError> {
+    let mut head = [0u8; 10];
+    match read_all(r, &mut head, true)? {
+        ReadOutcome::Eof => return Ok(Frame::Eof),
+        ReadOutcome::Idle => return Ok(Frame::Idle),
+        ReadOutcome::Full => {}
+    }
+    if head[..4] != MAGIC {
+        return Err(WireError::BadMagic([head[0], head[1], head[2], head[3]]));
+    }
+    let version = u16::from_le_bytes([head[4], head[5]]);
+    if version != WIRE_VERSION {
+        return Err(WireError::Version(version));
+    }
+    let len = u32::from_le_bytes([head[6], head[7], head[8], head[9]]);
+    if len > MAX_FRAME_LEN {
+        return Err(WireError::TooLong(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    match read_all(r, &mut payload, false)? {
+        ReadOutcome::Full => {}
+        ReadOutcome::Eof | ReadOutcome::Idle => unreachable!("eof/idle map to Truncated"),
+    }
+    String::from_utf8(payload)
+        .map(Frame::Payload)
+        .map_err(|_| WireError::Utf8)
+}
+
+enum ReadOutcome {
+    Full,
+    Eof,
+    Idle,
+}
+
+/// Fills `buf` completely. With `at_boundary`, a clean close or a
+/// timeout before the first byte is reported as `Eof`/`Idle` instead
+/// of an error; mid-buffer, a close is [`WireError::Truncated`] and
+/// timeouts retry.
+fn read_all(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    at_boundary: bool,
+) -> Result<ReadOutcome, WireError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 && at_boundary => return Ok(ReadOutcome::Eof),
+            Ok(0) => return Err(WireError::Truncated),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if filled == 0 && at_boundary {
+                    return Ok(ReadOutcome::Idle);
+                }
+                // Mid-frame: the peer started a header, let it finish.
+            }
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    Ok(ReadOutcome::Full)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn roundtrip(payload: &str) -> String {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, payload).expect("writes");
+        match read_frame(&mut Cursor::new(buf)).expect("reads") {
+            Frame::Payload(s) => s,
+            other => panic!("expected a payload, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        assert_eq!(roundtrip(""), "");
+        assert_eq!(roundtrip("{\"t\": \"status\"}"), "{\"t\": \"status\"}");
+        let big = "x".repeat(100_000);
+        assert_eq!(roundtrip(&big), big);
+    }
+
+    #[test]
+    fn consecutive_frames_and_clean_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "one").unwrap();
+        write_frame(&mut buf, "two").unwrap();
+        let mut cur = Cursor::new(buf);
+        assert!(matches!(read_frame(&mut cur).unwrap(), Frame::Payload(s) if s == "one"));
+        assert!(matches!(read_frame(&mut cur).unwrap(), Frame::Payload(s) if s == "two"));
+        assert!(matches!(read_frame(&mut cur).unwrap(), Frame::Eof));
+    }
+
+    #[test]
+    fn foreign_magic_and_version_are_typed_errors() {
+        let mut cur = Cursor::new(b"GET / HTTP/1.1\r\n".to_vec());
+        assert!(matches!(
+            read_frame(&mut cur),
+            Err(WireError::BadMagic(m)) if &m == b"GET "
+        ));
+
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "hi").unwrap();
+        buf[4] = 0xff; // foreign version
+        assert!(matches!(
+            read_frame(&mut Cursor::new(buf)),
+            Err(WireError::Version(v)) if v != WIRE_VERSION
+        ));
+    }
+
+    #[test]
+    fn oversized_declared_length_is_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "hi").unwrap();
+        buf[6..10].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut Cursor::new(buf)),
+            Err(WireError::TooLong(_))
+        ));
+    }
+
+    #[test]
+    fn truncation_mid_frame_is_an_error_not_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "a longer payload").unwrap();
+        buf.truncate(14); // header plus 4 payload bytes
+        assert!(matches!(
+            read_frame(&mut Cursor::new(buf)),
+            Err(WireError::Truncated)
+        ));
+        // Even a torn header is a truncation.
+        let mut head_only = Vec::new();
+        write_frame(&mut head_only, "x").unwrap();
+        head_only.truncate(7);
+        assert!(matches!(
+            read_frame(&mut Cursor::new(head_only)),
+            Err(WireError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn non_utf8_payload_is_rejected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "ab").unwrap();
+        let len = buf.len();
+        buf[len - 2] = 0xff;
+        buf[len - 1] = 0xfe;
+        assert!(matches!(
+            read_frame(&mut Cursor::new(buf)),
+            Err(WireError::Utf8)
+        ));
+    }
+}
