@@ -642,7 +642,9 @@ pub fn inspect(bytes: &[u8]) -> Result<CkptInfo, CkptError> {
 /// becomes `_`) with an FNV suffix so distinct keys never collide after
 /// sanitization. Stores are atomic (temp file + rename), so a crashed
 /// writer never leaves a torn blob — and a torn blob would be caught by
-/// the per-section CRCs anyway.
+/// the per-section CRCs anyway. [`CacheDir::scrub`] walks the whole
+/// directory verifying exactly that, quarantining damage and reaping
+/// temp files orphaned by killed writers (`nwo cache scrub`).
 #[derive(Debug, Clone)]
 pub struct CacheDir {
     root: PathBuf,
@@ -753,17 +755,207 @@ impl CacheDir {
 
     /// Atomically stores `bytes` under `key` (temp file + rename).
     ///
+    /// The temp name carries the pid *and* a process-wide sequence
+    /// number: two threads storing the same key concurrently must not
+    /// share a temp path, or one writer's rename can publish the other
+    /// writer's half-written bytes — exactly the torn blob the atomic
+    /// dance exists to prevent. A failed rename removes its temp file
+    /// so crashes do not strand orphans (and [`CacheDir::scrub`] reaps
+    /// any that a hard kill leaves behind).
+    ///
     /// # Errors
     ///
     /// [`CkptError::Io`] for filesystem failures.
     pub fn store(&self, key: &str, bytes: &[u8]) -> Result<(), CkptError> {
+        static STORE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
         self.injected_failure("store")?;
         std::fs::create_dir_all(&self.root)?;
         let dest = self.path_for(key);
-        let tmp = dest.with_extension(format!("tmp.{}", std::process::id()));
+        let seq = STORE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let tmp = dest.with_extension(format!("tmp.{}.{seq}", std::process::id()));
         std::fs::write(&tmp, bytes)?;
-        std::fs::rename(&tmp, &dest)?;
+        if let Err(e) = std::fs::rename(&tmp, &dest) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(CkptError::Io(e));
+        }
         Ok(())
+    }
+
+    /// Walks every blob in the cache, verifying container structure,
+    /// code salt and per-section CRCs, optionally quarantining corrupt
+    /// blobs and reaping orphaned temp files. See [`ScrubReport`] for
+    /// what comes back; the walk order (and therefore the report) is
+    /// deterministic — entries are sorted by file name.
+    ///
+    /// A missing cache directory is an empty (clean) report, matching
+    /// `load`'s treatment of absent blobs.
+    ///
+    /// # Errors
+    ///
+    /// [`CkptError::Io`] for filesystem failures while walking or
+    /// renaming — a *corrupt blob* is never an error, it is the thing
+    /// being reported.
+    pub fn scrub(&self, options: &ScrubOptions) -> Result<ScrubReport, CkptError> {
+        let mut report = ScrubReport::default();
+        let dir = match std::fs::read_dir(&self.root) {
+            Ok(dir) => dir,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(report),
+            Err(e) => return Err(CkptError::Io(e)),
+        };
+        let mut names: Vec<String> = Vec::new();
+        for entry in dir {
+            let entry = entry.map_err(CkptError::Io)?;
+            if entry.file_type().map_err(CkptError::Io)?.is_file() {
+                if let Ok(name) = entry.file_name().into_string() {
+                    names.push(name);
+                }
+            }
+        }
+        names.sort();
+        for name in names {
+            let path = self.root.join(&name);
+            if name.ends_with(".quarantined") {
+                report.prior_quarantined += 1;
+                continue;
+            }
+            if name.contains(".tmp.") {
+                // An orphaned temp file: a writer died between write
+                // and rename. Never trustworthy, never referenced.
+                if options.reap_tmp {
+                    std::fs::remove_file(&path).map_err(CkptError::Io)?;
+                }
+                report.reaped_tmp.push(name);
+                continue;
+            }
+            if !name.ends_with(".ckpt") {
+                continue;
+            }
+            let bytes = std::fs::read(&path).map_err(CkptError::Io)?;
+            let health = blob_health(&bytes);
+            let mut quarantined = false;
+            if matches!(health, BlobHealth::Corrupt(_)) && options.quarantine {
+                let mut target = path.clone().into_os_string();
+                target.push(".quarantined");
+                std::fs::rename(&path, &target).map_err(CkptError::Io)?;
+                quarantined = true;
+            }
+            report.entries.push(ScrubEntry {
+                file: name,
+                health,
+                quarantined,
+            });
+        }
+        Ok(report)
+    }
+}
+
+/// What [`CacheDir::scrub`] should do beyond reporting.
+#[derive(Debug, Clone, Copy)]
+pub struct ScrubOptions {
+    /// Rename corrupt blobs to `<name>.quarantined` so the cache never
+    /// serves them again (a later identical request re-simulates and
+    /// re-stores a healthy blob).
+    pub quarantine: bool,
+    /// Delete orphaned `*.tmp.*` files left by writers that died
+    /// between write and rename.
+    pub reap_tmp: bool,
+}
+
+impl Default for ScrubOptions {
+    fn default() -> ScrubOptions {
+        ScrubOptions {
+            quarantine: true,
+            reap_tmp: true,
+        }
+    }
+}
+
+/// One blob's verdict from a scrub walk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlobHealth {
+    /// Structure, salt and every section CRC check out.
+    Ok,
+    /// The container is damaged (bad magic, foreign version,
+    /// truncation, malformed framing, or a section CRC mismatch) —
+    /// carries the diagnosis. These blobs are quarantine candidates.
+    Corrupt(String),
+    /// Structurally sound but written by a different code revision
+    /// (carries the stale salt). Not damage — the blob is merely
+    /// unusable by this build, and is reported rather than touched.
+    Stale(u64),
+}
+
+/// One scrubbed blob.
+#[derive(Debug, Clone)]
+pub struct ScrubEntry {
+    /// The blob's file name inside the cache directory.
+    pub file: String,
+    /// The verdict.
+    pub health: BlobHealth,
+    /// Whether this scrub renamed it to `.quarantined`.
+    pub quarantined: bool,
+}
+
+/// Everything one [`CacheDir::scrub`] walk found, in deterministic
+/// (name-sorted) order.
+#[derive(Debug, Clone, Default)]
+pub struct ScrubReport {
+    /// Every `.ckpt` blob examined.
+    pub entries: Vec<ScrubEntry>,
+    /// Orphaned temp files found (and deleted, when
+    /// [`ScrubOptions::reap_tmp`] was set).
+    pub reaped_tmp: Vec<String>,
+    /// Blobs already quarantined by an earlier scrub.
+    pub prior_quarantined: u64,
+}
+
+impl ScrubReport {
+    /// Healthy blobs.
+    pub fn ok(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.health == BlobHealth::Ok)
+            .count()
+    }
+
+    /// Corrupt blobs found by this walk.
+    pub fn corrupt(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| matches!(e.health, BlobHealth::Corrupt(_)))
+            .count()
+    }
+
+    /// Stale-salt blobs found by this walk.
+    pub fn stale(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| matches!(e.health, BlobHealth::Stale(_)))
+            .count()
+    }
+
+    /// True when nothing was corrupt, stale or orphaned.
+    pub fn clean(&self) -> bool {
+        self.corrupt() == 0 && self.stale() == 0 && self.reaped_tmp.is_empty()
+    }
+}
+
+/// Classifies one blob's bytes for [`CacheDir::scrub`], reusing the
+/// tolerant [`inspect`] parse: structural damage and CRC mismatches
+/// are [`BlobHealth::Corrupt`], a foreign code salt is
+/// [`BlobHealth::Stale`].
+fn blob_health(bytes: &[u8]) -> BlobHealth {
+    match inspect(bytes) {
+        Err(e) => BlobHealth::Corrupt(e.to_string()),
+        Ok(info) => {
+            if let Some(bad) = info.sections.iter().find(|s| !s.crc_ok) {
+                BlobHealth::Corrupt(format!("section `{}` CRC mismatch", bad.name))
+            } else if !info.salt_current {
+                BlobHealth::Stale(info.salt)
+            } else {
+                BlobHealth::Ok
+            }
+        }
     }
 }
 

@@ -45,6 +45,11 @@ usage:
                              (period: --interval-stats, default 10000)
   nwo ckpt info <file>                inspect a checkpoint (sections, CRCs, salt)
        exit code: 0 fine, 3 corrupt, 4 stale build salt (restore would reject)
+  nwo cache scrub [--dir <path>] [--keep-tmp] [--no-quarantine]
+       crash-consistency audit of the disk result cache (--dir falls back
+       to NWO_CACHE_DIR): validate every blob's framing and section CRCs,
+       quarantine corrupt blobs as *.quarantined, reap orphaned temp files
+       exit code: 0 clean, 3 corruption found, 4 stale-salt blobs only
   nwo dbg  <file.s|file.nwo>          interactive debugger (step/break/dump)
   nwo bench [name ...] [--scale N] [--jobs N] [--profile] [--profile-out <p>]
        run benchmark kernels (verified) on the worker pool
@@ -69,8 +74,16 @@ usage:
        fallbacks NWO_SERVE_ADDR / NWO_SERVE_QUEUE (see docs/serving.md)
   nwo client <addr> sweep [name ...] [--scale N] [--gating] [--packing]
                           [--replay] [--perfect] [--wide] [--eight]
+                          [--retries N] [--chaos-seed S]
        run a sweep through a daemon; stdout is byte-identical to
        `nwo bench` with the same arguments, side frames go to stderr
+       --retries N     self-healing mode: reconnect with jittered backoff
+                       under an idempotency key (a retried sweep never
+                       double-submits work)
+       --chaos-seed S  test hook: route the sweep through an in-process
+                       seeded fault proxy (delays, drips, header
+                       corruption, resets) and print serve.chaos.* /
+                       retry stats on stderr; NWO_CHAOS_SEED also works
   nwo client <addr> status|cancel <job>|shutdown
        inspect serve.* metrics, abandon a job, or drain the daemon
 ";
@@ -516,6 +529,89 @@ pub fn ckpt(args: &[String]) -> Result<u8, String> {
         eprintln!("{path}: one or more sections are corrupted");
         Ok(CKPT_CORRUPT)
     } else if !info.salt_current {
+        Ok(CKPT_STALE)
+    } else {
+        Ok(CKPT_OK)
+    }
+}
+
+/// `nwo cache scrub [--dir <path>] [--keep-tmp] [--no-quarantine]`
+///
+/// Crash-consistency audit of the disk result cache: walks the
+/// directory (`--dir`, falling back to `NWO_CACHE_DIR`), validates
+/// every `.ckpt` blob's container framing and per-section CRCs,
+/// quarantines corrupt blobs by renaming them `*.quarantined` (so the
+/// runner reads them as misses and re-simulates) and reaps orphaned
+/// temp files left by killed writers. `--no-quarantine` and
+/// `--keep-tmp` switch to report-only behaviour.
+///
+/// The exit code reuses `nwo ckpt info`'s convention: [`CKPT_OK`] for
+/// a clean cache, [`CKPT_CORRUPT`] when any corruption was found, and
+/// [`CKPT_STALE`] when the only findings are structurally-sound blobs
+/// from a different build salt.
+pub fn cache(args: &[String]) -> Result<u8, String> {
+    use nwo_sim::ckpt::{BlobHealth, CacheDir, ScrubOptions};
+
+    let usage = "usage: nwo cache scrub [--dir <path>] [--keep-tmp] [--no-quarantine]";
+    let (sub, rest) = args.split_first().ok_or(usage)?;
+    if sub != "scrub" {
+        return Err(format!("unknown cache subcommand `{sub}`; try `scrub`"));
+    }
+    let mut dir: Option<String> = None;
+    let mut options = ScrubOptions::default();
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--dir" => dir = Some(it.next().ok_or("--dir needs a path")?.clone()),
+            "--keep-tmp" => options.reap_tmp = false,
+            "--no-quarantine" => options.quarantine = false,
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let dir = dir
+        .or_else(|| {
+            std::env::var("NWO_CACHE_DIR")
+                .ok()
+                .filter(|v| !v.is_empty())
+        })
+        .ok_or("cache scrub needs --dir <path> or NWO_CACHE_DIR")?;
+    let cache = CacheDir::new(&dir);
+    let report = cache.scrub(&options).map_err(|e| format!("{dir}: {e}"))?;
+    for entry in &report.entries {
+        match &entry.health {
+            BlobHealth::Ok => println!("ok       {}", entry.file),
+            BlobHealth::Stale(salt) => println!(
+                "stale    {} (salt {salt:#018x}; this build regenerates it on miss)",
+                entry.file
+            ),
+            BlobHealth::Corrupt(why) => println!(
+                "CORRUPT  {} ({why}){}",
+                entry.file,
+                if entry.quarantined {
+                    " — quarantined"
+                } else {
+                    ""
+                }
+            ),
+        }
+    }
+    for tmp in &report.reaped_tmp {
+        println!(
+            "tmp      {tmp}{}",
+            if options.reap_tmp { " — reaped" } else { "" }
+        );
+    }
+    println!(
+        "{dir}: {} ok, {} corrupt, {} stale, {} orphan tmp, {} previously quarantined",
+        report.ok(),
+        report.corrupt(),
+        report.stale(),
+        report.reaped_tmp.len(),
+        report.prior_quarantined
+    );
+    if report.corrupt() > 0 {
+        Ok(CKPT_CORRUPT)
+    } else if report.stale() > 0 {
         Ok(CKPT_STALE)
     } else {
         Ok(CKPT_OK)

@@ -7,6 +7,8 @@
 //! nwo sim  <file.s|file.nwo> [flags]    cycle-level simulation
 //! nwo ckpt info <file>                  inspect a machine checkpoint
 //!                                       (exit 0 fine / 3 corrupt / 4 stale)
+//! nwo cache scrub [flags]               audit/quarantine the disk result
+//!                                       cache (exit 0 / 3 corrupt / 4 stale)
 //! nwo dbg  <file.s|file.nwo>            interactive debugger
 //! nwo bench [name ...] [--scale N] [--jobs N]
 //!                                       run benchmark kernels, verified
@@ -42,6 +44,17 @@ fn main() -> ExitCode {
         // 4 stale build) so scripts can branch without parsing text.
         "ckpt" => {
             return match commands::ckpt(rest) {
+                Ok(code) => ExitCode::from(code),
+                Err(message) => {
+                    eprintln!("nwo: {message}");
+                    ExitCode::from(1)
+                }
+            };
+        }
+        // `cache scrub` shares `ckpt`'s distinguishing codes (0 clean,
+        // 3 corruption found and quarantined, 4 stale salts only).
+        "cache" => {
+            return match commands::cache(rest) {
                 Ok(code) => ExitCode::from(code),
                 Err(message) => {
                     eprintln!("nwo: {message}");

@@ -101,6 +101,16 @@ pub fn serve(args: &[String]) -> Result<u8, String> {
 /// to `nwo bench` with the same arguments — and routes every
 /// run-specific frame (accepted/progress/done) to stderr.
 ///
+/// `sweep --retries N` switches to the self-healing path:
+/// reconnect-and-retry with jittered backoff under an idempotency key,
+/// so a retry after a dropped result frame replays the stored table
+/// instead of re-running the simulations. `sweep --chaos-seed S`
+/// additionally interposes an in-process [`ChaosProxy`] with the
+/// `aggressive` fault plan between this client and the daemon — the
+/// table must still come back byte-identical — and prints the
+/// `serve.chaos.*` fault counters plus retry stats on stderr.
+/// `NWO_CHAOS_SEED` seeds the same hook without a flag.
+///
 /// # Errors
 ///
 /// Connection failures, server `error` frames, and bad arguments.
@@ -111,13 +121,16 @@ pub fn client(args: &[String]) -> Result<(), String> {
     let (action, rest) = rest
         .split_first()
         .ok_or("client needs an action: sweep, status, cancel or shutdown")?;
-    let mut client = Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let connect =
+        |addr: &str| Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"));
     match action.as_str() {
         "sweep" => {
             let mut benches: Vec<String> = Vec::new();
             let mut scale: Option<u32> = None;
             let mut flags: Vec<&str> = Vec::new();
             let mut linger_ms: u64 = 0;
+            let mut retries: Option<u32> = None;
+            let mut chaos_seed: Option<u64> = nwo_serve::chaos::env_seed_opt();
             let mut it = rest.iter();
             while let Some(a) = it.next() {
                 match a.as_str() {
@@ -144,11 +157,32 @@ pub fn client(args: &[String]) -> Result<(), String> {
                             .parse()
                             .map_err(|_| "--linger-ms needs a number")?
                     }
+                    "--retries" => {
+                        retries = Some(
+                            it.next()
+                                .ok_or("--retries needs a number")?
+                                .parse::<u32>()
+                                .ok()
+                                .filter(|&n| n > 0)
+                                .ok_or("--retries needs a positive number")?,
+                        )
+                    }
+                    "--chaos-seed" => {
+                        let text = it.next().ok_or("--chaos-seed needs a number")?;
+                        chaos_seed = Some(parse_seed(text).ok_or("--chaos-seed needs a number")?)
+                    }
                     _ if !a.starts_with('-') => benches.push(a.clone()),
                     other => return Err(format!("unexpected argument `{other}`")),
                 }
             }
-            let outcome = client.sweep(&benches, scale, &flags, linger_ms)?;
+            if retries.is_some() || chaos_seed.is_some() {
+                return healing_client_sweep(
+                    addr, &benches, scale, &flags, linger_ms, retries, chaos_seed,
+                );
+            }
+            let outcome = connect(addr)?
+                .sweep(&benches, scale, &flags, linger_ms, None)
+                .map_err(|e| e.to_string())?;
             for frame in &outcome.side_frames {
                 eprintln!("{frame}");
             }
@@ -156,7 +190,7 @@ pub fn client(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "status" => {
-            println!("{}", client.status()?);
+            println!("{}", connect(addr)?.status().map_err(|e| e.to_string())?);
             Ok(())
         }
         "cancel" => {
@@ -164,15 +198,76 @@ pub fn client(args: &[String]) -> Result<(), String> {
                 return Err("cancel needs a job id (from the accepted frame)".to_string());
             };
             let job: u64 = job.parse().map_err(|_| "cancel needs a numeric job id")?;
-            println!("{}", client.cancel(job)?);
+            println!("{}", connect(addr)?.cancel(job).map_err(|e| e.to_string())?);
             Ok(())
         }
         "shutdown" => {
-            println!("{}", client.shutdown()?);
+            println!("{}", connect(addr)?.shutdown().map_err(|e| e.to_string())?);
             Ok(())
         }
         other => Err(format!(
             "unknown client action `{other}`; known: sweep, status, cancel, shutdown"
         )),
     }
+}
+
+/// Parses a chaos seed: decimal or `0x`-prefixed hex.
+fn parse_seed(text: &str) -> Option<u64> {
+    let text = text.trim();
+    match text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => text.parse().ok(),
+    }
+}
+
+/// The self-healing (and optionally chaos-interposed) sweep path behind
+/// `nwo client … sweep --retries/--chaos-seed`.
+#[allow(clippy::too_many_arguments)]
+fn healing_client_sweep(
+    addr: &str,
+    benches: &[String],
+    scale: Option<u32>,
+    flags: &[&str],
+    linger_ms: u64,
+    retries: Option<u32>,
+    chaos_seed: Option<u64>,
+) -> Result<(), String> {
+    use nwo_serve::{healing_sweep, ChaosProxy, NetPlan, RetryPolicy};
+
+    let seed = chaos_seed.unwrap_or(0xC4A0_5EED);
+    let mut policy = RetryPolicy::default();
+    if let Some(n) = retries {
+        policy.attempts = n;
+    }
+    // With a chaos seed, every byte between this client and the daemon
+    // crosses the seeded fault proxy; the table must come back
+    // byte-identical regardless.
+    let proxy = match chaos_seed {
+        Some(_) => Some(
+            ChaosProxy::start(addr, NetPlan::aggressive(), seed)
+                .map_err(|e| format!("chaos proxy: {e}"))?,
+        ),
+        None => None,
+    };
+    let target = proxy
+        .as_ref()
+        .map(|p| p.addr())
+        .unwrap_or_else(|| addr.to_string());
+    if proxy.is_some() {
+        eprintln!("{}", nwo_serve::chaos::repro_banner(seed));
+    }
+    let (outcome, stats) = healing_sweep(&target, benches, scale, flags, linger_ms, seed, &policy)
+        .map_err(|e| format!("{e} [{}]", nwo_serve::chaos::repro_banner(seed)))?;
+    for frame in &outcome.side_frames {
+        eprintln!("{frame}");
+    }
+    eprintln!(
+        "retry: attempts {} replayed {}",
+        stats.attempts, stats.replayed
+    );
+    if let Some(proxy) = &proxy {
+        eprintln!("chaos: {}", proxy.stats().snapshot().to_json_line());
+    }
+    print!("{}", outcome.table);
+    Ok(())
 }

@@ -1,0 +1,157 @@
+//! End-to-end `nwo cache scrub` tests through the real binary: corrupt
+//! a populated cache, assert the distinguishing exit codes (0 clean /
+//! 3 corrupt / 4 stale), the quarantine rename, orphan-tmp reaping,
+//! and that the bench runner recovers transparently afterwards.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+/// Runs the `nwo` binary with a scrubbed environment plus `extra`.
+fn nwo(args: &[&str], extra: &[(&str, &str)]) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_nwo-cli"));
+    cmd.args(args);
+    for var in [
+        "NWO_JOBS",
+        "NWO_SCALE",
+        "NWO_CACHE_DIR",
+        "NWO_WARMUP",
+        "NWO_PROGRESS",
+        "NWO_CHAOS_SEED",
+    ] {
+        cmd.env_remove(var);
+    }
+    for (k, v) in extra {
+        cmd.env(k, v);
+    }
+    cmd.output().expect("nwo-cli spawns")
+}
+
+fn exit_code(output: &Output) -> i32 {
+    output.status.code().expect("exit code")
+}
+
+fn stdout_of(output: &Output) -> String {
+    String::from_utf8(output.stdout.clone()).expect("stdout is UTF-8")
+}
+
+fn ckpt_files(dir: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .expect("cache dir")
+        .map(|e| e.expect("entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "ckpt"))
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn scrub_quarantines_torn_blobs_and_the_runner_recovers() {
+    let dir = std::env::temp_dir().join(format!("nwo-scrub-cli-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_str = dir.to_str().expect("utf-8 path");
+    let cache_env = [("NWO_CACHE_DIR", dir_str), ("NWO_WARMUP", "0")];
+
+    // Populate the cache through a real bench run.
+    let bench = nwo(&["bench", "mpeg2-enc", "--scale", "0"], &cache_env);
+    assert_eq!(
+        exit_code(&bench),
+        0,
+        "{}",
+        String::from_utf8_lossy(&bench.stderr)
+    );
+    let baseline = stdout_of(&bench);
+    let blobs = ckpt_files(&dir);
+    assert!(!blobs.is_empty(), "the bench run spilled blobs to disk");
+
+    // Tear one blob (truncate mid-container, as a killed writer that
+    // bypassed the atomic path would) and strand an orphan temp file.
+    let victim = &blobs[0];
+    let bytes = std::fs::read(victim).expect("read blob");
+    std::fs::write(victim, &bytes[..bytes.len() / 2]).expect("tear blob");
+    let orphan = dir.join("half-written.ckpt.tmp.12345.0");
+    std::fs::write(&orphan, b"partial").expect("orphan tmp");
+
+    // First scrub: corruption found and quarantined, orphan reaped,
+    // exit code 3.
+    let scrub = nwo(&["cache", "scrub", "--dir", dir_str], &[]);
+    let text = stdout_of(&scrub);
+    assert_eq!(exit_code(&scrub), 3, "{text}");
+    assert!(text.contains("CORRUPT"), "{text}");
+    assert!(text.contains("quarantined"), "{text}");
+    assert!(!victim.exists(), "the torn blob is out of service");
+    let quarantined = victim.with_extension("ckpt.quarantined");
+    assert!(
+        quarantined.exists(),
+        "renamed, not deleted — kept for forensics"
+    );
+    assert!(!orphan.exists(), "orphan temp file reaped");
+
+    // Second scrub: clean, exit 0, prior quarantine reported.
+    let again = nwo(&["cache", "scrub", "--dir", dir_str], &[]);
+    let text = stdout_of(&again);
+    assert_eq!(exit_code(&again), 0, "{text}");
+    assert!(text.contains("1 previously quarantined"), "{text}");
+
+    // Recovery: the same bench run treats the quarantined key as a
+    // miss, re-simulates, re-stores, and prints identical bytes.
+    let healed = nwo(&["bench", "mpeg2-enc", "--scale", "0"], &cache_env);
+    assert_eq!(exit_code(&healed), 0);
+    assert_eq!(stdout_of(&healed), baseline, "recovery is byte-identical");
+    assert!(victim.exists(), "the blob was re-stored");
+
+    // A stale-salt blob (structurally sound, foreign build) downgrades
+    // the verdict to exit 4 — regenerate, nothing to quarantine.
+    let mut stale = std::fs::read(victim).expect("read healthy blob");
+    stale[6] ^= 0xFF;
+    std::fs::write(dir.join("foreign-build.ckpt"), &stale).expect("stale blob");
+    let scrub = nwo(&["cache", "scrub", "--dir", dir_str], &[]);
+    let text = stdout_of(&scrub);
+    assert_eq!(exit_code(&scrub), 4, "{text}");
+    assert!(text.contains("stale"), "{text}");
+
+    // The env var is an equivalent way to name the directory.
+    std::fs::remove_file(dir.join("foreign-build.ckpt")).expect("drop stale blob");
+    let via_env = nwo(&["cache", "scrub"], &[("NWO_CACHE_DIR", dir_str)]);
+    assert_eq!(exit_code(&via_env), 0, "{}", stdout_of(&via_env));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn scrub_without_a_directory_is_a_usage_error() {
+    let out = nwo(&["cache", "scrub"], &[]);
+    assert_eq!(exit_code(&out), 1);
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("NWO_CACHE_DIR"),
+        "the error names both ways to point at a cache"
+    );
+}
+
+#[test]
+fn report_only_flags_leave_the_cache_untouched() {
+    let dir = std::env::temp_dir().join(format!("nwo-scrub-cli-ro-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let dir_str = dir.to_str().expect("utf-8 path");
+    let bad = dir.join("bad.ckpt");
+    std::fs::write(&bad, b"not a checkpoint").expect("garbage blob");
+    let tmp = dir.join("orphan.ckpt.tmp.1.1");
+    std::fs::write(&tmp, b"x").expect("orphan");
+
+    let out = nwo(
+        &[
+            "cache",
+            "scrub",
+            "--dir",
+            dir_str,
+            "--no-quarantine",
+            "--keep-tmp",
+        ],
+        &[],
+    );
+    assert_eq!(exit_code(&out), 3, "{}", stdout_of(&out));
+    assert!(bad.exists(), "report-only keeps the blob in place");
+    assert!(tmp.exists(), "report-only keeps the orphan");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,10 +1,127 @@
 //! A minimal blocking client for the serve protocol — also the test
 //! harness: `nwo client` and the integration tests both drive the
 //! daemon through this type.
+//!
+//! Errors are typed ([`ClientError`]) so operators can tell a dead
+//! daemon (`connection refused`) from a flaky network (`connection
+//! reset mid-stream`), and so the self-healing wrapper
+//! ([`healing_sweep`]) knows which failures are worth retrying.
 
 use crate::proto;
 use crate::wire::{read_frame, write_frame, Frame, WireError};
+use nwo_obs::json::JsonValue;
 use std::net::TcpStream;
+use std::time::Duration;
+
+/// A typed client-side failure.
+///
+/// The connect-phase variants are split deliberately: `Refused` means
+/// nothing is listening (a dead or not-yet-started daemon), while
+/// `Reset` means an established conversation died under us (a flaky
+/// network, a chaos proxy, or a crashed handler). They demand
+/// different operator responses, so they must not collapse into one
+/// string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// `TcpStream::connect` was actively refused: no daemon listens on
+    /// `addr`.
+    Refused {
+        /// The address nothing answered on.
+        addr: String,
+    },
+    /// Any other connect-phase failure (unreachable host, timeout,
+    /// bad address).
+    Connect {
+        /// The address being dialed.
+        addr: String,
+        /// The socket error text.
+        detail: String,
+    },
+    /// An established connection died mid-conversation: reset, broken
+    /// pipe, or the server hung up before answering.
+    Reset {
+        /// What the socket or decoder reported.
+        detail: String,
+    },
+    /// The server answered with a typed `error` frame.
+    Server {
+        /// The machine-readable [`proto::code`] string.
+        code: String,
+        /// The human-readable detail.
+        detail: String,
+    },
+    /// The byte stream or frame sequence violated the protocol
+    /// (foreign magic, unparseable JSON, an unexpected frame kind).
+    Protocol {
+        /// What was malformed.
+        detail: String,
+    },
+}
+
+impl ClientError {
+    /// Whether a retry with backoff has a chance of succeeding.
+    ///
+    /// Refused/connect failures heal when the daemon (re)starts;
+    /// resets and protocol garbage heal when the network stops
+    /// misbehaving; of the server codes only `busy` (admission queue
+    /// full) is transient — `bad-request` or `frame-too-long` will
+    /// fail identically forever.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            ClientError::Refused { .. }
+            | ClientError::Connect { .. }
+            | ClientError::Reset { .. }
+            | ClientError::Protocol { .. } => true,
+            ClientError::Server { code, .. } => code == proto::code::BUSY,
+        }
+    }
+
+    /// Classifies a [`WireError`] that interrupted an established
+    /// conversation.
+    fn from_wire(err: WireError) -> ClientError {
+        match err {
+            WireError::Io(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::ConnectionReset
+                        | std::io::ErrorKind::ConnectionAborted
+                        | std::io::ErrorKind::BrokenPipe
+                        | std::io::ErrorKind::UnexpectedEof
+                ) =>
+            {
+                ClientError::Reset {
+                    detail: format!("connection reset mid-stream: {e}"),
+                }
+            }
+            WireError::Truncated => ClientError::Reset {
+                detail: "connection reset mid-stream: connection closed mid-frame".to_string(),
+            },
+            other => ClientError::Protocol {
+                detail: other.to_string(),
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Refused { addr } => {
+                write!(f, "connection refused: no daemon listening on {addr}")
+            }
+            ClientError::Connect { addr, detail } => {
+                write!(f, "cannot connect to {addr}: {detail}")
+            }
+            ClientError::Reset { detail } => write!(f, "{detail}"),
+            ClientError::Server { code, detail } => {
+                write!(f, "server error [{code}]: {detail}")
+            }
+            ClientError::Protocol { detail } => write!(f, "protocol violation: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
 
 /// One connection to an `nwo serve` daemon.
 pub struct Client {
@@ -24,6 +141,10 @@ pub struct SweepOutcome {
     pub side_frames: Vec<String>,
     /// The server-assigned job id from the `accepted` frame.
     pub job: Option<u64>,
+    /// True when the `done` frame carried `"replayed": true` — the
+    /// server answered from its idempotency registry without running
+    /// anything.
+    pub replayed: bool,
 }
 
 impl Client {
@@ -31,10 +152,25 @@ impl Client {
     ///
     /// # Errors
     ///
-    /// Any socket error from `TcpStream::connect`.
-    pub fn connect(addr: &str) -> std::io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
+    /// [`ClientError::Refused`] when nothing listens on `addr`;
+    /// [`ClientError::Connect`] for any other socket failure.
+    pub fn connect(addr: &str) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::ConnectionRefused {
+                ClientError::Refused {
+                    addr: addr.to_string(),
+                }
+            } else {
+                ClientError::Connect {
+                    addr: addr.to_string(),
+                    detail: e.to_string(),
+                }
+            }
+        })?;
+        stream.set_nodelay(true).map_err(|e| ClientError::Connect {
+            addr: addr.to_string(),
+            detail: e.to_string(),
+        })?;
         Ok(Client { stream })
     }
 
@@ -64,11 +200,12 @@ impl Client {
 
     /// Runs one sweep request to completion: sends it, collects frames
     /// until `done`, and splits the deterministic table from the
-    /// run-specific side frames.
+    /// run-specific side frames. `key` is the optional idempotency key
+    /// ([`healing_sweep`] derives one; plain sweeps pass `None`).
     ///
     /// # Errors
     ///
-    /// A human-readable message: a server `error` frame's code and
+    /// A typed [`ClientError`]: a server `error` frame's code and
     /// detail, a protocol violation, or a socket failure.
     pub fn sweep(
         &mut self,
@@ -76,16 +213,22 @@ impl Client {
         scale: Option<u32>,
         flags: &[&str],
         linger_ms: u64,
-    ) -> Result<SweepOutcome, String> {
-        let request = proto::sweep_request(1, benches, scale, flags, linger_ms);
-        self.send(&request).map_err(|e| e.to_string())?;
+        key: Option<u64>,
+    ) -> Result<SweepOutcome, ClientError> {
+        let request = proto::sweep_request(1, benches, scale, flags, linger_ms, key);
+        self.send(&request).map_err(ClientError::from_wire)?;
         let mut outcome = SweepOutcome::default();
         loop {
-            let frame = self
-                .next_frame()
-                .map_err(|e| e.to_string())?
-                .ok_or("server closed the connection mid-request")?;
-            let v = nwo_obs::json::parse(&frame).map_err(|e| format!("unparseable frame: {e}"))?;
+            let frame =
+                self.next_frame()
+                    .map_err(ClientError::from_wire)?
+                    .ok_or(ClientError::Reset {
+                        detail: "connection reset mid-stream: server closed before `done`"
+                            .to_string(),
+                    })?;
+            let v = nwo_obs::json::parse(&frame).map_err(|e| ClientError::Protocol {
+                detail: format!("unparseable frame: {e}"),
+            })?;
             match v.get("t").and_then(|t| t.as_str()) {
                 Some("accepted") => {
                     outcome.job = v.get("job").and_then(|j| j.as_u64());
@@ -96,19 +239,29 @@ impl Client {
                     outcome.table = v
                         .get("table")
                         .and_then(|t| t.as_str())
-                        .ok_or("result frame without a table")?
+                        .ok_or(ClientError::Protocol {
+                            detail: "result frame without a table".to_string(),
+                        })?
                         .to_string();
                 }
                 Some("done") => {
+                    outcome.replayed = matches!(v.get("replayed"), Some(JsonValue::Bool(true)));
                     outcome.side_frames.push(frame);
                     return Ok(outcome);
                 }
                 Some("error") => {
                     let code = v.get("code").and_then(|c| c.as_str()).unwrap_or("?");
                     let detail = v.get("detail").and_then(|d| d.as_str()).unwrap_or("");
-                    return Err(format!("server error [{code}]: {detail}"));
+                    return Err(ClientError::Server {
+                        code: code.to_string(),
+                        detail: detail.to_string(),
+                    });
                 }
-                other => return Err(format!("unexpected frame {other:?}: {frame}")),
+                other => {
+                    return Err(ClientError::Protocol {
+                        detail: format!("unexpected frame {other:?}: {frame}"),
+                    })
+                }
             }
         }
     }
@@ -118,9 +271,9 @@ impl Client {
     /// # Errors
     ///
     /// A socket/codec failure or an unexpected response frame.
-    pub fn status(&mut self) -> Result<String, String> {
+    pub fn status(&mut self) -> Result<String, ClientError> {
         self.send(&proto::plain_request("status", 1))
-            .map_err(|e| e.to_string())?;
+            .map_err(ClientError::from_wire)?;
         self.expect_one()
     }
 
@@ -129,9 +282,9 @@ impl Client {
     /// # Errors
     ///
     /// A socket/codec failure or an `error` response (unknown job).
-    pub fn cancel(&mut self, job: u64) -> Result<String, String> {
+    pub fn cancel(&mut self, job: u64) -> Result<String, ClientError> {
         self.send(&proto::cancel_request(1, job))
-            .map_err(|e| e.to_string())?;
+            .map_err(ClientError::from_wire)?;
         self.expect_one()
     }
 
@@ -140,23 +293,225 @@ impl Client {
     /// # Errors
     ///
     /// A socket/codec failure or an unexpected response frame.
-    pub fn shutdown(&mut self) -> Result<String, String> {
+    pub fn shutdown(&mut self) -> Result<String, ClientError> {
         self.send(&proto::plain_request("shutdown", 1))
-            .map_err(|e| e.to_string())?;
+            .map_err(ClientError::from_wire)?;
         self.expect_one()
     }
 
-    fn expect_one(&mut self) -> Result<String, String> {
-        let frame = self
-            .next_frame()
-            .map_err(|e| e.to_string())?
-            .ok_or("server closed the connection before answering")?;
-        let v = nwo_obs::json::parse(&frame).map_err(|e| format!("unparseable frame: {e}"))?;
+    fn expect_one(&mut self) -> Result<String, ClientError> {
+        let frame =
+            self.next_frame()
+                .map_err(ClientError::from_wire)?
+                .ok_or(ClientError::Reset {
+                    detail: "connection reset mid-stream: server closed before answering"
+                        .to_string(),
+                })?;
+        let v = nwo_obs::json::parse(&frame).map_err(|e| ClientError::Protocol {
+            detail: format!("unparseable frame: {e}"),
+        })?;
         if v.get("t").and_then(|t| t.as_str()) == Some("error") {
             let code = v.get("code").and_then(|c| c.as_str()).unwrap_or("?");
             let detail = v.get("detail").and_then(|d| d.as_str()).unwrap_or("");
-            return Err(format!("server error [{code}]: {detail}"));
+            return Err(ClientError::Server {
+                code: code.to_string(),
+                detail: detail.to_string(),
+            });
         }
         Ok(frame)
+    }
+}
+
+/// Backoff shape for [`healing_sweep`] — the same
+/// attempts/base/growth policy as `ckpt::with_retry`, widened for a
+/// network (more attempts, a cap, and seeded jitter so a thundering
+/// herd of retrying clients decorrelates).
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Maximum end-to-end attempts (connect + sweep) before giving up.
+    pub attempts: u32,
+    /// Backoff before the second attempt.
+    pub base: Duration,
+    /// Multiplier applied to the backoff after each failure.
+    pub growth: u32,
+    /// Upper bound on any single backoff sleep (pre-jitter).
+    pub cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 8,
+            base: Duration::from_millis(10),
+            growth: 4,
+            cap: Duration::from_secs(2),
+        }
+    }
+}
+
+/// What [`healing_sweep`] did to get its answer.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Attempts consumed (1 = first try succeeded).
+    pub attempts: u32,
+    /// True when the final `done` frame was an idempotent replay — the
+    /// sweep had already completed on the server and a retry merely
+    /// fetched the stored table.
+    pub replayed: bool,
+}
+
+/// Runs one sweep with self-healing: reconnect-and-retry with
+/// jittered exponential backoff on every transient failure, under an
+/// idempotency key derived from the request content and `seed`, so a
+/// retry after a dropped result frame replays the stored table instead
+/// of double-submitting work.
+///
+/// Deterministic for a given `seed`: the jitter comes from the same
+/// `XorShift64` generator as `verify::FaultPlan`, and failure text
+/// includes the seed (see [`crate::chaos::repro_banner`]) so any CI
+/// failure is reproducible with one env var.
+///
+/// # Errors
+///
+/// The last [`ClientError`] once `policy.attempts` is exhausted, or
+/// immediately for non-transient errors (for example `bad-request`).
+pub fn healing_sweep(
+    addr: &str,
+    benches: &[String],
+    scale: Option<u32>,
+    flags: &[&str],
+    linger_ms: u64,
+    seed: u64,
+    policy: &RetryPolicy,
+) -> Result<(SweepOutcome, RetryStats), ClientError> {
+    // The key covers exactly what the server fingerprints (the keyless
+    // request payload), XORed with the seed so distinct logical runs
+    // in one test do not replay each other.
+    let keyless = proto::sweep_request(1, benches, scale, flags, linger_ms, None);
+    let key = nwo_ckpt::fnv1a(keyless.as_bytes()) ^ seed;
+    let mut rng = nwo_verify::XorShift64::new(seed);
+    let mut backoff = policy.base;
+    let mut stats = RetryStats::default();
+    loop {
+        stats.attempts += 1;
+        let result = Client::connect(addr)
+            .and_then(|mut client| client.sweep(benches, scale, flags, linger_ms, Some(key)));
+        match result {
+            Ok(outcome) => {
+                stats.replayed = outcome.replayed;
+                return Ok((outcome, stats));
+            }
+            Err(err) if err.is_transient() && stats.attempts < policy.attempts => {
+                // Jitter in [0.5, 1.5): decorrelates concurrent
+                // retriers without ever zeroing the backoff.
+                let jitter = 0.5 + rng.below(1000) as f64 / 1000.0;
+                let sleep = backoff.min(policy.cap).mul_f64(jitter);
+                std::thread::sleep(sleep);
+                backoff = (backoff * policy.growth).min(policy.cap);
+            }
+            Err(err) => return Err(err),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn refused_and_reset_render_distinctly() {
+        let refused = ClientError::Refused {
+            addr: "127.0.0.1:1".to_string(),
+        };
+        let reset = ClientError::Reset {
+            detail: "connection reset mid-stream: early EOF".to_string(),
+        };
+        let refused_text = refused.to_string();
+        let reset_text = reset.to_string();
+        assert!(
+            refused_text.contains("connection refused"),
+            "{refused_text}"
+        );
+        assert!(refused_text.contains("127.0.0.1:1"), "{refused_text}");
+        assert!(reset_text.contains("reset mid-stream"), "{reset_text}");
+        assert!(
+            !reset_text.contains("refused"),
+            "a reset must not read like a dead daemon: {reset_text}"
+        );
+    }
+
+    #[test]
+    fn transience_matches_the_retry_contract() {
+        let transient = [
+            ClientError::Refused {
+                addr: "x".to_string(),
+            },
+            ClientError::Reset {
+                detail: "d".to_string(),
+            },
+            ClientError::Protocol {
+                detail: "d".to_string(),
+            },
+            ClientError::Server {
+                code: proto::code::BUSY.to_string(),
+                detail: "queue full".to_string(),
+            },
+        ];
+        for err in &transient {
+            assert!(err.is_transient(), "{err}");
+        }
+        let fatal = [
+            ClientError::Server {
+                code: proto::code::BAD_REQUEST.to_string(),
+                detail: "nope".to_string(),
+            },
+            ClientError::Server {
+                code: proto::code::OVERSIZED.to_string(),
+                detail: "2 MiB".to_string(),
+            },
+        ];
+        for err in &fatal {
+            assert!(!err.is_transient(), "{err}");
+        }
+    }
+
+    #[test]
+    fn wire_errors_classify_by_kind() {
+        let reset = ClientError::from_wire(WireError::Io(std::io::Error::new(
+            std::io::ErrorKind::ConnectionReset,
+            "peer reset",
+        )));
+        assert!(matches!(reset, ClientError::Reset { .. }), "{reset:?}");
+        let truncated = ClientError::from_wire(WireError::Truncated);
+        assert!(
+            matches!(truncated, ClientError::Reset { .. }),
+            "mid-frame EOF is a reset, not a protocol bug: {truncated:?}"
+        );
+        let magic = ClientError::from_wire(WireError::BadMagic([0, 1, 2, 3]));
+        assert!(matches!(magic, ClientError::Protocol { .. }), "{magic:?}");
+    }
+
+    #[test]
+    fn healing_gives_up_on_fatal_and_exhausts_on_refused() {
+        // Nothing listens on a fresh ephemeral port we bind-then-drop.
+        let addr = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+            listener.local_addr().expect("addr").to_string()
+        };
+        let policy = RetryPolicy {
+            attempts: 3,
+            base: Duration::from_millis(1),
+            growth: 2,
+            cap: Duration::from_millis(4),
+        };
+        let err = healing_sweep(&addr, &[], None, &[], 0, 0xC0FFEE, &policy)
+            .expect_err("no daemon: must exhaust retries");
+        assert!(
+            matches!(
+                err,
+                ClientError::Refused { .. } | ClientError::Connect { .. }
+            ),
+            "{err}"
+        );
     }
 }

@@ -21,7 +21,15 @@
 //! * [`metrics`] — `serve.*` counters (accepted/rejected/active and the
 //!   cache-hit tiers) through the obs registry;
 //! * [`client`] — the blocking client used by `nwo client` and the
-//!   tests.
+//!   tests, with typed [`ClientError`]s (a dead daemon reads
+//!   differently from a flaky network) and a self-healing
+//!   [`healing_sweep`] wrapper: jittered-backoff retries under an
+//!   idempotency key, so a retried sweep never double-submits work;
+//! * [`chaos`] — the deterministic hostile-conditions layer: a seeded
+//!   structure-aware wire fuzzer ([`chaos::FrameFuzzer`]) and an
+//!   in-process TCP fault interposer ([`ChaosProxy`]) applying a
+//!   seeded [`NetPlan`] (delays, drip feeds, header corruption,
+//!   resets, stalls) between client and server.
 //!
 //! The whole crate is zero-dependency like the rest of the workspace:
 //! sockets are `std::net`, JSON is `nwo_obs::json`, retries are
@@ -34,13 +42,15 @@
 //! the `NWO_CACHE_DIR` disk cache. See `docs/serving.md` for the frame
 //! format and worked examples.
 
+pub mod chaos;
 pub mod client;
 pub mod metrics;
 pub mod proto;
 pub mod server;
 pub mod wire;
 
-pub use client::{Client, SweepOutcome};
+pub use chaos::{ChaosProxy, ChaosStats, NetPlan};
+pub use client::{healing_sweep, Client, ClientError, RetryPolicy, RetryStats, SweepOutcome};
 pub use metrics::{serve_snapshot, ServeMetrics};
 pub use proto::Request;
 pub use server::{

@@ -25,6 +25,11 @@ pub struct ServeMetrics {
     pub failed: AtomicU64,
     /// Connections accepted over the server's lifetime.
     pub connections: AtomicU64,
+    /// Frames rejected for declaring a payload over the 1 MiB cap.
+    pub oversized: AtomicU64,
+    /// Sweeps answered from the idempotency replay registry — a
+    /// retried request whose key matched an already-completed sweep.
+    pub replays: AtomicU64,
     /// Jobs currently holding an admission slot.
     pub active: AtomicU64,
 }
@@ -45,7 +50,11 @@ impl MetricSource for ServeMetrics {
         registry.counter("timeouts", self.timeouts.load(Ordering::Relaxed));
         registry.counter("failed", self.failed.load(Ordering::Relaxed));
         registry.counter("connections", self.connections.load(Ordering::Relaxed));
+        registry.counter("oversized", self.oversized.load(Ordering::Relaxed));
         registry.gauge("active", self.active.load(Ordering::Relaxed) as f64);
+        registry.group("retry", |r| {
+            r.counter("replays", self.replays.load(Ordering::Relaxed));
+        });
     }
 }
 
@@ -91,9 +100,12 @@ mod tests {
             warm_hits: 1,
             warm_disk_hits: 1,
         };
+        ServeMetrics::bump(&metrics.replays);
         let snap = serve_snapshot(&metrics, &cache);
         assert_eq!(snap.counter("serve.accepted"), Some(2));
         assert_eq!(snap.counter("serve.rejected"), Some(1));
+        assert_eq!(snap.counter("serve.oversized"), Some(0));
+        assert_eq!(snap.counter("serve.retry.replays"), Some(1));
         assert_eq!(snap.gauge("serve.active"), Some(1.0));
         assert_eq!(snap.counter("serve.cache.memo_hits"), Some(2));
         assert_eq!(snap.counter("serve.cache.warm_disk_hits"), Some(1));

@@ -48,6 +48,12 @@ pub enum Request {
         /// cancel/watchdog paths deterministically, in the spirit of
         /// `NWO_FAIL_EXPERIMENT`.
         linger_ms: u64,
+        /// Client-supplied idempotency key. A retried sweep resends
+        /// the same key; if the server already completed a sweep under
+        /// it (with the same content), the stored result is replayed
+        /// instead of re-admitting the work — a retry after a dropped
+        /// result frame never double-submits.
+        key: Option<u64>,
     },
     /// Server and cache-tier counters.
     Status {
@@ -137,12 +143,17 @@ pub fn parse_request(payload: &str) -> Result<Request, String> {
                     .as_u64()
                     .ok_or("\"linger_ms\" must be a non-negative integer")?,
             };
+            let key = match v.get("key") {
+                None => None,
+                Some(k) => Some(k.as_u64().ok_or("\"key\" must be a non-negative integer")?),
+            };
             Ok(Request::Sweep {
                 id,
                 benches,
                 scale,
                 config,
                 linger_ms,
+                key,
             })
         }
         "status" => Ok(Request::Status { id }),
@@ -206,6 +217,7 @@ pub fn sweep_request(
     scale: Option<u32>,
     flags: &[&str],
     linger_ms: u64,
+    key: Option<u64>,
 ) -> String {
     let mut out = format!("{{\"t\": \"req\", \"kind\": \"sweep\", \"id\": {id}");
     if !benches.is_empty() {
@@ -234,6 +246,9 @@ pub fn sweep_request(
     }
     if linger_ms > 0 {
         out.push_str(&format!(", \"linger_ms\": {linger_ms}"));
+    }
+    if let Some(k) = key {
+        out.push_str(&format!(", \"key\": {k}"));
     }
     out.push('}');
     out
@@ -274,6 +289,10 @@ pub mod code {
     pub const TIMEOUT: &str = "timeout";
     /// The simulation itself failed (divergence, panic).
     pub const FAILED: &str = "failed";
+    /// A frame header declared a payload longer than the 1 MiB cap
+    /// (`wire::MAX_FRAME_LEN`). The connection closes after this
+    /// reject — the remaining stream cannot be trusted.
+    pub const OVERSIZED: &str = "frame-too-long";
 }
 
 /// An `error` frame with a [`code`] and a human-readable detail.
@@ -302,6 +321,17 @@ pub fn done(id: u64, job: u64, memo_hits: u64, disk_hits: u64, sims_run: u64) ->
     )
 }
 
+/// A `done` frame for an idempotent replay: the request's key matched
+/// a completed sweep, the stored result was resent, and no work ran —
+/// all tier counters are truthfully zero and `"replayed": true` marks
+/// the short-circuit for the client's retry accounting.
+pub fn done_replayed(id: u64) -> String {
+    format!(
+        "{{\"t\": \"done\", \"id\": {id}, \"job\": 0, \"memo_hits\": 0, \
+         \"disk_hits\": 0, \"sims_run\": 0, \"replayed\": true}}"
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -314,6 +344,7 @@ mod tests {
             Some(2),
             &["gating", "perfect"],
             0,
+            Some(0xBEEF),
         );
         let req = parse_request(&payload).expect("parses");
         match req {
@@ -323,11 +354,13 @@ mod tests {
                 scale,
                 config,
                 linger_ms,
+                key,
             } => {
                 assert_eq!(id, 7);
                 assert_eq!(benches, vec!["perl", "go"]);
                 assert_eq!(scale, Some(2));
                 assert_eq!(linger_ms, 0);
+                assert_eq!(key, Some(0xBEEF));
                 let expected = SimConfig::default()
                     .with_gating(nwo_core::GatingConfig::default())
                     .with_perfect_prediction();
@@ -345,10 +378,12 @@ mod tests {
                 benches,
                 scale,
                 config,
+                key,
                 ..
             } => {
                 assert!(benches.is_empty());
                 assert_eq!(scale, None);
+                assert_eq!(key, None, "no \"key\" field means no idempotency key");
                 assert_eq!(config.fingerprint(), SimConfig::default().fingerprint());
             }
             other => panic!("{other:?}"),
@@ -398,6 +433,10 @@ mod tests {
                 "{\"t\": \"req\", \"kind\": \"sim\", \"id\": 1}",
                 "exactly one benchmark",
             ),
+            (
+                "{\"t\": \"req\", \"kind\": \"sweep\", \"id\": 1, \"key\": \"abc\"}",
+                "\"key\" must be",
+            ),
         ];
         for (payload, needle) in cases {
             let err = parse_request(payload).expect_err(payload);
@@ -422,6 +461,7 @@ mod tests {
             error(1, code::BUSY, "queue full: 4 active, depth 4"),
             result("benchmark  scale\nperl  0\n"),
             done(1, 2, 3, 4, 5),
+            done_replayed(6),
         ] {
             nwo_obs::json::parse(&frame).unwrap_or_else(|e| panic!("{frame}: {e}"));
         }

@@ -24,7 +24,7 @@ use nwo_bench::runner::{progress_json, JobHandle, Runner};
 use nwo_bench::{bench_table_header, bench_table_row};
 use nwo_sim::ConfigError;
 use nwo_workloads::{benchmark, experiment_scale, Benchmark, BENCHMARK_NAMES};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -128,6 +128,48 @@ pub struct DrainReport {
     pub leaked: u64,
 }
 
+/// How many completed keyed sweeps the idempotency registry remembers.
+/// Retries arrive within seconds of the original, so a small FIFO
+/// window is plenty; the bound keeps a hostile client from growing
+/// server memory by streaming fresh keys.
+const REPLAY_CAPACITY: usize = 64;
+
+/// The idempotency replay registry: completed sweeps that carried a
+/// client key, remembered so a retry of the same request (same key,
+/// same content) is answered from here instead of re-admitted.
+///
+/// The content fingerprint guards against key collisions (two distinct
+/// requests reusing a key): a mismatch falls through to normal
+/// admission rather than replaying the wrong table.
+#[derive(Default)]
+struct ReplayRegistry {
+    entries: HashMap<u64, (u64, String)>,
+    order: VecDeque<u64>,
+}
+
+impl ReplayRegistry {
+    /// The stored table for `key`, if the content fingerprint matches.
+    fn lookup(&self, key: u64, fingerprint: u64) -> Option<String> {
+        self.entries
+            .get(&key)
+            .filter(|(stored, _)| *stored == fingerprint)
+            .map(|(_, table)| table.clone())
+    }
+
+    /// Remembers a completed sweep, evicting the oldest entry past the
+    /// capacity bound.
+    fn record(&mut self, key: u64, fingerprint: u64, table: String) {
+        if self.entries.insert(key, (fingerprint, table)).is_none() {
+            self.order.push_back(key);
+        }
+        while self.order.len() > REPLAY_CAPACITY {
+            if let Some(evicted) = self.order.pop_front() {
+                self.entries.remove(&evicted);
+            }
+        }
+    }
+}
+
 /// Shared server state: the runner, admission accounting and the
 /// cancel-flag registry.
 pub struct ServerState {
@@ -139,6 +181,7 @@ pub struct ServerState {
     draining: AtomicBool,
     next_job: AtomicU64,
     cancels: Mutex<HashMap<u64, Arc<AtomicBool>>>,
+    replays: Mutex<ReplayRegistry>,
     /// Admission/outcome counters, exposed as `serve.*` metrics.
     pub metrics: ServeMetrics,
 }
@@ -206,6 +249,7 @@ impl Server {
                 draining: AtomicBool::new(false),
                 next_job: AtomicU64::new(0),
                 cancels: Mutex::new(HashMap::new()),
+                replays: Mutex::new(ReplayRegistry::default()),
                 metrics: ServeMetrics::default(),
             }),
             drain_grace: options.drain_grace,
@@ -310,8 +354,24 @@ fn handle_connection(state: &Arc<ServerState>, stream: TcpStream) {
                 }
             }
             Err(WireError::Io(e)) if e.kind() == std::io::ErrorKind::Interrupted => {}
-            // Foreign magic/version, truncation, socket death: there is
-            // no framing left to answer on. Drop the connection.
+            // An oversized length field is the one malformation the
+            // decoder catches *before* the stream desynchronizes — the
+            // header itself parsed cleanly. Answer with a typed reject
+            // so the client learns why, then close: the declared
+            // payload was never read, so nothing after it can be
+            // trusted as a frame boundary.
+            Err(WireError::TooLong(len)) => {
+                ServeMetrics::bump(&state.metrics.oversized);
+                let detail = format!(
+                    "frame declares {len} payload bytes; the cap is {} (1 MiB)",
+                    crate::wire::MAX_FRAME_LEN
+                );
+                let _ = write_frame(&mut writer, &proto::error(0, code::OVERSIZED, &detail));
+                return;
+            }
+            // Foreign magic/version, truncation, slow-loris stalls,
+            // socket death: there is no framing left to answer on.
+            // Drop the connection.
             Err(_) => return,
         }
     }
@@ -369,7 +429,25 @@ fn handle_request(
             scale,
             config,
             linger_ms,
+            key,
         } => {
+            // Idempotent replay: a retried keyed request whose content
+            // matches an already-completed sweep is answered from the
+            // registry — no admission, no simulation, truthfully
+            // zeroed `done` counters. Checked even while draining: the
+            // replay is read-only, so a retry racing a shutdown still
+            // gets its result.
+            let fingerprint = sweep_fingerprint(&benches, scale, &config, linger_ms);
+            if let Some(key) = key {
+                let stored = state.replays.lock().unwrap().lookup(key, fingerprint);
+                if let Some(table) = stored {
+                    ServeMetrics::bump(&state.metrics.replays);
+                    write_frame(writer, &proto::accepted(id, 0))?;
+                    write_frame(writer, &proto::result(&table))?;
+                    write_frame(writer, &proto::done_replayed(id))?;
+                    return Ok(Flow::Continue);
+                }
+            }
             if state.draining() {
                 ServeMetrics::bump(&state.metrics.rejected);
                 let detail = "server is draining; no new work accepted";
@@ -417,8 +495,17 @@ fn handle_request(
             }
             ServeMetrics::bump(&state.metrics.accepted);
             write_frame(writer, &proto::accepted(id, job))?;
+            let replay_slot = key.map(|key| (key, fingerprint));
             run_sweep(
-                state, writer, id, job, &cancel, &resolved, config, linger_ms,
+                state,
+                writer,
+                id,
+                job,
+                &cancel,
+                &resolved,
+                config,
+                linger_ms,
+                replay_slot,
             )?;
             drop(guard);
             Ok(Flow::Continue)
@@ -439,6 +526,7 @@ fn run_sweep(
     resolved: &[(String, u32, Benchmark)],
     config: nwo_sim::SimConfig,
     linger_ms: u64,
+    replay_slot: Option<(u64, u64)>,
 ) -> Result<(), WireError> {
     let start = Instant::now();
     let deadline = state.watchdog.map(|d| start + d);
@@ -491,6 +579,16 @@ fn run_sweep(
         table.push_str(row);
         table.push('\n');
     }
+    // Record the replay entry *before* sending the result: the whole
+    // point of the idempotency key is the retry after a result frame
+    // was computed but never delivered.
+    if let Some((key, fingerprint)) = replay_slot {
+        state
+            .replays
+            .lock()
+            .unwrap()
+            .record(key, fingerprint, table.clone());
+    }
     write_frame(writer, &proto::result(&table))?;
     let memo_hits = handles.iter().filter(|h| h.memo_hit).count() as u64;
     let disk_hits = handles.iter().filter(|h| h.disk_hit).count() as u64;
@@ -501,6 +599,28 @@ fn run_sweep(
     )?;
     ServeMetrics::bump(&state.metrics.completed);
     Ok(())
+}
+
+/// A content fingerprint for the idempotency registry: everything
+/// that determines a sweep's result (and its `linger_ms` side effect),
+/// hashed over an unambiguous encoding. Bench names are separated by a
+/// unit separator so `["ab", "c"]` and `["a", "bc"]` cannot collide.
+fn sweep_fingerprint(
+    benches: &[String],
+    scale: Option<u32>,
+    config: &nwo_sim::SimConfig,
+    linger_ms: u64,
+) -> u64 {
+    let mut desc = String::new();
+    for bench in benches {
+        desc.push_str(bench);
+        desc.push('\u{1f}');
+    }
+    desc.push_str(&format!(
+        "|scale={scale:?}|config={:#018x}|linger={linger_ms}",
+        config.fingerprint()
+    ));
+    nwo_ckpt::fnv1a(desc.as_bytes())
 }
 
 /// Checks the cancel flag then the watchdog; returns the error code
@@ -552,6 +672,58 @@ mod tests {
                 "{bad:?} must be rejected"
             );
         }
+    }
+
+    #[test]
+    fn replay_registry_matches_content_and_bounds_memory() {
+        let mut reg = ReplayRegistry::default();
+        reg.record(7, 0xAA, "table-a".to_string());
+        assert_eq!(reg.lookup(7, 0xAA).as_deref(), Some("table-a"));
+        assert_eq!(
+            reg.lookup(7, 0xBB),
+            None,
+            "a colliding key with different content must miss, not replay the wrong table"
+        );
+        assert_eq!(reg.lookup(8, 0xAA), None);
+
+        // Re-recording the same key replaces in place (no double order
+        // entry), and the FIFO bound evicts the oldest keys.
+        reg.record(7, 0xCC, "table-b".to_string());
+        assert_eq!(reg.lookup(7, 0xCC).as_deref(), Some("table-b"));
+        for key in 0..REPLAY_CAPACITY as u64 {
+            reg.record(1000 + key, key, format!("t{key}"));
+        }
+        assert_eq!(reg.entries.len(), REPLAY_CAPACITY);
+        assert_eq!(reg.order.len(), REPLAY_CAPACITY);
+        assert_eq!(reg.lookup(7, 0xCC), None, "oldest entry was evicted");
+        assert!(reg
+            .lookup(
+                1000 + REPLAY_CAPACITY as u64 - 1,
+                REPLAY_CAPACITY as u64 - 1
+            )
+            .is_some());
+    }
+
+    #[test]
+    fn sweep_fingerprints_separate_distinct_requests() {
+        let base = nwo_sim::SimConfig::default();
+        let benches = |names: &[&str]| names.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let a = sweep_fingerprint(&benches(&["ab", "c"]), None, &base, 0);
+        let b = sweep_fingerprint(&benches(&["a", "bc"]), None, &base, 0);
+        assert_ne!(a, b, "bench-name boundaries are part of the content");
+        let scaled = sweep_fingerprint(&benches(&["ab", "c"]), Some(1), &base, 0);
+        assert_ne!(a, scaled);
+        let lingered = sweep_fingerprint(&benches(&["ab", "c"]), None, &base, 50);
+        assert_ne!(a, lingered);
+        let wide = sweep_fingerprint(
+            &benches(&["ab", "c"]),
+            None,
+            &base.clone().with_wide_decode(),
+            0,
+        );
+        assert_ne!(a, wide);
+        // Same content, same fingerprint — the property replay relies on.
+        assert_eq!(a, sweep_fingerprint(&benches(&["ab", "c"]), None, &base, 0));
     }
 
     #[test]

@@ -28,6 +28,15 @@ pub const WIRE_VERSION: u16 = 1;
 /// few KiB; anything near this bound is a corrupt or hostile header.
 pub const MAX_FRAME_LEN: u32 = 1 << 20;
 
+/// Slow-loris guard: how many consecutive read-timeout ticks a peer may
+/// stall *mid-frame* before the frame is abandoned with
+/// [`WireError::Stalled`]. A peer that began a header gets this many
+/// ticks (at the socket's read-timeout cadence — the server polls every
+/// 50ms, so ~2s) to finish it; an honest peer under congestion makes
+/// progress and resets the budget with every byte, a hostile drip-feed
+/// that goes silent does not get to pin a handler thread forever.
+pub const MAX_STALL_TICKS: u32 = 40;
+
 /// A framing failure.
 #[derive(Debug)]
 pub enum WireError {
@@ -37,12 +46,22 @@ pub enum WireError {
     BadMagic([u8; 4]),
     /// The peer speaks a different protocol version.
     Version(u16),
-    /// The declared payload length exceeds [`MAX_FRAME_LEN`].
-    TooLong(u32),
+    /// The declared (or attempted) payload length exceeds
+    /// [`MAX_FRAME_LEN`]; carries the offending length so the reject
+    /// can name it.
+    TooLong(u64),
     /// The payload was not valid UTF-8.
     Utf8,
     /// The connection closed mid-frame.
     Truncated,
+    /// The peer went silent mid-frame for [`MAX_STALL_TICKS`] read
+    /// timeouts (slow-loris guard).
+    Stalled {
+        /// Bytes of the current field received before the stall.
+        filled: usize,
+        /// Bytes the field needed.
+        needed: usize,
+    },
 }
 
 impl std::fmt::Display for WireError {
@@ -59,6 +78,11 @@ impl std::fmt::Display for WireError {
             WireError::TooLong(n) => write!(f, "declared frame length {n} exceeds {MAX_FRAME_LEN}"),
             WireError::Utf8 => write!(f, "frame payload is not UTF-8"),
             WireError::Truncated => write!(f, "connection closed mid-frame"),
+            WireError::Stalled { filled, needed } => write!(
+                f,
+                "peer stalled mid-frame ({filled}/{needed} bytes after \
+                 {MAX_STALL_TICKS} silent read timeouts; slow-loris guard)"
+            ),
         }
     }
 }
@@ -93,7 +117,7 @@ pub enum Frame {
 pub fn write_frame(w: &mut impl Write, payload: &str) -> Result<(), WireError> {
     let bytes = payload.as_bytes();
     if bytes.len() > MAX_FRAME_LEN as usize {
-        return Err(WireError::TooLong(bytes.len() as u32));
+        return Err(WireError::TooLong(bytes.len() as u64));
     }
     let mut head = [0u8; 10];
     head[..4].copy_from_slice(&MAGIC);
@@ -108,7 +132,8 @@ pub fn write_frame(w: &mut impl Write, payload: &str) -> Result<(), WireError> {
 /// Reads one frame. A clean EOF *between* frames is [`Frame::Eof`]; a
 /// read timeout before the first byte is [`Frame::Idle`]; anything
 /// torn mid-frame is an error. Once a frame has started, timeouts keep
-/// reading — a peer that began a header is expected to finish it.
+/// reading — a peer that began a header is expected to finish it, but
+/// only within the [`MAX_STALL_TICKS`] budget (the slow-loris guard).
 ///
 /// # Errors
 ///
@@ -130,7 +155,7 @@ pub fn read_frame(r: &mut impl Read) -> Result<Frame, WireError> {
     }
     let len = u32::from_le_bytes([head[6], head[7], head[8], head[9]]);
     if len > MAX_FRAME_LEN {
-        return Err(WireError::TooLong(len));
+        return Err(WireError::TooLong(u64::from(len)));
     }
     let mut payload = vec![0u8; len as usize];
     match read_all(r, &mut payload, false)? {
@@ -151,18 +176,25 @@ enum ReadOutcome {
 /// Fills `buf` completely. With `at_boundary`, a clean close or a
 /// timeout before the first byte is reported as `Eof`/`Idle` instead
 /// of an error; mid-buffer, a close is [`WireError::Truncated`] and
-/// timeouts retry.
+/// timeouts retry — but only [`MAX_STALL_TICKS`] times without any
+/// forward progress, after which the frame is abandoned as
+/// [`WireError::Stalled`] (the slow-loris guard). Any received byte
+/// resets the budget, so a slow-but-live peer is never cut off.
 fn read_all(
     r: &mut impl Read,
     buf: &mut [u8],
     at_boundary: bool,
 ) -> Result<ReadOutcome, WireError> {
     let mut filled = 0;
+    let mut stalled_ticks = 0u32;
     while filled < buf.len() {
         match r.read(&mut buf[filled..]) {
             Ok(0) if filled == 0 && at_boundary => return Ok(ReadOutcome::Eof),
             Ok(0) => return Err(WireError::Truncated),
-            Ok(n) => filled += n,
+            Ok(n) => {
+                filled += n;
+                stalled_ticks = 0;
+            }
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
             Err(e)
                 if matches!(
@@ -173,7 +205,15 @@ fn read_all(
                 if filled == 0 && at_boundary {
                     return Ok(ReadOutcome::Idle);
                 }
-                // Mid-frame: the peer started a header, let it finish.
+                // Mid-frame: the peer started a header, let it finish —
+                // within the stall budget.
+                stalled_ticks += 1;
+                if stalled_ticks >= MAX_STALL_TICKS {
+                    return Err(WireError::Stalled {
+                        filled,
+                        needed: buf.len(),
+                    });
+                }
             }
             Err(e) => return Err(WireError::Io(e)),
         }
@@ -259,6 +299,105 @@ mod tests {
             read_frame(&mut Cursor::new(head_only)),
             Err(WireError::Truncated)
         ));
+    }
+
+    /// A reader that yields its bytes one at a time, with an optional
+    /// spray of timeout errors between every byte — the worst-case
+    /// fragmented feed a TCP stream can legally produce. With
+    /// `silent_eof`, exhaustion produces endless timeouts instead of a
+    /// clean close (a peer that stops sending without hanging up).
+    struct Drip {
+        bytes: Vec<u8>,
+        pos: usize,
+        timeouts_between: u32,
+        pending_timeouts: u32,
+        silent_eof: bool,
+    }
+
+    impl Drip {
+        fn new(bytes: Vec<u8>, timeouts_between: u32, silent_eof: bool) -> Drip {
+            Drip {
+                bytes,
+                pos: 0,
+                timeouts_between,
+                pending_timeouts: 0,
+                silent_eof,
+            }
+        }
+    }
+
+    impl Read for Drip {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.pos >= self.bytes.len() {
+                return if self.silent_eof {
+                    Err(std::io::ErrorKind::WouldBlock.into())
+                } else {
+                    Ok(0)
+                };
+            }
+            if self.pending_timeouts > 0 {
+                self.pending_timeouts -= 1;
+                return Err(std::io::ErrorKind::WouldBlock.into());
+            }
+            buf[0] = self.bytes[self.pos];
+            self.pos += 1;
+            self.pending_timeouts = self.timeouts_between;
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn one_byte_at_a_time_reads_decode_cleanly() {
+        let mut buf = Vec::new();
+        write_frame(
+            &mut buf,
+            "{\"t\": \"req\", \"kind\": \"status\", \"id\": 1}",
+        )
+        .unwrap();
+        write_frame(&mut buf, "second").unwrap();
+        // Pure 1-byte drip, and a drip with timeouts between every
+        // byte (fewer than the stall budget — progress resets it).
+        for timeouts in [0, MAX_STALL_TICKS - 1] {
+            let mut drip = Drip::new(buf.clone(), timeouts, false);
+            // The leading timeout (if any) arrives at a frame boundary.
+            let first = loop {
+                match read_frame(&mut drip).unwrap() {
+                    Frame::Idle => {}
+                    other => break other,
+                }
+            };
+            assert!(matches!(first, Frame::Payload(s) if s.contains("status")));
+            let second = loop {
+                match read_frame(&mut drip).unwrap() {
+                    Frame::Idle => {}
+                    other => break other,
+                }
+            };
+            assert!(matches!(second, Frame::Payload(s) if s == "second"));
+        }
+    }
+
+    #[test]
+    fn silent_mid_frame_peer_trips_the_stall_guard() {
+        // Three header bytes then eternal silence: the slow-loris case.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "payload").unwrap();
+        buf.truncate(3);
+        let mut loris = Drip::new(buf, 0, true);
+        let err = read_frame(&mut loris).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                WireError::Stalled {
+                    filled: 3,
+                    needed: 10
+                }
+            ),
+            "got {err:?}"
+        );
+        // The guard's message names the budget so operators can see why
+        // the connection died.
+        assert!(err.to_string().contains("slow-loris"), "{err}");
     }
 
     #[test]

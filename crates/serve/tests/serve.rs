@@ -104,7 +104,7 @@ fn concurrent_clients_get_byte_identical_results_at_any_worker_count() {
                 std::thread::spawn(move || {
                     let mut client = Client::connect(&addr).expect("connect");
                     client
-                        .sweep(&benches(), Some(0), &[], 0)
+                        .sweep(&benches(), Some(0), &[], 0, None)
                         .expect("sweep succeeds")
                         .table
                 })
@@ -128,7 +128,9 @@ fn concurrent_clients_get_byte_identical_results_at_any_worker_count() {
     // ...and a serial pool returns the same bytes.
     let narrow = TestServer::spawn(ServeOptions::ephemeral(), Arc::new(Runner::with_jobs(1)));
     let mut client = Client::connect(&narrow.addr).expect("connect");
-    let serial = client.sweep(&benches(), Some(0), &[], 0).expect("sweep");
+    let serial = client
+        .sweep(&benches(), Some(0), &[], 0, None)
+        .expect("sweep");
     assert_eq!(serial.table, tables[0], "NWO_JOBS=1 vs 4 changes nothing");
     assert_eq!(narrow.stop(), DrainReport { leaked: 0 });
 }
@@ -144,14 +146,14 @@ fn cache_tiers_and_server_restarts_preserve_bytes() {
     );
     let mut client = Client::connect(&cold.addr).expect("connect");
     let first = client
-        .sweep(&benches(), Some(0), &[], 0)
+        .sweep(&benches(), Some(0), &[], 0, None)
         .expect("cold sweep");
     assert_eq!(done_counter(&first, "sims_run"), 2);
     assert_eq!(done_counter(&first, "disk_hits"), 0);
 
     // Same daemon, repeat request: the in-process memo answers.
     let repeat = client
-        .sweep(&benches(), Some(0), &[], 0)
+        .sweep(&benches(), Some(0), &[], 0, None)
         .expect("memo sweep");
     assert_eq!(done_counter(&repeat, "memo_hits"), 2);
     assert_eq!(done_counter(&repeat, "sims_run"), 0);
@@ -181,7 +183,7 @@ fn cache_tiers_and_server_restarts_preserve_bytes() {
     );
     let mut client = Client::connect(&warm.addr).expect("connect");
     let revived = client
-        .sweep(&benches(), Some(0), &[], 0)
+        .sweep(&benches(), Some(0), &[], 0, None)
         .expect("warm sweep");
     assert_eq!(done_counter(&revived, "disk_hits"), 2);
     assert_eq!(done_counter(&revived, "sims_run"), 0);
@@ -201,35 +203,35 @@ fn full_queue_rejects_then_cancel_frees_the_slot() {
     let addr = server.addr.clone();
     let holder = std::thread::spawn(move || {
         let mut client = Client::connect(&addr).expect("connect A");
-        client.sweep(&benches()[..1], Some(0), &[], 60_000)
+        client.sweep(&benches()[..1], Some(0), &[], 60_000, None)
     });
     server.wait_active(1);
 
     // Client B is rejected with a reasoned busy error...
     let mut other = Client::connect(&server.addr).expect("connect B");
     let err = other
-        .sweep(&benches()[..1], Some(0), &[], 0)
+        .sweep(&benches()[..1], Some(0), &[], 0, None)
         .expect_err("admission control rejects");
-    assert!(err.contains("busy"), "{err}");
-    assert!(err.contains("depth 1"), "{err}");
+    assert!(err.to_string().contains("busy"), "{err}");
+    assert!(err.to_string().contains("depth 1"), "{err}");
 
     // ...until B cancels A's job (the first job id is 1).
     let ack = other.cancel(1).expect("cancel acknowledged");
     assert!(ack.contains("\"ok\""), "{ack}");
     let held = holder.join().expect("holder thread");
     let err = held.expect_err("the lingering sweep was abandoned");
-    assert!(err.contains("cancelled"), "{err}");
+    assert!(err.to_string().contains("cancelled"), "{err}");
 
     // The slot is free again: the same sweep now completes (memo hit).
     server.wait_active(0);
     let outcome = other
-        .sweep(&benches()[..1], Some(0), &[], 0)
+        .sweep(&benches()[..1], Some(0), &[], 0, None)
         .expect("slot reusable after cancel");
     assert_eq!(done_counter(&outcome, "memo_hits"), 1);
 
     // Cancelling a finished job is a typed bad-request.
     let err = other.cancel(1).expect_err("job 1 is gone");
-    assert!(err.contains("no active job"), "{err}");
+    assert!(err.to_string().contains("no active job"), "{err}");
 
     let rejected = server.state.metrics.rejected.load(Ordering::SeqCst);
     let cancelled = server.state.metrics.cancelled.load(Ordering::SeqCst);
@@ -248,10 +250,10 @@ fn watchdog_abandons_overrunning_requests() {
     // The linger keeps the request alive well past the 50ms budget,
     // whether or not the simulation itself beat the watchdog.
     let err = client
-        .sweep(&benches()[..1], Some(0), &[], 60_000)
+        .sweep(&benches()[..1], Some(0), &[], 60_000, None)
         .expect_err("watchdog fires");
-    assert!(err.contains("timeout"), "{err}");
-    assert!(err.contains("watchdog"), "{err}");
+    assert!(err.to_string().contains("timeout"), "{err}");
+    assert!(err.to_string().contains("watchdog"), "{err}");
     assert_eq!(server.state.metrics.timeouts.load(Ordering::SeqCst), 1);
     assert_eq!(server.stop(), DrainReport { leaked: 0 });
 }
@@ -277,11 +279,47 @@ fn shutdown_frame_drains_cleanly_and_leaks_are_reported() {
     let addr = server.addr.clone();
     let holder = std::thread::spawn(move || {
         let mut client = Client::connect(&addr).expect("connect");
-        let _ = client.sweep(&benches()[..1], Some(0), &[], 60_000);
+        let _ = client.sweep(&benches()[..1], Some(0), &[], 60_000, None);
     });
     server.wait_active(1);
     assert_eq!(server.stop(), DrainReport { leaked: 1 });
     drop(holder); // lingering handler dies with the test process
+}
+
+#[test]
+fn oversized_frames_get_a_typed_reject_naming_the_length() {
+    use std::io::Write;
+
+    let server = TestServer::spawn(ServeOptions::ephemeral(), Arc::new(Runner::with_jobs(1)));
+
+    // A raw header declaring a payload one byte over the 1 MiB cap.
+    // The decoder must refuse before allocating, and the server must
+    // answer with a typed `frame-too-long` error naming the length.
+    let lie: u32 = nwo_serve::MAX_FRAME_LEN + 1;
+    let mut stream = std::net::TcpStream::connect(&server.addr).expect("connect");
+    stream.write_all(b"NWOS").expect("magic");
+    stream
+        .write_all(&nwo_serve::WIRE_VERSION.to_le_bytes())
+        .expect("version");
+    stream.write_all(&lie.to_le_bytes()).expect("length lie");
+    stream.flush().expect("flush");
+
+    let reply = match nwo_serve::read_frame(&mut stream).expect("reject frame") {
+        nwo_serve::Frame::Payload(text) => text,
+        other => panic!("expected an error payload, got {other:?}"),
+    };
+    assert!(reply.contains("frame-too-long"), "{reply}");
+    assert!(
+        reply.contains(&(nwo_serve::MAX_FRAME_LEN + 1).to_string()),
+        "the reject names the offending length: {reply}"
+    );
+    assert_eq!(server.state.metrics.oversized.load(Ordering::SeqCst), 1);
+
+    // The daemon survives: a normal client still gets served.
+    drop(stream);
+    let mut client = Client::connect(&server.addr).expect("connect after reject");
+    assert!(client.status().expect("status").contains("metrics"));
+    assert_eq!(server.stop(), DrainReport { leaked: 0 });
 }
 
 #[test]
@@ -294,14 +332,14 @@ fn bad_requests_and_config_errors_come_back_typed() {
     assert!(reply.contains("bad-request"), "{reply}");
 
     let err = client
-        .sweep(&["no-such-kernel".to_string()], Some(0), &[], 0)
+        .sweep(&["no-such-kernel".to_string()], Some(0), &[], 0, None)
         .expect_err("unknown benchmark");
-    assert!(err.contains("unknown benchmark"), "{err}");
+    assert!(err.to_string().contains("unknown benchmark"), "{err}");
 
     // Config flags flow through the same validation as the CLI.
     let err = client
-        .sweep(&benches()[..1], Some(0), &["warp"], 0)
+        .sweep(&benches()[..1], Some(0), &["warp"], 0, None)
         .expect_err("unknown config flag");
-    assert!(err.contains("unknown config flag"), "{err}");
+    assert!(err.to_string().contains("unknown config flag"), "{err}");
     assert_eq!(server.stop(), DrainReport { leaked: 0 });
 }
